@@ -1,0 +1,68 @@
+// Figure 5 reproduction: spatial locality heat map proxy.
+//
+// Paper: "average ratio of unique index to unique 4KB block, normalized to
+// the maximum unique index per block per table ... Value 1.0 indicates high
+// spatial locality. The heat map and the cooler temperature overall
+// indicates low spatial locality." Windows average ~25M accesses at
+// production scale; we use 50K at 1/1024 scale.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dlrm/model_zoo.h"
+#include "trace/locality.h"
+#include "trace/trace_gen.h"
+
+using namespace sdm;
+
+namespace {
+
+void RoleHeatmap(const ModelConfig& model, TableRole role) {
+  bench::Section(bench::Fmt("Fig. 5 — %s tables: (unique idx / unique block) / max",
+                            ToString(role)));
+  bench::Table t({"table", "row B", "rows/4KB", "mean ratio", "min", "max"});
+  Rng rng(9);
+  int tracked = 0;
+  double mean_sum = 0;
+  for (size_t i = 0; i < model.tables.size() && tracked < 12; ++i) {
+    if (model.tables[i].role != role) continue;
+    const TableConfig& cfg = model.tables[i];
+    TableAccessStream stream(cfg, 1000 + i);
+    std::vector<RowIndex> trace;
+    trace.reserve(200'000);
+    for (int a = 0; a < 200'000; ++a) trace.push_back(stream.Next(rng));
+    const SpatialLocality loc = AnalyzeSpatialLocality(trace, cfg.row_bytes(), 50'000);
+    t.Row(cfg.name, static_cast<uint64_t>(cfg.row_bytes()), loc.rows_per_block,
+          loc.mean_ratio, loc.min_ratio, loc.max_ratio);
+    mean_sum += loc.mean_ratio;
+    ++tracked;
+  }
+  t.Print();
+  bench::Note(bench::Fmt("mean ratio over %d tables: %.3f (1.0 = perfectly packed)",
+                         tracked, mean_sum / tracked));
+}
+
+}  // namespace
+
+int main() {
+  bench::QuietLogs quiet;
+  // Trace-scale model: production row counts, so windows touch only the hot
+  // subset of each table (a scaled-down table saturates — every row gets
+  // touched and the ratio trivially approaches 1).
+  const ModelConfig model = MakeM2(/*capacity_scale=*/1.0);
+  RoleHeatmap(model, TableRole::kUser);
+  RoleHeatmap(model, TableRole::kItem);
+
+  // Contrast: what a spatially-local (sequential) workload would score.
+  bench::Section("contrast — sequential scan of one table (not the production pattern)");
+  std::vector<RowIndex> seq;
+  for (int r = 0; r < 2; ++r) {
+    for (RowIndex i = 0; i < 100'000; ++i) seq.push_back(i);
+  }
+  const SpatialLocality s = AnalyzeSpatialLocality(seq, 128, 50'000);
+  bench::Note(bench::Fmt("sequential ratio: %.3f", s.mean_ratio));
+  bench::Note("");
+  bench::Note("paper shape: production (Zipf-over-permuted-rows) traces score far below");
+  bench::Note("1.0 — low spatial locality, motivating row-granular caching + sub-block IO");
+  bench::Note("instead of block/page caching (mmap) or row grouping.");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// §4.1.1 reproduction: sub-block (SGL bit-bucket) reads vs 4KB block reads.
+//
+// Paper: "By only reading the parts of a block that is necessary, we save
+// around 75% of the bus bandwidth ... This reduces the observed latency of
+// a given read by 3-5%. The savings at the application level are more given
+// removal of the extra memcpy."
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/event_loop.h"
+#include "common/histogram.h"
+#include "io/direct_reader.h"
+
+using namespace sdm;
+
+namespace {
+
+struct GranResult {
+  double mean_us;
+  double bus_bytes_per_read;
+  double read_amp;
+  double fm_bytes_per_read;
+  double achieved_kiops;
+};
+
+GranResult Run(const DeviceSpec& spec, bool sub_block, Bytes row_bytes, double util) {
+  EventLoop loop;
+  NvmeDevice dev(spec, 16 * kMiB, &loop, 15);
+  std::vector<uint8_t> init(16 * kMiB, 1);
+  (void)dev.Write(0, init);
+  IoEngine engine(&dev, &loop, {});
+  DirectIoReader reader(&engine, DirectReaderConfig{sub_block, 12e9});
+
+  Rng rng(16);
+  Histogram lat;
+  const int kReads = 30'000;
+  // Offered load as a fraction of the device's 512B IOPS ceiling.
+  const double rate = spec.max_read_iops * util;
+  SimTime arrival(0);
+  uint64_t completed = 0;
+  std::vector<std::unique_ptr<std::vector<uint8_t>>> bufs;
+  for (int i = 0; i < kReads; ++i) {
+    arrival += Seconds(rng.NextExponential(1.0 / rate));
+    loop.ScheduleAt(arrival, [&] {
+      const Bytes offset = rng.NextBounded(16 * kMiB / row_bytes - 1) * row_bytes;
+      auto buf = std::make_unique<std::vector<uint8_t>>(row_bytes);
+      const std::span<uint8_t> dest(buf->data(), buf->size());
+      bufs.push_back(std::move(buf));
+      reader.ReadRow(offset, dest, [&](Status s, SimDuration l) {
+        if (s.ok()) {
+          lat.Record(l);
+          ++completed;
+        }
+      });
+    });
+  }
+  loop.RunUntilIdle();
+
+  GranResult r;
+  r.mean_us = lat.mean() / 1e3;
+  r.bus_bytes_per_read =
+      static_cast<double>(dev.stats().CounterValue("bus_bytes")) / kReads;
+  r.read_amp = dev.ReadAmplification();
+  r.fm_bytes_per_read = static_cast<double>(reader.fm_bytes_moved()) / kReads;
+  r.achieved_kiops = static_cast<double>(completed) / loop.Now().seconds() / 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::QuietLogs quiet;
+  constexpr Bytes kRow = 128;
+
+  // Paper's 75% bus-saving claim compares against the device's natural
+  // minimum transfer (512B on Optane): a 128B row in a 512B read wastes 3/4
+  // of the bus. We model the 512B baseline as a 512B-long read.
+  bench::Section("§4.1.1 — Optane: 512B-granularity vs DWORD sub-block (128B rows)");
+  bench::Table g({"mode", "bus B/read", "read amp", "mean us"});
+  const GranResult o512 = Run(MakeOptaneSsdSpec(), true, 512, 0.05);
+  const GranResult o128 = Run(MakeOptaneSsdSpec(), true, kRow, 0.05);
+  g.Row("512B native reads", o512.bus_bytes_per_read, 512.0 / kRow, o512.mean_us);
+  g.Row("DWORD sub-block (SGL)", o128.bus_bytes_per_read, o128.read_amp, o128.mean_us);
+  g.Print();
+  bench::Note(bench::Fmt("bus saving: %.0f%% (paper: ~75%%)",
+                         100.0 * (1 - o128.bus_bytes_per_read / o512.bus_bytes_per_read)));
+
+  bench::Section("§4.1.1 — Nand: 4KB block vs sub-block reads (128B rows)");
+  bench::Table t({"mode", "bus B/read", "read amp", "FM B/read", "mean us", "kIOPS"});
+  const GranResult blk = Run(MakeNandFlashSpec(), false, kRow, 0.3);
+  const GranResult sgl = Run(MakeNandFlashSpec(), true, kRow, 0.3);
+  t.Row("4KB block", blk.bus_bytes_per_read, blk.read_amp, blk.fm_bytes_per_read,
+        blk.mean_us, blk.achieved_kiops);
+  t.Row("sub-block (SGL)", sgl.bus_bytes_per_read, sgl.read_amp, sgl.fm_bytes_per_read,
+        sgl.mean_us, sgl.achieved_kiops);
+  t.Print();
+  bench::Note(bench::Fmt("device latency saving: %.1f%% (paper: 3-5%% — the 4KB bus "
+                         "transfer eliminated); FM traffic per read drops %.0fx "
+                         "(no bounce-buffer memcpy)",
+                         100.0 * (1 - sgl.mean_us / blk.mean_us),
+                         blk.fm_bytes_per_read / sgl.fm_bytes_per_read));
+
+  bench::Section("under load — the IOPS benefit of small granularity (util sweep)");
+  bench::Table u({"offered util of 4M", "block mean us", "sub-block mean us",
+                  "block kIOPS", "sub-block kIOPS"});
+  for (const double util : {0.05, 0.10, 0.12}) {
+    const GranResult b2 = Run(MakeOptaneSsdSpec(), false, kRow, util);
+    const GranResult s2 = Run(MakeOptaneSsdSpec(), true, kRow, util);
+    u.Row(util, b2.mean_us, s2.mean_us, b2.achieved_kiops, s2.achieved_kiops);
+  }
+  u.Print();
+  bench::Note("block reads occupy the media for 8 units per 128B row, so the device");
+  bench::Note("saturates at ~1/8th of its rated IOPS — sub-block reads avoid the");
+  bench::Note("amplification entirely (and skip the bounce-buffer memcpy in FM).");
+  return 0;
+}

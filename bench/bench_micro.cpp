@@ -1,0 +1,244 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels and data
+// structures: quantization, pooling, caches, order-invariant hashing, Zipf
+// sampling, the event loop, and the end-to-end simulated lookup path.
+#include <benchmark/benchmark.h>
+
+#include "cache/cpu_optimized_cache.h"
+#include "cache/memory_optimized_cache.h"
+#include "cache/pooled_cache.h"
+#include "common/event_loop.h"
+#include "common/rng.h"
+#include "core/lookup_engine.h"
+#include "core/model_loader.h"
+#include "dlrm/mlp.h"
+#include "dlrm/model_zoo.h"
+#include "embedding/quantization.h"
+#include "trace/trace_gen.h"
+
+#include "common/logging.h"
+
+namespace sdm {
+namespace {
+
+const bool g_quiet_logs = [] {
+  SetLogLevel(LogLevel::kWarn);
+  return true;
+}();
+
+// ---------------------------------------------------------------------------
+// Quantization kernels.
+// ---------------------------------------------------------------------------
+
+void BM_QuantizeRow(benchmark::State& state) {
+  const auto type = static_cast<DataType>(state.range(0));
+  const auto dim = static_cast<uint32_t>(state.range(1));
+  Rng rng(1);
+  std::vector<float> values(dim);
+  for (auto& v : values) v = static_cast<float>(rng.NextDouble(-1, 1));
+  std::vector<uint8_t> stored(StoredRowBytes(type, dim));
+  for (auto _ : state) {
+    QuantizeRow(type, values, stored);
+    benchmark::DoNotOptimize(stored.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * dim * 4);
+}
+BENCHMARK(BM_QuantizeRow)
+    ->Args({static_cast<int>(DataType::kInt8Rowwise), 64})
+    ->Args({static_cast<int>(DataType::kInt8Rowwise), 256})
+    ->Args({static_cast<int>(DataType::kInt4Rowwise), 64})
+    ->Args({static_cast<int>(DataType::kFp16), 64});
+
+void BM_DequantizeAccumulate(benchmark::State& state) {
+  const auto type = static_cast<DataType>(state.range(0));
+  const auto dim = static_cast<uint32_t>(state.range(1));
+  Rng rng(2);
+  std::vector<float> values(dim);
+  for (auto& v : values) v = static_cast<float>(rng.NextDouble(-1, 1));
+  std::vector<uint8_t> stored(StoredRowBytes(type, dim));
+  QuantizeRow(type, values, stored);
+  std::vector<float> acc(dim, 0.0f);
+  for (auto _ : state) {
+    DequantizeAccumulate(type, stored, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stored.size()));
+}
+BENCHMARK(BM_DequantizeAccumulate)
+    ->Args({static_cast<int>(DataType::kInt8Rowwise), 64})
+    ->Args({static_cast<int>(DataType::kInt8Rowwise), 256})
+    ->Args({static_cast<int>(DataType::kInt4Rowwise), 128})
+    ->Args({static_cast<int>(DataType::kFp32), 64});
+
+// ---------------------------------------------------------------------------
+// Row caches.
+// ---------------------------------------------------------------------------
+
+void BM_CpuOptimizedCacheLookup(benchmark::State& state) {
+  CpuOptimizedCacheConfig cfg;
+  cfg.capacity = 64 * kMiB;
+  CpuOptimizedCache cache(cfg);
+  const std::vector<uint8_t> value(72, 1);
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    cache.Insert(RowKey{MakeTableId(0), i}, value);
+  }
+  Rng rng(3);
+  std::vector<uint8_t> out(72);
+  for (auto _ : state) {
+    const RowKey key{MakeTableId(0), rng.NextBounded(100'000)};
+    size_t len = 0;
+    benchmark::DoNotOptimize(cache.Lookup(key, out, &len));
+  }
+}
+BENCHMARK(BM_CpuOptimizedCacheLookup);
+
+void BM_MemoryOptimizedCacheLookup(benchmark::State& state) {
+  MemoryOptimizedCacheConfig cfg;
+  cfg.capacity = 64 * kMiB;
+  cfg.expected_value_bytes = 72;
+  MemoryOptimizedCache cache(cfg);
+  const std::vector<uint8_t> value(72, 1);
+  for (uint64_t i = 0; i < 100'000; ++i) {
+    cache.Insert(RowKey{MakeTableId(0), i}, value);
+  }
+  Rng rng(4);
+  std::vector<uint8_t> out(72);
+  for (auto _ : state) {
+    const RowKey key{MakeTableId(0), rng.NextBounded(100'000)};
+    size_t len = 0;
+    benchmark::DoNotOptimize(cache.Lookup(key, out, &len));
+  }
+}
+BENCHMARK(BM_MemoryOptimizedCacheLookup);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  CpuOptimizedCacheConfig cfg;
+  cfg.capacity = 4 * kMiB;  // small: every insert evicts at steady state
+  CpuOptimizedCache cache(cfg);
+  const std::vector<uint8_t> value(72, 1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    cache.Insert(RowKey{MakeTableId(0), i++}, value);
+  }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+// ---------------------------------------------------------------------------
+// Pooled cache / hashing.
+// ---------------------------------------------------------------------------
+
+void BM_OrderInvariantHash(benchmark::State& state) {
+  const auto len = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<RowIndex> indices(len);
+  for (auto& i : indices) i = rng.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OrderInvariantHash(indices));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_OrderInvariantHash)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PooledCacheLookup(benchmark::State& state) {
+  PooledCacheConfig cfg;
+  cfg.capacity = 16 * kMiB;
+  cfg.len_threshold = 1;
+  PooledEmbeddingCache cache(cfg);
+  Rng rng(6);
+  std::vector<std::vector<RowIndex>> seqs;
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<RowIndex> seq(20);
+    for (auto& s : seq) s = rng.Next();
+    cache.Insert(MakeTableId(0), seq, std::vector<float>(64, 1.0f));
+    seqs.push_back(std::move(seq));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(MakeTableId(0), seqs[i++ % seqs.size()]));
+  }
+}
+BENCHMARK(BM_PooledCacheLookup);
+
+// ---------------------------------------------------------------------------
+// Sampling / simulation infrastructure.
+// ---------------------------------------------------------------------------
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 0.9);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1'000)->Arg(1'000'000);
+
+void BM_FeistelPermute(benchmark::State& state) {
+  IndexPermuter perm(1'000'000, 8);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm.Permute(rng.NextBounded(1'000'000)));
+  }
+}
+BENCHMARK(BM_FeistelPermute);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.ScheduleAt(SimTime(i * 100), [&sink] { ++sink; });
+    }
+    loop.RunUntilIdle();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_MlpForward(benchmark::State& state) {
+  const std::vector<uint32_t> widths = {64, 256, 256, 64};
+  Mlp mlp(widths, LinearLayer::Activation::kRelu, 10);
+  std::vector<float> in(64, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Forward(in));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(mlp.flops()));
+}
+BENCHMARK(BM_MlpForward);
+
+// ---------------------------------------------------------------------------
+// End-to-end simulated lookup (wall-clock cost of the simulator itself).
+// ---------------------------------------------------------------------------
+
+void BM_SimulatedLookup(benchmark::State& state) {
+  EventLoop loop;
+  SdmStoreConfig cfg;
+  cfg.fm_capacity = 8 * kMiB;
+  cfg.sm_specs = {MakeOptaneSsdSpec()};
+  cfg.sm_backing_bytes = {16 * kMiB};
+  SdmStore store(cfg, &loop);
+  const ModelConfig model = MakeTinyUniformModel(16, 2, 1, 2000);
+  auto report = ModelLoader::Load(model, {}, &store);
+  if (!report.ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  LookupEngine engine(&store);
+  Rng rng(11);
+  for (auto _ : state) {
+    LookupRequest req;
+    req.table = MakeTableId(0);
+    req.indices = {rng.NextBounded(2000), rng.NextBounded(2000), rng.NextBounded(2000)};
+    bool done = false;
+    engine.Lookup(std::move(req),
+                  [&done](Status, std::vector<float>, const LookupTrace&) { done = true; });
+    loop.RunUntilIdle();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_SimulatedLookup);
+
+}  // namespace
+}  // namespace sdm

@@ -1,0 +1,131 @@
+// §4.1 design-choice reproduction: mmap vs DIRECT_IO + application cache.
+//
+// Paper: "we observed that mmap would not provide the best use of FM space,
+// and results in higher access latency (by 3x. e.g. reading in and
+// maintaining 4KB into memory for a 128B request). Hence we opted for
+// DIRECT_IO with an application level cache."
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cache/cpu_optimized_cache.h"
+#include "common/event_loop.h"
+#include "common/histogram.h"
+#include "io/direct_reader.h"
+#include "io/mmap_reader.h"
+
+using namespace sdm;
+
+namespace {
+
+struct PathResult {
+  double mean_us;
+  double p99_us;
+  double hit_rate;
+  double fm_per_useful;  // FM bytes moved per useful byte delivered
+};
+
+constexpr Bytes kRowBytes = 128;
+constexpr Bytes kStore = 32 * kMiB;
+constexpr int kReads = 30'000;
+
+PathResult RunMmap(Bytes fm_budget, double alpha) {
+  EventLoop loop;
+  NvmeDevice dev(MakeOptaneSsdSpec(), kStore, &loop, 12);
+  std::vector<uint8_t> init(kStore, 1);
+  (void)dev.Write(0, init);
+  IoEngine engine(&dev, &loop, {});
+  MmapReader mmap(&engine, MmapReaderConfig{fm_budget});
+
+  const uint64_t rows = kStore / kRowBytes;
+  ZipfSampler zipf(rows, alpha);
+  IndexPermuter perm(rows, 13);
+  Rng rng(14);
+  Histogram lat;
+  std::vector<uint8_t> out(kRowBytes);
+  for (int i = 0; i < kReads; ++i) {
+    const Bytes offset = perm.Permute(zipf.Sample(rng)) * kRowBytes;
+    mmap.Read(offset, out, [&](Status s, SimDuration l) {
+      if (s.ok()) lat.Record(l);
+    });
+    loop.RunUntilIdle();
+  }
+  PathResult r;
+  r.mean_us = lat.mean() / 1e3;
+  r.p99_us = static_cast<double>(lat.P99()) / 1e3;
+  const double faults = static_cast<double>(mmap.page_faults());
+  r.hit_rate = 1.0 - faults / kReads;
+  // Every fault pulls a 4KB page into FM for 128B of useful data.
+  r.fm_per_useful = faults * kBlockSize / (static_cast<double>(kReads) * kRowBytes);
+  return r;
+}
+
+PathResult RunDirect(Bytes fm_budget, double alpha, bool sub_block) {
+  EventLoop loop;
+  NvmeDevice dev(MakeOptaneSsdSpec(), kStore, &loop, 12);
+  std::vector<uint8_t> init(kStore, 1);
+  (void)dev.Write(0, init);
+  IoEngine engine(&dev, &loop, {});
+  DirectIoReader reader(&engine, DirectReaderConfig{sub_block, 12e9});
+  CpuOptimizedCacheConfig ccfg;
+  ccfg.capacity = fm_budget;
+  CpuOptimizedCache cache(ccfg);
+
+  const uint64_t rows = kStore / kRowBytes;
+  ZipfSampler zipf(rows, alpha);
+  IndexPermuter perm(rows, 13);
+  Rng rng(14);
+  Histogram lat;
+  uint64_t hits = 0;
+  std::vector<uint8_t> out(kRowBytes);
+  for (int i = 0; i < kReads; ++i) {
+    const RowIndex row = perm.Permute(zipf.Sample(rng));
+    const RowKey key{MakeTableId(0), row};
+    size_t len = 0;
+    if (cache.Lookup(key, out, &len)) {
+      ++hits;
+      lat.Record(ccfg.lookup_cpu);
+      continue;
+    }
+    reader.ReadRow(row * kRowBytes, out, [&](Status s, SimDuration l) {
+      if (s.ok()) {
+        lat.Record(l);
+        cache.Insert(key, out);
+      }
+    });
+    loop.RunUntilIdle();
+  }
+  PathResult r;
+  r.mean_us = lat.mean() / 1e3;
+  r.p99_us = static_cast<double>(lat.P99()) / 1e3;
+  r.hit_rate = static_cast<double>(hits) / kReads;
+  r.fm_per_useful = static_cast<double>(reader.fm_bytes_moved()) /
+                    (static_cast<double>(kReads) * kRowBytes);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::QuietLogs quiet;
+  const double alpha = 0.9;
+  bench::Section("mmap vs DIRECT_IO + row cache (Optane, 128B rows, Zipf 0.9)");
+  bench::Table t({"FM budget MiB", "path", "mean us", "p99 us", "hit %",
+                  "FM bytes/useful byte"});
+  for (const Bytes budget : {1 * kMiB, 4 * kMiB, 8 * kMiB}) {
+    const PathResult m = RunMmap(budget, alpha);
+    const PathResult d = RunDirect(budget, alpha, /*sub_block=*/true);
+    t.Row(AsMiB(budget), "mmap (page cache)", m.mean_us, m.p99_us, m.hit_rate * 100,
+          m.fm_per_useful);
+    t.Row(AsMiB(budget), "DIRECT_IO + row cache", d.mean_us, d.p99_us, d.hit_rate * 100,
+          d.fm_per_useful);
+  }
+  t.Print();
+  const PathResult m1 = RunMmap(4 * kMiB, alpha);
+  const PathResult d1 = RunDirect(4 * kMiB, alpha, true);
+  bench::Note(bench::Fmt("at 4MiB FM: mmap mean latency is %.1fx DIRECT_IO's "
+                         "(paper: ~3x)",
+                         m1.mean_us / d1.mean_us));
+  bench::Note("mechanism: a 4KB page per 128B row wastes ~32x of FM, so the page cache");
+  bench::Note("hit rate collapses versus a row cache with the same budget.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Appendix A.1 reproduction: interrupt-driven vs polling IO completion.
+//
+// Paper: "removing the IRQ overhead and performing polling based IO at the
+// OS side could show better performance for both latency and IOPS/Core. We
+// observe 50% improvement on IOPS/Core when enabling polling."
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/event_loop.h"
+#include "io/io_engine.h"
+
+using namespace sdm;
+
+namespace {
+
+struct ModeResult {
+  double iops_per_core;
+  double mean_us;
+  double p99_us;
+  double cpu_us_per_io;
+};
+
+ModeResult Run(CompletionMode mode, double util) {
+  EventLoop loop;
+  NvmeDevice dev(MakeOptaneSsdSpec(), 8 * kMiB, &loop, 18);
+  std::vector<uint8_t> init(8 * kMiB, 1);
+  (void)dev.Write(0, init);
+  IoEngineConfig cfg;
+  cfg.completion_mode = mode;
+  cfg.queue_depth = 512;
+  IoEngine engine(&dev, &loop, cfg);
+
+  Rng rng(19);
+  const int kIos = 100'000;
+  const double rate = MakeOptaneSsdSpec().max_read_iops * util;
+  SimTime arrival(0);
+  std::vector<uint8_t> buf(512);
+  for (int i = 0; i < kIos; ++i) {
+    arrival += Seconds(rng.NextExponential(1.0 / rate));
+    loop.ScheduleAt(arrival, [&] {
+      const Bytes offset = rng.NextBounded(8 * kMiB / 512 - 1) * 512;
+      engine.SubmitRead(offset, 512, true, buf, [](Status, SimDuration) {});
+    });
+  }
+  loop.RunUntilIdle();
+
+  ModeResult r;
+  r.iops_per_core = engine.IopsPerCore();
+  r.mean_us = engine.latency().mean() / 1e3;
+  r.p99_us = static_cast<double>(engine.latency().P99()) / 1e3;
+  r.cpu_us_per_io = static_cast<double>(engine.cpu_time().nanos()) / kIos / 1e3;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::QuietLogs quiet;
+  bench::Section("A.1 — interrupt vs polling completions (Optane, 512B reads)");
+  bench::Table t({"util", "mode", "IOPS/core", "CPU us/IO", "mean us", "p99 us"});
+  ModeResult irq_hi{};
+  ModeResult poll_hi{};
+  for (const double util : {0.3, 0.8}) {
+    const ModeResult irq = Run(CompletionMode::kInterrupt, util);
+    const ModeResult poll = Run(CompletionMode::kPolling, util);
+    t.Row(util, "interrupt", irq.iops_per_core, irq.cpu_us_per_io, irq.mean_us,
+          irq.p99_us);
+    t.Row(util, "polling", poll.iops_per_core, poll.cpu_us_per_io, poll.mean_us,
+          poll.p99_us);
+    irq_hi = irq;
+    poll_hi = poll;
+  }
+  t.Print();
+  bench::Note(bench::Fmt("IOPS/core improvement from polling: %.0f%% (paper: 50%%)",
+                         100.0 * (poll_hi.iops_per_core / irq_hi.iops_per_core - 1.0)));
+  bench::Note("paper also notes polling was prohibitively complex to deploy under");
+  bench::Note("operator-based execution (no producer-consumer pool across operators);");
+  bench::Note("the engine keeps both modes behind one flag (IoEngineConfig).");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 1 reproduction: SM technology options, plus derived quantities the
+// paper discusses alongside them (update-interval endurance math, relative
+// cost of a deployment-sized device).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "device/device_spec.h"
+#include "device/endurance.h"
+
+using namespace sdm;
+
+int main() {
+  bench::Section("Table 1 — slow-memory (SM) technology options");
+  bench::Table t({"Technology", "IOPS (M)", "Latency (us)", "Endurance (DWPD)",
+                  "Granularity (B)", "Cost vs DRAM", "Sourcing"});
+  for (const DeviceSpec& s : Table1Specs()) {
+    t.Row(ToString(s.technology), s.max_read_iops / 1e6, s.base_read_latency.micros(),
+          s.endurance_dwpd, static_cast<uint64_t>(s.access_granularity),
+          bench::Fmt("1/%.0f", 1.0 / s.cost_per_gb_rel_dram),
+          s.sourcing == Sourcing::kMulti ? "multi" : "single");
+  }
+  t.Print();
+
+  bench::Section("derived: endurance-limited update interval (paper §3 formula)");
+  bench::Table u({"Technology", "device", "model", "min update interval"});
+  const auto cases = {
+      std::pair{MakeNandFlashSpec(), Bytes{143} * kGiB},   // M1 on 2TB Nand
+      std::pair{MakeOptaneSsdSpec(), Bytes{100} * kGiB},   // M2 user side on 400GB Optane
+  };
+  for (const auto& [spec, model_size] : cases) {
+    WearTracker wear(spec.capacity, spec.endurance_dwpd);
+    u.Row(ToString(spec.technology), bench::Fmt("%.0f GB", AsGiB(spec.capacity)),
+          bench::Fmt("%.0f GB", AsGiB(model_size)),
+          bench::Fmt("%.1f min", wear.MinUpdateIntervalMinutes(model_size)));
+  }
+  u.Print();
+  bench::Note("Optane's 100 DWPD admits update intervals in minutes; Nand's 5 DWPD");
+  bench::Note("constrains refresh frequency (paper: endurance translates to update interval).");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Table 3 reproduction: pooled-embedding subsequence profiling.
+//
+// Paper profiles 100M queries for repeating index (sub)sequences:
+//   c=10              : hit 26%, but O(C(avgP,10)) generated subsequences
+//   c=10, top indices : hit 19%, O(100) sequences
+//   c=P (full)        : hit  5%, exactly 1 sequence per request
+// Only c=P is cheap enough to exploit (Algorithm 1). We profile a scaled
+// query stream the same three ways.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "cache/pooled_cache.h"
+#include "dlrm/model_zoo.h"
+#include "trace/trace_gen.h"
+
+using namespace sdm;
+
+namespace {
+
+constexpr int kQueries = 60'000;
+constexpr int kSubseqLen = 10;  // the paper's c=10
+
+uint64_t HashSeq(std::span<const RowIndex> seq) { return OrderInvariantHash(seq); }
+
+}  // namespace
+
+int main() {
+  bench::QuietLogs quiet;
+  ModelConfig model = MakeTinyUniformModel(16, 4, 0, 50'000);
+  // Pooling factors around the paper's user averages so len(indices) > 10.
+  for (auto& t : model.tables) t.avg_pooling_factor = 20;
+
+  WorkloadConfig w;
+  w.num_users = 15'000;  // user repeat probability ~ pooled hit opportunity
+  w.user_zipf_alpha = 0.85;
+  w.user_index_churn = 0.12;
+  w.seed = 33;
+  QueryGenerator gen(model, w);
+
+  // Profile table 0's operator across queries.
+  uint64_t hit_full = 0;
+  uint64_t hit_sub10 = 0;
+  uint64_t hit_sub10_top = 0;
+  uint64_t sub10_generated = 0;
+  uint64_t sub10_top_generated = 0;
+
+  std::unordered_set<uint64_t> full_seen;
+  std::unordered_set<uint64_t> sub10_seen;
+  std::unordered_set<uint64_t> sub10_top_seen;
+
+  // "Top indices": restrict c=10 subsequences to the globally hottest rows
+  // of the generator's own table-0 stream.
+  std::unordered_set<RowIndex> top_rows;
+  for (uint64_t r = 0; r < 400; ++r) top_rows.insert(gen.stream(0).IndexAtRank(r));
+
+  for (int q = 0; q < kQueries; ++q) {
+    const Query query = gen.Next();
+    const auto& idx = query.indices[0];
+
+    // c = P: one key per request.
+    const uint64_t full = HashSeq(idx);
+    if (full_seen.contains(full)) {
+      ++hit_full;
+    } else {
+      full_seen.insert(full);
+    }
+
+    if (idx.size() >= kSubseqLen) {
+      // c = 10: a sliding-window sample of the combinatorial space (the
+      // paper notes enumerating C(P,10) is prohibitive; it also sampled).
+      std::vector<RowIndex> sorted(idx.begin(), idx.end());
+      std::sort(sorted.begin(), sorted.end());
+      bool any_hit = false;
+      for (size_t s = 0; s + kSubseqLen <= sorted.size(); ++s) {
+        const std::span<const RowIndex> window(sorted.data() + s, kSubseqLen);
+        const uint64_t h = HashSeq(window);
+        ++sub10_generated;
+        if (sub10_seen.contains(h)) {
+          any_hit = true;
+        } else {
+          sub10_seen.insert(h);
+        }
+      }
+      if (any_hit) ++hit_sub10;
+
+      // c = 10 over top indices only.
+      std::vector<RowIndex> tops;
+      for (const RowIndex r : sorted) {
+        if (top_rows.contains(r)) tops.push_back(r);
+      }
+      if (tops.size() >= kSubseqLen) {
+        const std::span<const RowIndex> window(tops.data(), kSubseqLen);
+        const uint64_t h = HashSeq(window);
+        ++sub10_top_generated;
+        if (sub10_top_seen.contains(h)) {
+          ++hit_sub10_top;
+        } else {
+          sub10_top_seen.insert(h);
+        }
+      }
+    }
+  }
+
+  bench::Section("Table 3 — pooled-embedding subsequence profiling");
+  bench::Table t({"Scheme", "Hit rate %", "Generated sequences", "paper"});
+  t.Row("c=10 (windowed sample)", 100.0 * hit_sub10 / kQueries,
+        bench::Fmt("%.1f per query", static_cast<double>(sub10_generated) / kQueries),
+        "26% / O(C(avgP,10))");
+  t.Row("c=10, top indices", 100.0 * hit_sub10_top / kQueries,
+        bench::Fmt("%.2f per query", static_cast<double>(sub10_top_generated) / kQueries),
+        "19% / O(100)");
+  t.Row("c=P (full sequence)", 100.0 * hit_full / kQueries, "1 per query", "5% / 1");
+  t.Print();
+  bench::Note("paper shape: shorter subsequences repeat more often but the candidate");
+  bench::Note("space explodes; the full sequence (c=P) repeats a few percent of the time");
+  bench::Note("at O(1) overhead — the only scheme cheap enough to serve (Algorithm 1).");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Table 8 reproduction: M1 on simpler hardware (§5.1).
+//
+// Paper: serving M1 (143GB) from HW-L (2-socket, 256GB DRAM) at 240 QPS
+// versus HW-SS (1-socket, 64GB + 2x2TB Nand) with SDM at 120 QPS. Same
+// latency SLA (p95), steady-state cache hit >96%, sustained IOPS <10K
+// (246K raw), fleet power 1200 -> 960 (20% saving), 159.4TB DRAM saved.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dlrm/model_zoo.h"
+#include "serving/cluster.h"
+
+using namespace sdm;
+
+namespace {
+
+/// M1-mini: the M1 ratios (61/30 tables, pf 42/9, item batch 50) scaled to
+/// bench-friendly table counts and pooling factors.
+ModelConfig M1Mini() {
+  ModelConfig model;
+  model.name = "m1-mini";
+  model.item_batch_size = 10;
+  model.user_batch_size = 1;
+  model.num_mlp_layers = 31;
+  model.avg_mlp_width = 300;
+  Rng rng(0x81);
+  for (int i = 0; i < 12; ++i) {
+    TableConfig t;
+    t.name = bench::Fmt("m1.user.%d", i);
+    t.role = TableRole::kUser;
+    t.dtype = DataType::kInt8Rowwise;
+    t.dim = 120;  // 128B stored rows (paper dims 90-172B)
+    t.num_rows = 30'000;
+    t.avg_pooling_factor = 10;
+    t.zipf_alpha = rng.NextDouble(0.65, 0.9);
+    model.tables.push_back(t);
+  }
+  for (int i = 0; i < 6; ++i) {
+    TableConfig t;
+    t.name = bench::Fmt("m1.item.%d", i);
+    t.role = TableRole::kItem;
+    t.dtype = DataType::kInt8Rowwise;
+    t.dim = 120;
+    t.num_rows = 2'000;
+    t.avg_pooling_factor = 4;
+    t.zipf_alpha = rng.NextDouble(0.9, 1.15);
+    model.tables.push_back(t);
+  }
+  return model;
+}
+
+struct Scenario {
+  double max_qps = 0;
+  HostRunReport steady;
+};
+
+Scenario RunHwL(const ModelConfig& model, SimDuration sla) {
+  HostSimConfig cfg;
+  cfg.host = MakeHwL();
+  cfg.fm_capacity = 64 * kMiB;  // big DRAM: everything direct-mapped
+  // DRAM-only host: pin every table to FM.
+  for (const auto& t : model.tables) cfg.tuning.never_on_sm.insert(t.name);
+  cfg.tuning.enable_row_cache = false;
+  cfg.workload.num_users = 1500;
+  cfg.workload.seed = 8;
+  cfg.seed = 8;
+  HostSimulation sim(cfg);
+  Status s = sim.LoadModel(model);
+  if (!s.ok()) {
+    std::fprintf(stderr, "HW-L load failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+  Scenario out;
+  out.max_qps = sim.FindMaxQps(sla, /*use_p99=*/false, 1500, 50, 500'000);
+  out.steady = sim.Run(out.max_qps * 0.9, 1500);
+  // Eq. 5: QPS(HW) is the min of the latency/BW bound and the compute bound.
+  out.max_qps = std::min(out.max_qps, out.steady.cpu_qps_bound);
+  return out;
+}
+
+Scenario RunHwSS(const ModelConfig& model, SimDuration sla) {
+  HostSimConfig cfg;
+  cfg.host = MakeHwSS();  // 2x Nand
+  cfg.fm_capacity = 28 * kMiB;  // 64GB-equivalent vs 95GB user side (scaled ratio)
+  cfg.sm_backing_per_device = 64 * kMiB;
+  // Production-like steady state: a bounded active-user population whose
+  // sticky sets fit the cache (the paper reaches >96% hit within minutes).
+  cfg.workload.num_users = 1500;
+  cfg.workload.user_index_churn = 0.02;
+  cfg.workload.seed = 8;
+  cfg.seed = 8;
+  HostSimulation sim(cfg);
+  Status s = sim.LoadModel(model);
+  if (!s.ok()) {
+    std::fprintf(stderr, "HW-SS load failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+  sim.Warmup(6000);  // paper: steady state within minutes of a model update
+  Scenario out;
+  out.max_qps = sim.FindMaxQps(sla, /*use_p99=*/false, 1500, 25, 500'000);
+  out.steady = sim.Run(out.max_qps * 0.9, 1500);
+  out.max_qps = std::min(out.max_qps, out.steady.cpu_qps_bound);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::QuietLogs quiet;
+  const ModelConfig model = M1Mini();
+  const SimDuration sla = Millis(10);
+
+  std::printf("model %s: %.1f MiB total, %.1f MiB user side\n", model.name.c_str(),
+              AsMiB(model.TotalBytes()), AsMiB(model.BytesFor(TableRole::kUser)));
+
+  const Scenario hw_l = RunHwL(model, sla);
+  const Scenario hw_ss = RunHwSS(model, sla);
+
+  bench::Section("measured per-host behaviour (p95 SLA = 10ms)");
+  bench::Table m({"host", "max QPS", "p95 ms @ 0.9max", "hit %", "SM IOPS",
+                  "IOPS raw (Eq. 8)"});
+  const double raw_iops_per_q = model.LookupsPerQuery(TableRole::kUser);
+  m.Row("HW-L (DRAM only)", hw_l.max_qps, hw_l.steady.p95.millis(), "-", "-", "-");
+  m.Row("HW-SS + SDM", hw_ss.max_qps, hw_ss.steady.p95.millis(),
+        hw_ss.steady.row_cache_hit_rate * 100, hw_ss.steady.sm_iops,
+        hw_ss.steady.achieved_qps * raw_iops_per_q);
+  m.Print();
+  bench::Note(bench::Fmt(
+      "paper: hit rate > 96%%; raw 246K IOPS reduced to <10K sustained. Measured "
+      "reduction: %.0fx",
+      hw_ss.steady.achieved_qps * raw_iops_per_q / std::max(1.0, hw_ss.steady.sm_iops)));
+
+  bench::Section("Table 8 — fleet power at equal aggregate throughput");
+  // Fleet demand scaled from the paper: 1200 HW-L hosts' worth of traffic.
+  const double total_qps = hw_l.max_qps * 1200;
+  const FleetEstimate e_l =
+      EvaluateFleet({"HW-L", total_qps, hw_l.max_qps, MakeHwL().power, 0, 0});
+  const FleetEstimate e_ss =
+      EvaluateFleet({"HW-SS + SDM", total_qps, hw_ss.max_qps, MakeHwSS().power, 0, 0});
+  bench::Table t({"Scenario", "QPS/host", "Power/host", "Total hosts", "Total power",
+                  "paper"});
+  t.Row("HW-L", hw_l.max_qps, MakeHwL().power, e_l.main_hosts, e_l.total_power,
+        "240 / 1.0 / 1200 / 1200");
+  t.Row("HW-SS + SDM", hw_ss.max_qps, MakeHwSS().power, e_ss.main_hosts, e_ss.total_power,
+        "120 / 0.4 / 2400 / 960");
+  t.Print();
+  bench::Note(bench::Fmt("power saving: %.1f%% (paper: 20%%)",
+                         PowerSaving(e_l, e_ss) * 100));
+
+  // DRAM saved: user-side bytes move from DRAM to Nand across the fleet.
+  const double dram_saved_tb = AsGiB(model.BytesFor(TableRole::kUser)) * 1024.0 /* scale */ *
+                               e_ss.main_hosts / 1024.0;
+  bench::Note(bench::Fmt("DRAM displaced to SM at production scale: ~%.0f TB "
+                         "(paper: 159.4 TB)",
+                         dram_saved_tb));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared helpers for the paper-reproduction benches: aligned table printing
+// and standard scaled host/model setups. Every bench prints the paper's
+// rows/series followed by a "paper vs measured" note where applicable.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "serving/host.h"
+
+namespace sdm::bench {
+
+/// Fixed-width table printer: Row("a", "b", ...) then Print().
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  template <typename... Ts>
+  void Row(Ts&&... cells) {
+    rows_.push_back({ToCell(std::forward<Ts>(cells))...});
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string sep;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c] + 2, '-');
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, widths);
+  }
+
+ private:
+  static std::string ToCell(const char* s) { return s; }
+  static std::string ToCell(std::string s) { return s; }
+  static std::string ToCell(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+  }
+  static std::string ToCell(int v) { return std::to_string(v); }
+  static std::string ToCell(uint64_t v) { return std::to_string(v); }
+
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t c = 0; c < cells.size() && c < widths.size(); ++c) {
+      line += cells[c];
+      line += std::string(widths[c] - cells[c].size() + 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+inline std::string Fmt(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// Quiet logging for benches.
+struct QuietLogs {
+  QuietLogs() { SetLogLevel(LogLevel::kWarn); }
+};
+
+}  // namespace sdm::bench

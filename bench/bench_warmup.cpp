@@ -1,0 +1,91 @@
+// Appendix A.4 reproduction: cold-cache warmup after a model update.
+//
+// Paper: "caches warmup in order of a few minutes. But the perf impact need
+// to be compensated by over-provisioning the capacity. For example if
+// r=10% of hosts are being updated, p=50% perf during warmup, update every
+// t=30 minutes, warmup in w=5 minutes, we need (r*w)/(p*t) = 1.2% more
+// capacity."
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/model_updater.h"
+#include "dlrm/model_zoo.h"
+#include "serving/host.h"
+
+using namespace sdm;
+
+int main() {
+  bench::QuietLogs quiet;
+  const ModelConfig model = MakeTinyUniformModel(32, 4, 1, 20'000);
+  HostSimConfig cfg;
+  cfg.host = MakeHwSS();
+  cfg.fm_capacity = 6 * kMiB;
+  cfg.sm_backing_per_device = 64 * kMiB;
+  cfg.workload.num_users = 3000;
+  cfg.workload.user_index_churn = 0.03;
+  cfg.workload.seed = 23;
+  cfg.seed = 23;
+  HostSimulation sim(cfg);
+  if (Status s = sim.LoadModel(model); !s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Steady state first.
+  sim.Warmup(6000);
+  const HostRunReport steady = sim.Run(200, 1000);
+
+  // Full offline update -> cold caches.
+  ModelUpdater updater(&sim.store());
+  UpdateOptions opts;
+  opts.online = false;
+  if (auto r = updater.Update(opts); !r.ok()) {
+    std::fprintf(stderr, "update failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::Section("A.4 — hit rate & latency recovery after a full (offline) update");
+  bench::Table t({"queries since update", "virtual seconds", "hit %", "p95 ms",
+                  "perf vs steady %"});
+  double recovered_at_queries = -1;
+  double served = 0;
+  for (int chunk = 0; chunk < 12; ++chunk) {
+    const HostRunReport r = sim.Run(200, 500);
+    served += 500;
+    const double perf = steady.p95.nanos() > 0
+                            ? 100.0 * static_cast<double>(steady.p95.nanos()) /
+                                  static_cast<double>(r.p95.nanos())
+                            : 0;
+    t.Row(static_cast<uint64_t>(served), served / 200.0, r.row_cache_hit_rate * 100,
+          r.p95.millis(), perf);
+    if (recovered_at_queries < 0 &&
+        r.row_cache_hit_rate > steady.row_cache_hit_rate - 0.02) {
+      recovered_at_queries = served;
+    }
+  }
+  t.Print();
+  if (recovered_at_queries > 0) {
+    bench::Note(bench::Fmt("hit rate back within 2%% of steady after ~%.0f queries "
+                           "(~%.0f virtual seconds at 200 QPS)",
+                           recovered_at_queries, recovered_at_queries / 200.0));
+  }
+  bench::Note(bench::Fmt("steady state reference: hit %.1f%%, p95 %.2fms",
+                         steady.row_cache_hit_rate * 100, steady.p95.millis()));
+
+  bench::Section("A.4 — capacity over-provisioning roofline (r*w)/(p*t)");
+  bench::Table c({"rolling r", "warmup w (min)", "perf p", "interval t (min)",
+                  "extra capacity %"});
+  struct Case {
+    double r, w, p, t;
+  };
+  for (const Case k : {Case{0.10, 5, 0.50, 30}, Case{0.10, 2, 0.70, 30},
+                       Case{0.20, 5, 0.50, 15}, Case{0.05, 5, 0.80, 60}}) {
+    c.Row(k.r, k.w, k.p, k.t,
+          ModelUpdater::WarmupCapacityOverhead(k.r, k.w, k.p, k.t) * 100);
+  }
+  c.Print();
+  bench::Note("paper's worked example (r=10%, w=5, p=50%, t=30) gives 3.3% by the");
+  bench::Note("formula as printed; the paper's own arithmetic states 1.2% — see");
+  bench::Note("EXPERIMENTS.md for the discrepancy note.");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "cache/block_cache.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace sdm {
+
+BlockCache::BlockCache(BlockCacheConfig config) : config_(config) {}
+
+bool BlockCache::ReadRange(const BlockKey& key, Bytes offset_in_block,
+                           std::span<uint8_t> out) {
+  assert(offset_in_block + out.size() <= kBlockSize);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  Entry& e = it->second;
+  lru_.erase(e.lru_it);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+  std::memcpy(out.data(), e.data.data() + offset_in_block, out.size());
+  ++stats_.hits;
+  return true;
+}
+
+void BlockCache::InsertBlock(const BlockKey& key, std::span<const uint8_t> block) {
+  assert(block.size() == kBlockSize);
+  ++stats_.inserts;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.data.assign(block.begin(), block.end());
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  Entry e;
+  e.data.assign(block.begin(), block.end());
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+  map_.emplace(key, std::move(e));
+  EvictIfNeeded();
+}
+
+bool BlockCache::Contains(const BlockKey& key) const { return map_.contains(key); }
+
+void BlockCache::EvictIfNeeded() {
+  while (memory_used() > config_.capacity && !lru_.empty()) {
+    const BlockKey victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void BlockCache::Clear() {
+  map_.clear();
+  lru_.clear();
+  stats_ = BlockCacheStats{};
+}
+
+}  // namespace sdm

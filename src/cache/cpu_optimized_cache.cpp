@@ -1,0 +1,104 @@
+#include "cache/cpu_optimized_cache.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace sdm {
+
+CpuOptimizedCache::CpuOptimizedCache(CpuOptimizedCacheConfig config) : config_(config) {
+  assert(config_.shards >= 1);
+  shards_.resize(static_cast<size_t>(config_.shards));
+}
+
+CpuOptimizedCache::Shard& CpuOptimizedCache::ShardFor(const RowKey& key) {
+  return shards_[HashRowKey(key) % shards_.size()];
+}
+
+bool CpuOptimizedCache::Lookup(const RowKey& key, std::span<uint8_t> out, size_t* out_len) {
+  Shard& shard = ShardFor(key);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  Entry& e = it->second;
+  // LRU bump: splice to front.
+  shard.lru.erase(e.lru_it);
+  shard.lru.push_front(key);
+  e.lru_it = shard.lru.begin();
+
+  assert(out.size() >= e.value.size());
+  std::memcpy(out.data(), e.value.data(), e.value.size());
+  if (out_len != nullptr) *out_len = e.value.size();
+  ++stats_.hits;
+  return true;
+}
+
+void CpuOptimizedCache::Insert(const RowKey& key, std::span<const uint8_t> value) {
+  Shard& shard = ShardFor(key);
+  ++stats_.inserts;
+
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Overwrite in place (model update path).
+    shard.used -= EntryFootprint(it->second);
+    it->second.value.assign(value.begin(), value.end());
+    shard.used += EntryFootprint(it->second);
+    shard.lru.erase(it->second.lru_it);
+    shard.lru.push_front(key);
+    it->second.lru_it = shard.lru.begin();
+  } else {
+    Entry e;
+    e.key = key;
+    e.value.assign(value.begin(), value.end());
+    shard.lru.push_front(key);
+    e.lru_it = shard.lru.begin();
+    shard.used += EntryFootprint(e);
+    shard.map.emplace(key, std::move(e));
+  }
+  EvictFrom(shard, config_.capacity / shards_.size());
+}
+
+void CpuOptimizedCache::EvictFrom(Shard& shard, Bytes shard_capacity) {
+  while (shard.used > shard_capacity && !shard.lru.empty()) {
+    const RowKey victim = shard.lru.back();
+    auto it = shard.map.find(victim);
+    assert(it != shard.map.end());
+    shard.used -= EntryFootprint(it->second);
+    shard.lru.pop_back();
+    shard.map.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+bool CpuOptimizedCache::Erase(const RowKey& key) {
+  Shard& shard = ShardFor(key);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  shard.used -= EntryFootprint(it->second);
+  shard.lru.erase(it->second.lru_it);
+  shard.map.erase(it);
+  return true;
+}
+
+size_t CpuOptimizedCache::entry_count() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s.map.size();
+  return n;
+}
+
+Bytes CpuOptimizedCache::memory_used() const {
+  Bytes b = 0;
+  for (const auto& s : shards_) b += s.used;
+  return b;
+}
+
+void CpuOptimizedCache::Clear() {
+  for (auto& s : shards_) {
+    s.map.clear();
+    s.lru.clear();
+    s.used = 0;
+  }
+}
+
+}  // namespace sdm

@@ -1,0 +1,72 @@
+// Memory-optimized row cache: set-associative buckets with CLOCK eviction.
+//
+// The "less overhead per key-value pair, but requires search in a bucket"
+// design of paper §4.3 (CacheLib compact-cache style). Entries carry ~16B of
+// metadata; there is no global LRU list — each bucket evicts locally with a
+// second-chance (CLOCK) scan, so lookups pay a linear probe of the bucket.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/row_cache.h"
+
+namespace sdm {
+
+struct MemoryOptimizedCacheConfig {
+  Bytes capacity = 64 * kMiB;
+  /// Expected stored-row size; sizes the bucket array at construction.
+  Bytes expected_value_bytes = 64;
+  /// Target entries per bucket (associativity).
+  int bucket_entries = 8;
+  /// Accounted metadata per entry (key + length + ref bit, packed).
+  Bytes per_entry_overhead = 16;
+  /// Modeled CPU per lookup (hash + bucket scan).
+  SimDuration lookup_cpu = Nanos(250);
+};
+
+class MemoryOptimizedCache final : public RowCache {
+ public:
+  explicit MemoryOptimizedCache(MemoryOptimizedCacheConfig config);
+
+  bool Lookup(const RowKey& key, std::span<uint8_t> out, size_t* out_len) override;
+  void Insert(const RowKey& key, std::span<const uint8_t> value) override;
+  bool Erase(const RowKey& key) override;
+
+  [[nodiscard]] const RowCacheStats& stats() const override { return stats_; }
+  [[nodiscard]] size_t entry_count() const override { return entry_count_; }
+  [[nodiscard]] Bytes memory_used() const override { return used_; }
+  [[nodiscard]] Bytes capacity() const override { return config_.capacity; }
+  [[nodiscard]] SimDuration LookupCpuCost() const override { return config_.lookup_cpu; }
+  void Clear() override;
+
+  [[nodiscard]] size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  struct Entry {
+    RowKey key;
+    std::vector<uint8_t> value;
+    bool referenced = false;  // CLOCK second-chance bit
+  };
+
+  struct Bucket {
+    std::vector<Entry> entries;
+    Bytes used = 0;
+    size_t clock_hand = 0;
+  };
+
+  [[nodiscard]] Bucket& BucketFor(const RowKey& key);
+  void EvictFrom(Bucket& bucket);
+  [[nodiscard]] Bytes EntryFootprint(const Entry& e) const {
+    return e.value.size() + config_.per_entry_overhead;
+  }
+
+  MemoryOptimizedCacheConfig config_;
+  Bytes bucket_budget_ = 0;
+  std::vector<Bucket> buckets_;
+  RowCacheStats stats_;
+  size_t entry_count_ = 0;
+  Bytes used_ = 0;
+};
+
+}  // namespace sdm

@@ -1,0 +1,103 @@
+#include "cache/pooled_cache.h"
+
+#include <cassert>
+
+namespace sdm {
+
+uint64_t OrderInvariantHash(std::span<const RowIndex> indices) {
+  // Commutative (addition) combine of strong per-element mixes. Collisions
+  // between distinct multisets are ~2^-64; permutations collide by design.
+  uint64_t acc = 0x243f6a8885a308d3ULL;  // pi digits; any constant works
+  for (const RowIndex idx : indices) {
+    uint64_t z = idx + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    acc += z;
+  }
+  // Fold in the count so {a} and {a, a} differ even under addition.
+  acc ^= indices.size() * 0xd6e8feb86659fd93ULL;
+  return acc;
+}
+
+PooledEmbeddingCache::PooledEmbeddingCache(PooledCacheConfig config) : config_(config) {}
+
+const std::vector<float>* PooledEmbeddingCache::Lookup(TableId table,
+                                                       std::span<const RowIndex> indices) {
+  if (indices.size() < config_.len_threshold) {
+    ++stats_.uncacheable;
+    return nullptr;
+  }
+  const SeqKey key{table, OrderInvariantHash(indices)};
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Entry& e = it->second;
+  lru_.erase(e.lru_it);
+  lru_.push_front(key);
+  e.lru_it = lru_.begin();
+  ++stats_.hits;
+  stats_.hit_indices += indices.size();
+  return &e.pooled;
+}
+
+void PooledEmbeddingCache::Insert(TableId table, std::span<const RowIndex> indices,
+                                  std::vector<float> pooled) {
+  if (indices.size() < config_.len_threshold) return;
+  const SeqKey key{table, OrderInvariantHash(indices)};
+  ++stats_.inserts;
+
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    used_ -= EntryFootprint(it->second);
+    it->second.pooled = std::move(pooled);
+    it->second.seq_len = indices.size();
+    used_ += EntryFootprint(it->second);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+  } else {
+    Entry e;
+    e.pooled = std::move(pooled);
+    e.seq_len = indices.size();
+    lru_.push_front(key);
+    e.lru_it = lru_.begin();
+    used_ += EntryFootprint(e);
+    map_.emplace(key, std::move(e));
+  }
+  EvictIfNeeded();
+}
+
+void PooledEmbeddingCache::EvictIfNeeded() {
+  while (used_ > config_.capacity && !lru_.empty()) {
+    const SeqKey victim = lru_.back();
+    auto it = map_.find(victim);
+    assert(it != map_.end());
+    used_ -= EntryFootprint(it->second);
+    lru_.pop_back();
+    map_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void PooledEmbeddingCache::InvalidateTable(TableId table) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.table == table) {
+      used_ -= EntryFootprint(it->second);
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PooledEmbeddingCache::Clear() {
+  map_.clear();
+  lru_.clear();
+  used_ = 0;
+}
+
+}  // namespace sdm

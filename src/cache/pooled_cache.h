@@ -1,0 +1,110 @@
+// Pooled-embedding cache (paper §4.4, Algorithm 1).
+//
+// Caches the *output* of an embedding operator — the pooled, dequantized
+// vector — keyed by the full index sequence of the request (c == P in the
+// paper's profiling: only whole-sequence reuse is cheap enough to exploit).
+// A hit skips lookups, IO, dequantization and pooling entirely.
+//
+// The key uses an order-invariant hash so permutations of the same index
+// multiset hit the same entry (pooling by sum is order-invariant).
+// Sequences shorter than LenThreshold are not cached: short sequences are
+// cheap to recompute and would crowd out long ones (Table 4 sweeps this).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sdm {
+
+struct PooledCacheConfig {
+  Bytes capacity = 4 * kMiB;  ///< paper's study uses a 4GB cache at scale
+  /// Minimum number of indices in a request for it to be cacheable.
+  size_t len_threshold = 4;
+};
+
+struct PooledCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;       ///< cacheable requests that missed
+  uint64_t uncacheable = 0;  ///< requests below LenThreshold
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t hit_indices = 0;  ///< total indices saved by hits
+
+  [[nodiscard]] double HitRate() const {
+    const uint64_t total = hits + misses + uncacheable;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+  /// Average request length among hits ("Hit Avg Len" in Table 4).
+  [[nodiscard]] double AvgHitLength() const {
+    return hits == 0 ? 0.0 : static_cast<double>(hit_indices) / static_cast<double>(hits);
+  }
+};
+
+/// Order-invariant 64-bit hash of an index multiset: commutative combine of
+/// per-element mixes plus the count, so {a,b} and {b,a} collide by design
+/// while {a} and {a,a} do not.
+[[nodiscard]] uint64_t OrderInvariantHash(std::span<const RowIndex> indices);
+
+class PooledEmbeddingCache {
+ public:
+  explicit PooledEmbeddingCache(PooledCacheConfig config);
+
+  /// Returns the cached pooled vector for (table, indices), or nullptr.
+  /// The pointer stays valid until the next Insert/Erase.
+  [[nodiscard]] const std::vector<float>* Lookup(TableId table,
+                                                 std::span<const RowIndex> indices);
+
+  /// Caches a pooled output (no-op below LenThreshold).
+  void Insert(TableId table, std::span<const RowIndex> indices,
+              std::vector<float> pooled);
+
+  /// Drops every entry for `table` (model update invalidation).
+  void InvalidateTable(TableId table);
+
+  void Clear();
+
+  [[nodiscard]] const PooledCacheStats& stats() const { return stats_; }
+  [[nodiscard]] size_t entry_count() const { return map_.size(); }
+  [[nodiscard]] Bytes memory_used() const { return used_; }
+  [[nodiscard]] const PooledCacheConfig& config() const { return config_; }
+
+  /// Modeled CPU cost of hashing + probing for one request of `len` indices.
+  [[nodiscard]] SimDuration LookupCpuCost(size_t len) const {
+    return Nanos(60 + 4 * static_cast<int64_t>(len));
+  }
+
+ private:
+  struct SeqKey {
+    TableId table{};
+    uint64_t hash = 0;
+    bool operator==(const SeqKey&) const = default;
+  };
+  struct SeqKeyHash {
+    size_t operator()(const SeqKey& k) const {
+      return k.hash ^ (static_cast<uint64_t>(Raw(k.table)) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct Entry {
+    std::vector<float> pooled;
+    size_t seq_len = 0;
+    std::list<SeqKey>::iterator lru_it;
+  };
+
+  [[nodiscard]] Bytes EntryFootprint(const Entry& e) const {
+    return e.pooled.size() * sizeof(float) + 64;  // value + metadata
+  }
+  void EvictIfNeeded();
+
+  PooledCacheConfig config_;
+  std::unordered_map<SeqKey, Entry, SeqKeyHash> map_;
+  std::list<SeqKey> lru_;  // front = most recent
+  Bytes used_ = 0;
+  PooledCacheStats stats_;
+};
+
+}  // namespace sdm

@@ -1,0 +1,76 @@
+// Row-cache interface (paper §4.3).
+//
+// The SM cache stores raw quantized embedding rows keyed by (table, row).
+// Two concrete designs mirror the paper's CacheLib tuning choice:
+//   - MemoryOptimizedCache: pay CPU (bucket search) to minimize per-entry
+//     metadata — right for the many small-dim tables;
+//   - CpuOptimizedCache: pay memory (exact LRU + hash node per entry) for
+//     O(1) operations — right for large-dim tables.
+// DualRowCache routes between them on embedding size (§4.3 "dual cache").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/types.h"
+
+namespace sdm {
+
+struct RowKey {
+  TableId table{};
+  RowIndex row = 0;
+
+  bool operator==(const RowKey&) const = default;
+};
+
+/// 64-bit mix of a RowKey (splitmix-style finalizer; good avalanche).
+[[nodiscard]] inline uint64_t HashRowKey(const RowKey& key) {
+  uint64_t z = (static_cast<uint64_t>(Raw(key.table)) << 48) ^ key.row;
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct RowCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+
+  [[nodiscard]] double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class RowCache {
+ public:
+  virtual ~RowCache() = default;
+
+  /// Copies the cached value into `out` if present (out must be at least the
+  /// stored size; returns the stored size via out_len). Returns hit/miss.
+  virtual bool Lookup(const RowKey& key, std::span<uint8_t> out, size_t* out_len) = 0;
+
+  /// Inserts/overwrites a value. May evict.
+  virtual void Insert(const RowKey& key, std::span<const uint8_t> value) = 0;
+
+  /// Removes a key if present (model update invalidation). Returns whether
+  /// it was present.
+  virtual bool Erase(const RowKey& key) = 0;
+
+  [[nodiscard]] virtual const RowCacheStats& stats() const = 0;
+  [[nodiscard]] virtual size_t entry_count() const = 0;
+  /// Bytes used including the design's per-entry metadata overhead.
+  [[nodiscard]] virtual Bytes memory_used() const = 0;
+  [[nodiscard]] virtual Bytes capacity() const = 0;
+
+  /// Modeled CPU cost of one lookup (charged by the simulator).
+  [[nodiscard]] virtual SimDuration LookupCpuCost() const = 0;
+
+  virtual void Clear() = 0;
+};
+
+}  // namespace sdm

@@ -1,0 +1,52 @@
+#include "common/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sdm {
+
+void EventLoop::ScheduleAt(SimTime at, Callback fn) {
+  assert(fn);
+  // Clamp to now: scheduling "in the past" runs as-soon-as-possible rather
+  // than corrupting the clock. This happens legitimately when a zero-latency
+  // model rounds down.
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventLoop::ScheduleAfter(SimDuration delay, Callback fn) {
+  assert(delay >= SimDuration(0));
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+uint64_t EventLoop::RunUntilIdle() {
+  uint64_t n = 0;
+  while (RunOne()) ++n;
+  return n;
+}
+
+uint64_t EventLoop::RunUntil(SimTime deadline) {
+  uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    RunOne();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool EventLoop::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (std::function copy is cheap enough
+  // off the per-IO hot path, which batches completions).
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  ++events_run_;
+  ev.fn();
+  return true;
+}
+
+}  // namespace sdm

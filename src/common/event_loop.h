@@ -1,0 +1,76 @@
+// Deterministic discrete-event simulator core.
+//
+// Every latency-bearing component (NVMe device, IO engine, inference engine,
+// cluster) schedules callbacks on one EventLoop. Virtual time only advances
+// when the loop dequeues the next event, so a whole end-to-end serving
+// experiment is exactly reproducible — crucial for the several hundred tests
+// that assert latency distributions.
+//
+// Single-threaded by design: determinism beats parallelism for simulation
+// correctness (real threading lives in thread_pool.h for data-path work).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sdm {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= Now()). Events at equal
+  /// times run in scheduling order (stable FIFO tie-break).
+  void ScheduleAt(SimTime at, Callback fn);
+
+  /// Schedules `fn` to run `delay` from now.
+  void ScheduleAfter(SimDuration delay, Callback fn);
+
+  /// Runs events until the queue is empty. Returns the number of events run.
+  uint64_t RunUntilIdle();
+
+  /// Runs events with time <= deadline; leaves later events queued. Virtual
+  /// time ends at min(deadline, last event time processed... ) — precisely,
+  /// Now() advances to each processed event and finally to `deadline`.
+  uint64_t RunUntil(SimTime deadline);
+
+  /// Runs exactly one event if any is pending. Returns whether one ran.
+  bool RunOne();
+
+  [[nodiscard]] size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] uint64_t events_run() const { return events_run_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;  // FIFO tie-break for equal timestamps
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_{0};
+  uint64_t next_seq_ = 0;
+  uint64_t events_run_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace sdm

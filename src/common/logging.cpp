@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace sdm::log_internal {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_emit_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+LogLevel GlobalLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void SetGlobalLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line, msg.c_str());
+}
+
+}  // namespace sdm::log_internal

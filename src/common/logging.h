@@ -1,0 +1,58 @@
+// Tiny leveled logger.
+//
+// Kept deliberately simple: a single global level, stderr sink, and a
+// streaming macro. Benchmarks set the level to kWarn so hot paths stay quiet.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace sdm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_internal {
+
+/// Process-wide minimum level that will be emitted.
+[[nodiscard]] LogLevel GlobalLevel();
+void SetGlobalLevel(LogLevel level);
+
+/// Emits one formatted record to stderr. Thread-safe (single write call).
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Stream collector whose destructor emits the record.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  [[nodiscard]] std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define SDM_LOG(level)                                                   \
+  if (static_cast<int>(::sdm::LogLevel::level) <                         \
+      static_cast<int>(::sdm::log_internal::GlobalLevel())) {            \
+  } else                                                                 \
+    ::sdm::log_internal::LogMessage(::sdm::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define SDM_LOG_DEBUG SDM_LOG(kDebug)
+#define SDM_LOG_INFO SDM_LOG(kInfo)
+#define SDM_LOG_WARN SDM_LOG(kWarn)
+#define SDM_LOG_ERROR SDM_LOG(kError)
+
+/// Sets the process-wide log level (e.g. in benchmark main()).
+inline void SetLogLevel(LogLevel level) { log_internal::SetGlobalLevel(level); }
+
+}  // namespace sdm

@@ -1,0 +1,123 @@
+// Minimal Status / Result<T> error-handling vocabulary.
+//
+// The library uses value-based error returns on fallible public APIs
+// (Core Guidelines E.27 flavor: no exceptions across module boundaries for
+// expected failures; exceptions remain for programming errors via assert).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sdm {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+};
+
+[[nodiscard]] inline const char* ToString(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A success-or-error outcome with a human-readable message on error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return {}; }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(sdm::ToString(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+[[nodiscard]] inline Status NotFoundError(std::string m) {
+  return {StatusCode::kNotFound, std::move(m)};
+}
+[[nodiscard]] inline Status InvalidArgumentError(std::string m) {
+  return {StatusCode::kInvalidArgument, std::move(m)};
+}
+[[nodiscard]] inline Status OutOfRangeError(std::string m) {
+  return {StatusCode::kOutOfRange, std::move(m)};
+}
+[[nodiscard]] inline Status ResourceExhaustedError(std::string m) {
+  return {StatusCode::kResourceExhausted, std::move(m)};
+}
+[[nodiscard]] inline Status FailedPreconditionError(std::string m) {
+  return {StatusCode::kFailedPrecondition, std::move(m)};
+}
+[[nodiscard]] inline Status UnavailableError(std::string m) {
+  return {StatusCode::kUnavailable, std::move(m)};
+}
+[[nodiscard]] inline Status InternalError(std::string m) {
+  return {StatusCode::kInternal, std::move(m)};
+}
+
+/// Either a value of T or an error Status. Accessing value() on an error is a
+/// programming bug (asserts), mirroring absl::StatusOr semantics.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result built from OK status has no value");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const T& value_or(const T& fallback) const& {
+    return ok() ? std::get<T>(data_) : fallback;
+  }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace sdm

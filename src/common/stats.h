@@ -1,0 +1,71 @@
+// Named counters/gauges registry.
+//
+// Components expose operational counters (IOs issued, cache hits, bytes over
+// the bus, ...) through a StatsRegistry owned by the enclosing system object
+// — no global mutable state (Core Guidelines I.2). Counter handles are
+// stable pointers, so hot paths pay one pointer bump per event.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sdm {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Instantaneous value (e.g. current queue depth).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Owns counters/gauges by name. Lookup is O(log n); intended to be done once
+/// at construction of the component, not per event.
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// The returned pointer remains valid for the registry's lifetime.
+  [[nodiscard]] Counter* GetCounter(const std::string& name);
+
+  [[nodiscard]] Gauge* GetGauge(const std::string& name);
+
+  /// Value of a counter, 0 if never registered (convenient in tests).
+  [[nodiscard]] uint64_t CounterValue(const std::string& name) const;
+
+  [[nodiscard]] double GaugeValue(const std::string& name) const;
+
+  /// Snapshot of all counters, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, uint64_t>> Counters() const;
+
+  void ResetAll();
+
+  /// Multi-line "name = value" dump for reports.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+}  // namespace sdm

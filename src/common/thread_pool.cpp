@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdm {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  assert(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  assert(task);
+  Task t;
+  t.fn = std::move(task);
+  std::future<void> fut = t.done.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    assert(!shutdown_);
+    queue_.push_back(std::move(t));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t num_chunks = std::min(n, workers_.size());
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    futs.push_back(Submit([begin, end, &fn] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+uint64_t ThreadPool::tasks_completed() const {
+  return tasks_completed_.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::WorkerMain() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+    // Count before completing the future so waiters observe the increment.
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+    task.done.set_value();
+  }
+}
+
+}  // namespace sdm

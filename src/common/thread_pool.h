@@ -1,0 +1,55 @@
+// Fixed-size worker pool for real (wall-clock) parallel work.
+//
+// Used by the data-path examples and micro-benchmarks where actual CPU
+// parallelism matters (e.g. parallel dequantization, inter-op execution of
+// embedding operators). The discrete-event simulator never uses this — it is
+// single-threaded for determinism.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdm {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is divided into contiguous ranges, one per worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  [[nodiscard]] size_t size() const { return workers_.size(); }
+
+  /// Tasks executed since construction (approximate across threads).
+  [[nodiscard]] uint64_t tasks_completed() const;
+
+ private:
+  void WorkerMain();
+
+  struct Task {
+    std::function<void()> fn;
+    std::promise<void> done;
+  };
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool shutdown_ = false;
+  std::atomic<uint64_t> tasks_completed_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sdm

@@ -1,0 +1,161 @@
+// Fundamental value types and units shared by every sdm module.
+//
+// Following C++ Core Guidelines I.4 / ES.8, quantities that are easy to
+// confuse (bytes vs rows, virtual nanoseconds vs wall time, table ids vs row
+// ids) get distinct types so the compiler catches unit mistakes.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sdm {
+
+// ---------------------------------------------------------------------------
+// Virtual time.
+//
+// All simulation latencies are expressed in virtual nanoseconds. SimTime is
+// an absolute point on the simulated clock; SimDuration is a difference.
+// Both are thin wrappers over int64_t (about 292 years of range).
+// ---------------------------------------------------------------------------
+
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr int64_t nanos() const { return ns_; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration(ns_ + o.ns_); }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimDuration& operator+=(SimDuration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimDuration operator*(double k) const {
+    return SimDuration(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr SimDuration operator/(int64_t k) const { return SimDuration(ns_ / k); }
+  [[nodiscard]] constexpr double ratio(SimDuration o) const {
+    return o.ns_ == 0 ? 0.0 : static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+
+ private:
+  int64_t ns_ = 0;
+};
+
+[[nodiscard]] constexpr SimDuration Nanos(int64_t n) { return SimDuration(n); }
+[[nodiscard]] constexpr SimDuration Micros(double us) {
+  return SimDuration(static_cast<int64_t>(us * 1e3));
+}
+[[nodiscard]] constexpr SimDuration Millis(double ms) {
+  return SimDuration(static_cast<int64_t>(ms * 1e6));
+}
+[[nodiscard]] constexpr SimDuration Seconds(double s) {
+  return SimDuration(static_cast<int64_t>(s * 1e9));
+}
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr int64_t nanos() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] static constexpr SimTime Max() {
+    return SimTime(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const { return SimTime(ns_ + d.nanos()); }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(SimDuration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+
+ private:
+  int64_t ns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Identifiers.
+// ---------------------------------------------------------------------------
+
+/// Index of an embedding table within a model.
+enum class TableId : uint32_t {};
+[[nodiscard]] constexpr uint32_t Raw(TableId id) { return static_cast<uint32_t>(id); }
+[[nodiscard]] constexpr TableId MakeTableId(uint32_t v) { return static_cast<TableId>(v); }
+
+/// Row index within one embedding table (post-hash categorical value).
+using RowIndex = uint64_t;
+
+/// Identifier of a simulated host in a fleet.
+enum class HostId : uint32_t {};
+[[nodiscard]] constexpr uint32_t Raw(HostId id) { return static_cast<uint32_t>(id); }
+
+/// Identifier of a user (drives sticky routing and user-table locality).
+using UserId = uint64_t;
+
+// ---------------------------------------------------------------------------
+// Sizes.
+// ---------------------------------------------------------------------------
+
+/// A byte count. Plain alias (arithmetic-heavy), but named for readability.
+using Bytes = uint64_t;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+/// NVMe logical block size used throughout (paper assumes 4KB blocks).
+constexpr Bytes kBlockSize = 4 * kKiB;
+
+/// Smallest read granularity enabled by the SGL bit-bucket path (a DWORD).
+constexpr Bytes kDwordBytes = 4;
+
+[[nodiscard]] constexpr double AsGiB(Bytes b) { return static_cast<double>(b) / static_cast<double>(kGiB); }
+[[nodiscard]] constexpr double AsMiB(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+
+/// Number of whole blocks needed to hold `b` bytes.
+[[nodiscard]] constexpr uint64_t BlocksFor(Bytes b) { return (b + kBlockSize - 1) / kBlockSize; }
+
+// ---------------------------------------------------------------------------
+// Memory tier names (paper §3: FM = fast memory, SM = slow memory).
+// ---------------------------------------------------------------------------
+
+enum class MemoryTier : uint8_t {
+  kFm,  ///< Fast memory (DRAM / HBM equivalent).
+  kSm,  ///< Slow memory (SCM: Nand, Optane, ...).
+};
+
+[[nodiscard]] inline const char* ToString(MemoryTier t) {
+  return t == MemoryTier::kFm ? "FM" : "SM";
+}
+
+// ---------------------------------------------------------------------------
+// Embedding-table roles (paper §2.1: user vs item embeddings).
+// ---------------------------------------------------------------------------
+
+enum class TableRole : uint8_t {
+  kUser,  ///< User-side categorical feature; batch size 1 per query.
+  kItem,  ///< Item-side categorical feature; batch size O(100) per query.
+};
+
+[[nodiscard]] inline const char* ToString(TableRole r) {
+  return r == TableRole::kUser ? "user" : "item";
+}
+
+}  // namespace sdm

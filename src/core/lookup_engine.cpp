@@ -1,0 +1,299 @@
+#include "core/lookup_engine.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace sdm {
+
+namespace {
+
+/// CPU cost of translating one index through the mapping tensor.
+constexpr SimDuration kMapCostPerIndex = Nanos(4);
+
+}  // namespace
+
+struct LookupEngine::RequestState {
+  LookupRequest request;
+  LookupCallback cb;
+  SimTime start;
+
+  // Rows resolved in the mapped (physical) space; kept per requested index
+  // so pooling skips pruned slots.
+  struct Slot {
+    RowIndex physical_row = 0;
+    bool pruned = false;
+    bool needs_io = false;
+  };
+  std::vector<Slot> slots;
+  std::vector<uint8_t> row_bytes;  // slots.size() * row_bytes contiguous
+  Bytes stored_row_bytes = 0;
+
+  SimDuration cpu_pre;   // before/at IO issue
+  SimDuration cpu_post;  // after last IO
+  int outstanding_ios = 0;
+  bool io_phase_started = false;
+  Status first_error;
+  LookupTrace trace;
+};
+
+LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()) {
+  assert(store->loading_finished() && "SdmStore must be sealed before lookups");
+  lookups_ = stats_.GetCounter("lookups");
+  pooled_hits_ = stats_.GetCounter("pooled_hits");
+  rows_cache_hit_ = stats_.GetCounter("rows_cache_hit");
+  rows_block_hit_ = stats_.GetCounter("rows_block_hit");
+  rows_sm_read_ = stats_.GetCounter("rows_sm_read");
+  rows_fm_read_ = stats_.GetCounter("rows_fm_read");
+  rows_pruned_ = stats_.GetCounter("rows_pruned");
+  cpu_ns_ = stats_.GetCounter("cpu_ns");
+  io_errors_ = stats_.GetCounter("io_errors");
+}
+
+void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
+  lookups_->Add(1);
+  auto st = std::make_shared<RequestState>();
+  st->request = std::move(request);
+  st->cb = std::move(cb);
+  st->start = loop_->Now();
+  st->trace.rows_requested = static_cast<uint32_t>(st->request.indices.size());
+
+  const TableRuntime& table = store_->table(st->request.table);
+  st->stored_row_bytes = table.config.row_bytes();
+
+  // ---- Pooled-embedding cache probe (Algorithm 1 head) ----
+  PooledEmbeddingCache* pooled = store_->pooled_cache();
+  if (pooled != nullptr) {
+    st->cpu_pre += pooled->LookupCpuCost(st->request.indices.size());
+    const std::vector<float>* hit = pooled->Lookup(st->request.table, st->request.indices);
+    if (hit != nullptr) {
+      pooled_hits_->Add(1);
+      st->trace.pooled_cache_hit = true;
+      std::vector<float> out = *hit;  // copy: entry may be evicted later
+      cpu_ns_->Add(static_cast<uint64_t>(st->cpu_pre.nanos()));
+      st->trace.cpu_time = st->cpu_pre;
+      loop_->ScheduleAfter(st->cpu_pre, [this, st, out = std::move(out)]() mutable {
+        st->trace.latency = loop_->Now() - st->start;
+        latency_.Record(st->trace.latency);
+        st->cb(Status::Ok(), std::move(out), st->trace);
+      });
+      return;
+    }
+  }
+
+  // ---- Index mapping (pruned tables served with an FM mapping tensor) ----
+  st->slots.resize(st->request.indices.size());
+  for (size_t i = 0; i < st->request.indices.size(); ++i) {
+    const RowIndex idx = st->request.indices[i];
+    auto& slot = st->slots[i];
+    if (table.mapping.has_value()) {
+      st->cpu_pre += kMapCostPerIndex;
+      const auto mapped = table.mapping->Lookup(idx);
+      if (!mapped.has_value()) {
+        slot.pruned = true;
+        rows_pruned_->Add(1);
+        ++st->trace.rows_pruned_skipped;
+        continue;
+      }
+      slot.physical_row = *mapped;
+    } else {
+      if (idx >= table.config.num_rows) {
+        // Out-of-domain index: treat as missing row (contributes zero),
+        // matching EmbeddingBag-with-pruning semantics rather than failing
+        // the whole query.
+        slot.pruned = true;
+        rows_pruned_->Add(1);
+        ++st->trace.rows_pruned_skipped;
+        continue;
+      }
+      slot.physical_row = idx;
+    }
+  }
+
+  st->row_bytes.assign(st->slots.size() * st->stored_row_bytes, 0);
+
+  // ---- Row resolution: FM direct / row cache / SM IO ----
+  DualRowCache* cache = store_->row_cache();
+  for (size_t i = 0; i < st->slots.size(); ++i) {
+    auto& slot = st->slots[i];
+    if (slot.pruned) continue;
+    std::span<uint8_t> dest(st->row_bytes.data() + i * st->stored_row_bytes,
+                            st->stored_row_bytes);
+
+    if (table.tier == MemoryTier::kFm) {
+      const Bytes off = table.offset + slot.physical_row * st->stored_row_bytes;
+      auto read = store_->fm().Read(off, dest);
+      assert(read.ok());
+      st->cpu_pre += read.value();
+      rows_fm_read_->Add(1);
+      ++st->trace.rows_from_fm_direct;
+      continue;
+    }
+
+    // SM tier: probe the cache first when this table uses it.
+    if (cache != nullptr && table.cache_enabled) {
+      st->cpu_pre += cache->RouteCpuCost(st->request.table);
+      size_t len = 0;
+      if (cache->Lookup(RowKey{st->request.table, slot.physical_row}, dest, &len)) {
+        assert(len == st->stored_row_bytes);
+        rows_cache_hit_->Add(1);
+        ++st->trace.rows_from_cache;
+        continue;
+      }
+      // Second level (multi-level ablation): a block hit avoids device IO
+      // but pays a probe + copy, and fills the row cache.
+      BlockCache* blocks = store_->block_cache();
+      if (blocks != nullptr) {
+        const Bytes off = table.offset + slot.physical_row * st->stored_row_bytes;
+        const BlockCache::BlockKey bkey{static_cast<uint32_t>(table.sm_device),
+                                        off / kBlockSize};
+        st->cpu_pre += blocks->LookupCpuCost();
+        // Only serve fully-contained rows from one block; spanning rows go
+        // to IO (rare for the dword-aligned layouts used here).
+        if (off / kBlockSize == (off + st->stored_row_bytes - 1) / kBlockSize &&
+            blocks->ReadRange(bkey, off % kBlockSize, dest)) {
+          rows_block_hit_->Add(1);
+          ++st->trace.rows_from_block_cache;
+          cache->Insert(RowKey{st->request.table, slot.physical_row}, dest);
+          st->cpu_pre += cache->RouteCpuCost(st->request.table);
+          continue;
+        }
+      }
+    }
+    slot.needs_io = true;
+    ++st->outstanding_ios;
+  }
+
+  // ---- IO phase (or straight to pooling) ----
+  if (st->outstanding_ios == 0) {
+    FinishRequest(st);
+    return;
+  }
+  // The CPU pre-phase runs before submissions hit the device.
+  loop_->ScheduleAfter(st->cpu_pre, [this, st] { StartIoPhase(st); });
+}
+
+void LookupEngine::StartIoPhase(std::shared_ptr<RequestState> st) {
+  st->io_phase_started = true;
+  const TableRuntime& table = store_->table(st->request.table);
+  DirectIoReader& reader = store_->reader(table.sm_device);
+  TableThrottle& throttle = store_->throttle();
+  const bool block_mode = store_->block_cache() != nullptr && table.cache_enabled;
+
+  for (size_t i = 0; i < st->slots.size(); ++i) {
+    auto& slot = st->slots[i];
+    if (!slot.needs_io) continue;
+    const Bytes off = table.offset + slot.physical_row * st->stored_row_bytes;
+    std::span<uint8_t> dest(st->row_bytes.data() + i * st->stored_row_bytes,
+                            st->stored_row_bytes);
+    const RowIndex physical = slot.physical_row;
+
+    // Shared completion: cache fills + join bookkeeping.
+    auto on_row_done = [this, st, dest, physical, &throttle](Status status) {
+      throttle.Release(st->request.table);
+      rows_sm_read_->Add(1);
+      ++st->trace.rows_from_sm;
+      if (!status.ok()) {
+        io_errors_->Add(1);
+        if (st->first_error.ok()) st->first_error = status;
+      } else {
+        // Read-through insert (§4.3): with sub-block reads the row goes
+        // straight into cache storage.
+        DualRowCache* cache = store_->row_cache();
+        const TableRuntime& t = store_->table(st->request.table);
+        if (cache != nullptr && t.cache_enabled) {
+          cache->Insert(RowKey{st->request.table, physical}, dest);
+          st->cpu_post += cache->RouteCpuCost(st->request.table);
+        }
+      }
+      if (--st->outstanding_ios == 0) FinishRequest(st);
+    };
+
+    if (block_mode && off / kBlockSize == (off + st->stored_row_bytes - 1) / kBlockSize) {
+      // Multi-level path: fetch the whole 4KB block, fill the block cache,
+      // then extract the row.
+      const Bytes block_start = off / kBlockSize * kBlockSize;
+      const auto device = static_cast<uint32_t>(table.sm_device);
+      IoEngine& engine = store_->io_engine(table.sm_device);
+      throttle.Acquire(st->request.table, [this, st, off, dest, block_start, device,
+                                           &engine, on_row_done] {
+        auto block_buf = std::make_shared<std::vector<uint8_t>>(kBlockSize);
+        const std::span<uint8_t> block_span(block_buf->data(), block_buf->size());
+        engine.SubmitRead(
+            block_start, kBlockSize, /*sub_block=*/false, block_span,
+            [this, st, off, dest, block_start, device, block_buf, on_row_done](
+                Status status, SimDuration /*lat*/) mutable {
+              if (status.ok()) {
+                store_->block_cache()->InsertBlock(
+                    BlockCache::BlockKey{device, block_start / kBlockSize}, *block_buf);
+                std::memcpy(dest.data(), block_buf->data() + (off - block_start),
+                            dest.size());
+                st->cpu_post += Nanos(static_cast<int64_t>(kBlockSize / 12));  // memcpy
+              }
+              on_row_done(std::move(status));
+            });
+      });
+      continue;
+    }
+
+    throttle.Acquire(st->request.table, [off, dest, &reader, on_row_done] {
+      reader.ReadRow(off, dest, [on_row_done](Status status, SimDuration /*lat*/) {
+        on_row_done(std::move(status));
+      });
+    });
+  }
+}
+
+void LookupEngine::FinishRequest(const std::shared_ptr<RequestState>& st) {
+  if (!st->first_error.ok()) {
+    cpu_ns_->Add(static_cast<uint64_t>((st->cpu_pre + st->cpu_post).nanos()));
+    st->trace.cpu_time = st->cpu_pre + st->cpu_post;
+    st->cb(st->first_error, {}, st->trace);
+    return;
+  }
+
+  const TableRuntime& table = store_->table(st->request.table);
+  const uint32_t dim = table.config.dim;
+
+  // Fused dequant+pool over resolved slots.
+  std::vector<float> out(dim, 0.0f);
+  uint32_t pooled_rows = 0;
+  for (size_t i = 0; i < st->slots.size(); ++i) {
+    if (st->slots[i].pruned) continue;
+    const std::span<const uint8_t> row(st->row_bytes.data() + i * st->stored_row_bytes,
+                                       st->stored_row_bytes);
+    DequantizeAccumulate(table.config.dtype, row, out);
+    ++pooled_rows;
+  }
+  if (st->request.mode == PoolingMode::kMean && !st->request.indices.empty()) {
+    const float inv = 1.0f / static_cast<float>(st->request.indices.size());
+    for (auto& v : out) v *= inv;
+  }
+  // fp32 rows skip the dequant math and pool at plain-add throughput (this
+  // is what de-quantization at load buys, A.5).
+  const Bytes pooled_bytes = static_cast<Bytes>(pooled_rows) * st->stored_row_bytes;
+  st->cpu_post += table.config.dtype == DataType::kFp32
+                      ? cost_.DensePoolCost(pooled_bytes)
+                      : cost_.DequantPoolCost(pooled_bytes);
+
+  // Pooled-cache fill (Algorithm 1 tail).
+  PooledEmbeddingCache* pooled = store_->pooled_cache();
+  if (pooled != nullptr && !st->trace.pooled_cache_hit) {
+    pooled->Insert(st->request.table, st->request.indices, out);
+    st->cpu_post += cost_.DensePoolCost(static_cast<Bytes>(out.size()) * sizeof(float));
+  }
+
+  const SimDuration total_cpu = st->cpu_pre + st->cpu_post;
+  cpu_ns_->Add(static_cast<uint64_t>(total_cpu.nanos()));
+  st->trace.cpu_time = total_cpu;
+
+  // If no IO happened the pre-phase CPU hasn't been charged to the clock
+  // yet; either way the post-phase runs now.
+  const SimDuration tail = st->io_phase_started ? st->cpu_post : total_cpu;
+  loop_->ScheduleAfter(tail, [this, st, out = std::move(out)]() mutable {
+    st->trace.latency = loop_->Now() - st->start;
+    latency_.Record(st->trace.latency);
+    st->cb(Status::Ok(), std::move(out), st->trace);
+  });
+}
+
+}  // namespace sdm

@@ -1,0 +1,94 @@
+// LookupEngine — pooled embedding lookup over the SDM (paper Algorithm 1).
+//
+// One Lookup() call is one embedding-bag operator execution:
+//
+//   if len(indices) > LenThreshold and pooled cache hits -> done
+//   map indices through the pruning mapping tensor (if present)
+//   for each index: row cache probe; misses become throttled async SM IOs
+//   when every row is in FM: fused dequantize+pool; insert rows and the
+//   pooled output into their caches
+//
+// Timing: CPU phases run in virtual time before (probe/hash/map) and after
+// (dequant/pool/insert) the IO phase; IOs from one request proceed
+// concurrently, so request latency = cpu_pre + max(io latencies) + cpu_post
+// — matching how an async operator with io_uring behaves.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/sdm_store.h"
+#include "embedding/pooling.h"
+
+namespace sdm {
+
+struct LookupRequest {
+  TableId table{};
+  std::vector<RowIndex> indices;  ///< in the unpruned index domain
+  PoolingMode mode = PoolingMode::kSum;
+};
+
+/// Per-request execution trace (for tests, tuning, and the benches).
+struct LookupTrace {
+  bool pooled_cache_hit = false;
+  uint32_t rows_requested = 0;
+  uint32_t rows_pruned_skipped = 0;  ///< mapped to kPrunedRow
+  uint32_t rows_from_fm_direct = 0;
+  uint32_t rows_from_cache = 0;
+  uint32_t rows_from_block_cache = 0;  ///< multi-level ablation path
+  uint32_t rows_from_sm = 0;
+  SimDuration cpu_time;
+  SimDuration latency;
+};
+
+using LookupCallback =
+    std::function<void(Status, std::vector<float> pooled, const LookupTrace& trace)>;
+
+class LookupEngine {
+ public:
+  explicit LookupEngine(SdmStore* store);
+
+  LookupEngine(const LookupEngine&) = delete;
+  LookupEngine& operator=(const LookupEngine&) = delete;
+
+  /// Executes one embedding-bag lookup; the callback fires on the event
+  /// loop when the pooled vector is ready.
+  void Lookup(LookupRequest request, LookupCallback cb);
+
+  // ---- Aggregate observability ----
+
+  [[nodiscard]] const Histogram& latency() const { return latency_; }
+  [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
+
+  /// Total modeled CPU ns across all requests (operator-side work only;
+  /// IO-engine CPU is tracked by the engines).
+  [[nodiscard]] SimDuration cpu_time() const { return SimDuration(cpu_ns_->value()); }
+
+  /// Cost model used for CPU-phase charging (exposed for calibration).
+  [[nodiscard]] PoolingCostModel& cost_model() { return cost_; }
+
+ private:
+  struct RequestState;
+
+  void StartIoPhase(std::shared_ptr<RequestState> st);
+  void FinishRequest(const std::shared_ptr<RequestState>& st);
+
+  SdmStore* store_;
+  EventLoop* loop_;
+  PoolingCostModel cost_;
+  Histogram latency_;
+  StatsRegistry stats_;
+  Counter* lookups_ = nullptr;
+  Counter* pooled_hits_ = nullptr;
+  Counter* rows_cache_hit_ = nullptr;
+  Counter* rows_block_hit_ = nullptr;
+  Counter* rows_sm_read_ = nullptr;
+  Counter* rows_fm_read_ = nullptr;
+  Counter* rows_pruned_ = nullptr;
+  Counter* cpu_ns_ = nullptr;
+  Counter* io_errors_ = nullptr;
+};
+
+}  // namespace sdm

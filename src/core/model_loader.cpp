@@ -1,0 +1,95 @@
+#include "core/model_loader.h"
+
+#include "common/logging.h"
+#include "embedding/pruning.h"
+
+namespace sdm {
+
+namespace {
+
+/// Expands a quantized image to fp32 storage (A.5 de-quantization at load).
+EmbeddingTableImage DequantizedImage(const EmbeddingTableImage& image) {
+  TableConfig cfg = image.config();
+  cfg.dtype = DataType::kFp32;
+  EmbeddingTableImage out(cfg);
+  std::vector<float> row(cfg.dim);
+  for (RowIndex r = 0; r < image.num_rows(); ++r) {
+    DequantizeRow(image.config().dtype, image.Row(r), row);
+    const Status s = out.SetRow(r, row);
+    assert(s.ok());
+    (void)s;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<LoadReport> ModelLoader::Load(const ModelConfig& model, const LoaderOptions& options,
+                                     SdmStore* store) {
+  if (store->loading_finished()) {
+    return FailedPreconditionError("store already sealed");
+  }
+  auto plan_result = ComputePlacement(model, store->tuning());
+  if (!plan_result.ok()) return plan_result.status();
+
+  LoadReport report;
+  report.plan = std::move(plan_result).value();
+  const TuningConfig& tuning = store->tuning();
+
+  for (size_t i = 0; i < model.tables.size(); ++i) {
+    const TableConfig& cfg = model.tables[i];
+    const TablePlacement& placement = report.plan.tables[i];
+    const uint64_t table_seed = options.seed ^ (0xabcdef12345678ULL * (i + 1));
+
+    EmbeddingTableImage image = EmbeddingTableImage::GenerateRandom(cfg, table_seed);
+    std::optional<MappingTensor> mapping;
+    const uint64_t index_domain = cfg.num_rows;
+
+    // -- Pruning --------------------------------------------------------
+    const bool prune =
+        (options.prune_keep_fraction < 1.0 || options.prune_keep_predicate) &&
+        (!options.prune_user_tables_only || cfg.role == TableRole::kUser);
+    if (prune) {
+      PrunedTable pruned =
+          options.prune_keep_predicate
+              ? PruneTableWithPredicate(image,
+                                        [&options, i](RowIndex row) {
+                                          return options.prune_keep_predicate(i, row);
+                                        })
+              : PruneTable(image, options.prune_keep_fraction, table_seed + 1);
+      ++report.tables_pruned;
+      if (tuning.deprune_at_load && placement.tier == MemoryTier::kSm) {
+        // Algorithm 2: dense table, no mapping tensor.
+        image = DeprunedTable(pruned);
+        ++report.tables_depruned;
+      } else {
+        image = std::move(pruned.rows);
+        mapping = std::move(pruned.mapping);
+      }
+    }
+
+    // -- De-quantization at load (SM tables only; A.5) --------------------
+    if (tuning.dequantize_at_load && placement.tier == MemoryTier::kSm &&
+        image.config().dtype != DataType::kFp32) {
+      image = DequantizedImage(image);
+      ++report.tables_dequantized;
+    }
+
+    auto loaded = store->LoadTable(image, placement, std::move(mapping), index_domain);
+    if (!loaded.ok()) return loaded.status();
+    ++report.tables_loaded;
+  }
+
+  if (Status s = store->FinishLoading(); !s.ok()) return s;
+
+  report.fm_direct_bytes = store->fm_direct_bytes();
+  report.fm_mapping_bytes = store->fm_mapping_bytes();
+  report.sm_bytes = store->sm_used_bytes();
+  report.sm_write_time = store->load_write_time();
+  SDM_LOG_INFO << "Loaded " << report.tables_loaded << " tables (" << report.tables_pruned
+               << " pruned, " << report.tables_depruned << " de-pruned, "
+               << report.tables_dequantized << " de-quantized)";
+  return report;
+}
+
+}  // namespace sdm

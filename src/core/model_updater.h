@@ -1,0 +1,57 @@
+// ModelUpdater — model refresh over the SDM (paper Appendix A.3/A.4).
+//
+// Supports full and incremental updates of SM/FM-resident tables:
+//   - incremental updates rewrite only a fraction of rows, shrinking both
+//     write time and endurance consumption;
+//   - online updates keep serving: refreshed rows are written through the
+//     row cache (dirty rows reach SM immediately in this model) and stale
+//     cache entries are invalidated;
+//   - full updates clear the caches, triggering the cold-cache warmup whose
+//     cost A.4's capacity roofline quantifies.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/sdm_store.h"
+
+namespace sdm {
+
+struct UpdateOptions {
+  /// Fraction of each table's rows refreshed (1.0 = full update).
+  double row_fraction = 1.0;
+  /// Online: write-through the caches and invalidate stale entries.
+  /// Offline: drop the caches entirely (host out of rotation), so serving
+  /// resumes cold.
+  bool online = true;
+  uint64_t seed = 99;
+};
+
+struct UpdateReport {
+  uint64_t rows_updated = 0;
+  Bytes bytes_written = 0;
+  SimDuration write_time;       ///< device-limited transfer time
+  double sm_drive_writes = 0;   ///< cumulative full-drive writes after update
+};
+
+class ModelUpdater {
+ public:
+  explicit ModelUpdater(SdmStore* store) : store_(store) {}
+
+  /// Refreshes every loaded table per `options`. New row values are
+  /// deterministic in (options.seed, table, row).
+  [[nodiscard]] Result<UpdateReport> Update(const UpdateOptions& options);
+
+  /// A.4 warmup roofline: extra capacity needed to absorb cold-cache hosts,
+  /// (r * w) / (p * t) for rolling-update fraction r, warmup minutes w,
+  /// warmup relative performance p, update interval minutes t.
+  [[nodiscard]] static double WarmupCapacityOverhead(double rolling_fraction,
+                                                     double warmup_minutes,
+                                                     double warmup_relative_perf,
+                                                     double update_interval_minutes);
+
+ private:
+  SdmStore* store_;
+};
+
+}  // namespace sdm

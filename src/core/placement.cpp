@@ -1,0 +1,115 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace sdm {
+
+namespace {
+
+/// Whether the policy may put this table on SM at all.
+bool SmCandidate(const TableConfig& t, const TuningConfig& tuning) {
+  if (tuning.never_on_sm.contains(t.name)) return false;
+  if (tuning.user_tables_only_on_sm && t.role != TableRole::kUser) return false;
+  return true;
+}
+
+}  // namespace
+
+Result<PlacementPlan> ComputePlacement(const ModelConfig& model, const TuningConfig& tuning) {
+  if (Status s = tuning.Validate(); !s.ok()) return s;
+
+  PlacementPlan plan;
+  plan.tables.resize(model.tables.size());
+
+  // Pass 1: mandatory FM tables (item tables / pinned) and SM candidates.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < model.tables.size(); ++i) {
+    const TableConfig& t = model.tables[i];
+    TablePlacement& p = plan.tables[i];
+    p.table = MakeTableId(static_cast<uint32_t>(i));
+    p.bw_density = t.total_bytes() == 0
+                       ? 0
+                       : t.bytes_per_query() / static_cast<double>(t.total_bytes());
+    if (!SmCandidate(t, tuning)) {
+      p.tier = MemoryTier::kFm;
+      p.cache_enabled = false;
+      p.reason = tuning.never_on_sm.contains(t.name) ? "pinned to FM" : "item table on FM";
+      plan.fm_direct_bytes += t.total_bytes();
+      continue;
+    }
+    p.tier = MemoryTier::kSm;
+    p.cache_enabled = true;
+    p.reason = "SM candidate";
+    candidates.push_back(i);
+  }
+
+  // Pass 2: policy-specific refinement.
+  switch (tuning.placement) {
+    case PlacementPolicy::kSmOnlyWithCache:
+      break;
+
+    case PlacementPolicy::kFixedFmSmWithCache: {
+      // Highest BW-density tables are the best use of scarce FM bytes:
+      // they demand many bytes/query but occupy little capacity.
+      std::sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+        return plan.tables[a].bw_density > plan.tables[b].bw_density;
+      });
+      Bytes budget = tuning.placement_dram_budget;
+      for (const size_t i : candidates) {
+        const Bytes size = model.tables[i].total_bytes();
+        if (size <= budget) {
+          budget -= size;
+          plan.tables[i].tier = MemoryTier::kFm;
+          plan.tables[i].cache_enabled = false;
+          plan.tables[i].reason = "direct-mapped to FM (high BW density)";
+          plan.fm_direct_bytes += size;
+        }
+      }
+      break;
+    }
+
+    case PlacementPolicy::kPerTableCacheEnablement: {
+      for (const size_t i : candidates) {
+        if (model.tables[i].zipf_alpha < tuning.cache_enable_min_alpha) {
+          plan.tables[i].cache_enabled = false;
+          plan.tables[i].reason = "cache bypass (low temporal locality)";
+        }
+      }
+      break;
+    }
+  }
+
+  for (size_t i = 0; i < model.tables.size(); ++i) {
+    if (plan.tables[i].tier == MemoryTier::kSm) {
+      plan.sm_bytes += model.tables[i].total_bytes();
+    }
+  }
+
+  // The explicit budget only constrains policy-placed tables; mandatory FM
+  // tables (item/pinned) are assumed to be provisioned separately (e.g. on
+  // the accelerator), mirroring the paper's deployments.
+  return plan;
+}
+
+std::string DescribePlacement(const PlacementPlan& plan, const ModelConfig& model) {
+  size_t fm_count = 0;
+  size_t sm_count = 0;
+  size_t cache_off = 0;
+  for (const auto& p : plan.tables) {
+    if (p.tier == MemoryTier::kFm) {
+      ++fm_count;
+    } else {
+      ++sm_count;
+      if (!p.cache_enabled) ++cache_off;
+    }
+  }
+  std::ostringstream os;
+  os << model.name << ": " << fm_count << " tables on FM ("
+     << AsMiB(plan.fm_direct_bytes) << " MiB direct), " << sm_count << " on SM ("
+     << AsMiB(plan.sm_bytes) << " MiB), " << cache_off << " SM tables bypass cache";
+  return os.str();
+}
+
+}  // namespace sdm

@@ -1,0 +1,53 @@
+// Table placement across FM and SM (paper §4.6, Table 5).
+//
+// Given a model and a tuning config, ComputePlacement decides per table:
+// which tier it lives on, whether the SM cache serves it, and flags the
+// decision inputs so reports can explain *why*. Policies:
+//   kSmOnlyWithCache        — every SM-candidate table goes to SM.
+//   kFixedFmSmWithCache     — a DRAM budget direct-maps the tables with the
+//                             highest BW-density (bytes-per-query per byte
+//                             of capacity) onto FM; the rest go to SM.
+//   kPerTableCacheEnablement— SM-only, but tables with weak temporal
+//                             locality (low zipf alpha) bypass the cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/tuning.h"
+#include "embedding/table_config.h"
+
+namespace sdm {
+
+struct TablePlacement {
+  TableId table{};
+  MemoryTier tier = MemoryTier::kSm;
+  bool cache_enabled = true;
+  /// BW density used for ranking (bytes/query ÷ table bytes).
+  double bw_density = 0;
+  std::string reason;
+};
+
+struct PlacementPlan {
+  std::vector<TablePlacement> tables;  // indexed by table id
+  Bytes fm_direct_bytes = 0;           ///< direct-mapped table bytes on FM
+  Bytes sm_bytes = 0;
+
+  [[nodiscard]] const TablePlacement& For(TableId id) const {
+    return tables[Raw(id)];
+  }
+};
+
+/// Computes a placement plan. Tables are identified by their position in
+/// `model.tables` (TableId == index). Fails if FM-pinned tables exceed the
+/// DRAM budget.
+[[nodiscard]] Result<PlacementPlan> ComputePlacement(const ModelConfig& model,
+                                                     const TuningConfig& tuning);
+
+/// Human-readable summary (counts and bytes per tier).
+[[nodiscard]] std::string DescribePlacement(const PlacementPlan& plan,
+                                            const ModelConfig& model);
+
+}  // namespace sdm

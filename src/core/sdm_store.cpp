@@ -1,0 +1,165 @@
+#include "core/sdm_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace sdm {
+
+SdmStore::SdmStore(SdmStoreConfig config, EventLoop* loop)
+    : config_(std::move(config)), loop_(loop), throttle_(config_.tuning.throttle) {
+  assert(loop != nullptr);
+  assert(config_.sm_specs.size() == config_.sm_backing_bytes.size());
+
+  fm_ = std::make_unique<DramDevice>(config_.fm_capacity);
+
+  Rng rng(config_.seed);
+  for (size_t i = 0; i < config_.sm_specs.size(); ++i) {
+    DeviceSpec spec = config_.sm_specs[i];
+    if (!config_.tuning.sub_block_reads) {
+      // Tuning knob: force the plain block path even on capable devices.
+      spec.supports_sub_block = false;
+    }
+    sm_.push_back(std::make_unique<NvmeDevice>(spec, config_.sm_backing_bytes[i], loop_,
+                                               rng.Next()));
+    IoEngineConfig ecfg;
+    ecfg.queue_depth = config_.tuning.io_queue_depth;
+    ecfg.completion_mode = config_.tuning.completion_mode;
+    engines_.push_back(std::make_unique<IoEngine>(sm_.back().get(), loop_, ecfg));
+    DirectReaderConfig rcfg;
+    rcfg.sub_block = config_.tuning.sub_block_reads;
+    readers_.push_back(std::make_unique<DirectIoReader>(engines_.back().get(), rcfg));
+  }
+  sm_used_.assign(sm_.size(), 0);
+}
+
+Result<TableId> SdmStore::LoadTable(const EmbeddingTableImage& image,
+                                    const TablePlacement& placement,
+                                    std::optional<MappingTensor> mapping,
+                                    uint64_t index_domain) {
+  if (finished_) return FailedPreconditionError("LoadTable after FinishLoading");
+
+  TableRuntime rt;
+  rt.id = MakeTableId(static_cast<uint32_t>(tables_.size()));
+  rt.config = image.config();
+  rt.tier = placement.tier;
+  rt.cache_enabled = placement.cache_enabled;
+  rt.index_domain = index_domain;
+
+  const Bytes size = image.size_bytes();
+  if (rt.tier == MemoryTier::kFm) {
+    if (fm_used_ + size > config_.fm_capacity) {
+      return ResourceExhaustedError("FM over-committed by direct table " + rt.config.name);
+    }
+    rt.offset = fm_used_;
+    if (Status s = fm_->Write(rt.offset, image.bytes()); !s.ok()) return s;
+    fm_used_ += size;
+    fm_direct_bytes_ += size;
+  } else {
+    if (sm_.empty()) return FailedPreconditionError("no SM devices configured");
+    // Least-filled device gets the table (simple balance; tables are the
+    // striping unit, as in the paper's two-SSD hosts).
+    size_t best = 0;
+    for (size_t i = 1; i < sm_.size(); ++i) {
+      if (sm_used_[i] < sm_used_[best]) best = i;
+    }
+    if (sm_used_[best] + size > sm_[best]->backing_size()) {
+      return ResourceExhaustedError("SM device over-committed by table " + rt.config.name);
+    }
+    rt.sm_device = best;
+    rt.offset = sm_used_[best];
+    auto wrote = sm_[best]->Write(rt.offset, image.bytes());
+    if (!wrote.ok()) return wrote.status();
+    load_write_time_ += wrote.value();
+    sm_used_[best] += size;
+    sm_used_total_ += size;
+  }
+
+  if (mapping.has_value()) {
+    fm_mapping_bytes_ += mapping->size_bytes();
+    rt.mapping = std::move(mapping);
+  }
+
+  tables_.push_back(std::move(rt));
+  return tables_.back().id;
+}
+
+Bytes SdmStore::fm_cache_budget() const {
+  const Bytes committed = fm_direct_bytes_ + fm_mapping_bytes_;
+  return committed >= config_.fm_capacity ? 0 : config_.fm_capacity - committed;
+}
+
+Status SdmStore::FinishLoading() {
+  if (finished_) return FailedPreconditionError("FinishLoading called twice");
+
+  const Bytes budget = fm_cache_budget();
+  TuningConfig& tuning = config_.tuning;
+
+  Bytes pooled_capacity = 0;
+  if (tuning.enable_pooled_cache) {
+    pooled_capacity = std::min<Bytes>(tuning.pooled_cache.capacity, budget / 4);
+  }
+
+  if (tuning.enable_row_cache) {
+    DualCacheConfig ccfg = tuning.row_cache;
+    if (ccfg.capacity == 0) {
+      // Auto-size: whatever FM the direct tables and mapping tensors left,
+      // minus the pooled cache's cut. This is how de-pruning "frees up the
+      // memory used by mapping tensors" into cache space (§4.5).
+      ccfg.capacity = budget - pooled_capacity;
+    }
+    Bytes block_capacity = 0;
+    if (tuning.enable_block_cache) {
+      // The block layer takes its share out of the same FM budget — the
+      // dilution that made the paper reject the multi-level arrangement.
+      block_capacity = static_cast<Bytes>(static_cast<double>(ccfg.capacity) *
+                                          tuning.block_cache_fraction);
+      ccfg.capacity -= block_capacity;
+    }
+    if (ccfg.capacity + block_capacity + pooled_capacity + fm_direct_bytes_ +
+            fm_mapping_bytes_ >
+        config_.fm_capacity) {
+      return ResourceExhaustedError("FM over-committed: caches + tables exceed capacity");
+    }
+    if (ccfg.capacity < 4 * kKiB) {
+      return ResourceExhaustedError("FM budget leaves no usable row-cache space");
+    }
+    row_cache_ = std::make_unique<DualRowCache>(ccfg);
+    for (const auto& t : tables_) {
+      row_cache_->RegisterTable(t.id, t.config.row_bytes());
+    }
+    if (tuning.enable_block_cache) {
+      BlockCacheConfig bcfg = tuning.block_cache;
+      bcfg.capacity = block_capacity;
+      block_cache_ = std::make_unique<BlockCache>(bcfg);
+    }
+  }
+
+  if (tuning.enable_pooled_cache) {
+    PooledCacheConfig pcfg = tuning.pooled_cache;
+    pcfg.capacity = pooled_capacity;
+    pooled_cache_ = std::make_unique<PooledEmbeddingCache>(pcfg);
+  }
+
+  finished_ = true;
+  SDM_LOG_INFO << "SdmStore ready: " << tables_.size() << " tables, FM direct "
+               << AsMiB(fm_direct_bytes_) << " MiB, mappings " << AsMiB(fm_mapping_bytes_)
+               << " MiB, cache budget " << AsMiB(fm_cache_budget()) << " MiB, SM "
+               << AsMiB(sm_used_total_) << " MiB";
+  return Status::Ok();
+}
+
+void SdmStore::InvalidateRow(TableId table, RowIndex row) {
+  if (row_cache_ != nullptr) {
+    (void)row_cache_->Erase(RowKey{table, row});
+  }
+}
+
+void SdmStore::InvalidatePooledFor(TableId table) {
+  if (pooled_cache_ != nullptr) {
+    pooled_cache_->InvalidateTable(table);
+  }
+}
+
+}  // namespace sdm

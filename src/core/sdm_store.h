@@ -1,0 +1,156 @@
+// SdmStore — the Software Defined Memory runtime (paper §4).
+//
+// Owns the two memory tiers and every mechanism the paper layers on top:
+//   FM  : a DRAM arena holding direct-mapped tables, pruning mapping
+//         tensors, and the storage budget of the software caches;
+//   SM  : one or more simulated NVMe devices, each fronted by an io_uring
+//         style IoEngine and a shared per-table throttle;
+//   caches: the unified dual row cache (§4.3) + pooled-embedding cache
+//         (§4.4), built at FinishLoading() so their FM budget can be
+//         auto-sized to whatever direct tables and mapping tensors left.
+//
+// Lifecycle: construct -> LoadTable()* -> FinishLoading() -> lookups via
+// LookupEngine. Model refresh goes through ModelUpdater.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/dual_cache.h"
+#include "cache/pooled_cache.h"
+#include "common/event_loop.h"
+#include "common/result.h"
+#include "common/stats.h"
+#include "core/placement.h"
+#include "core/tuning.h"
+#include "device/dram_device.h"
+#include "device/nvme_device.h"
+#include "embedding/pruning.h"
+#include "embedding/embedding_table.h"
+#include "io/direct_reader.h"
+#include "io/io_engine.h"
+#include "io/throttle.h"
+
+namespace sdm {
+
+struct SdmStoreConfig {
+  /// Host FM (DRAM) available to the SDM: direct tables + mapping tensors +
+  /// row/pooled cache storage must fit here.
+  Bytes fm_capacity = 256 * kMiB;
+
+  /// SM devices on the host (specs define latency/IOPS; backing sizes the
+  /// actual byte store for scaled-down runs).
+  std::vector<DeviceSpec> sm_specs;
+  std::vector<Bytes> sm_backing_bytes;
+
+  TuningConfig tuning;
+  uint64_t seed = 42;
+};
+
+/// Runtime state of one loaded table.
+struct TableRuntime {
+  TableId id{};
+  TableConfig config;  ///< post-transform (deprune/dequant) configuration
+  MemoryTier tier = MemoryTier::kSm;
+  bool cache_enabled = true;
+  size_t sm_device = 0;  ///< valid when tier == kSm
+  Bytes offset = 0;      ///< byte offset on its tier's store
+  /// Present for pruned tables served with an FM-resident mapping tensor.
+  std::optional<MappingTensor> mapping;
+  /// Size of the index domain requests use (unpruned row count).
+  uint64_t index_domain = 0;
+};
+
+class SdmStore {
+ public:
+  SdmStore(SdmStoreConfig config, EventLoop* loop);
+
+  SdmStore(const SdmStore&) = delete;
+  SdmStore& operator=(const SdmStore&) = delete;
+
+  // ---- Loading ------------------------------------------------------------
+
+  /// Writes `image` to the placed tier and registers the table. `mapping`
+  /// accompanies pruned tables (nullopt when dense or de-pruned);
+  /// `index_domain` is the unpruned row count requests address.
+  Result<TableId> LoadTable(const EmbeddingTableImage& image, const TablePlacement& placement,
+                            std::optional<MappingTensor> mapping, uint64_t index_domain);
+
+  /// Seals loading: sizes and builds the caches from the remaining FM
+  /// budget; fails if FM is over-committed. No lookups before this.
+  Status FinishLoading();
+
+  [[nodiscard]] bool loading_finished() const { return finished_; }
+
+  // ---- Table access --------------------------------------------------------
+
+  [[nodiscard]] size_t table_count() const { return tables_.size(); }
+  [[nodiscard]] const TableRuntime& table(TableId id) const { return tables_[Raw(id)]; }
+  [[nodiscard]] TableRuntime& mutable_table(TableId id) { return tables_[Raw(id)]; }
+
+  // ---- Components ----------------------------------------------------------
+
+  [[nodiscard]] DualRowCache* row_cache() { return row_cache_.get(); }
+  [[nodiscard]] PooledEmbeddingCache* pooled_cache() { return pooled_cache_.get(); }
+  /// Second-level block cache (nullptr unless tuning.enable_block_cache).
+  [[nodiscard]] BlockCache* block_cache() { return block_cache_.get(); }
+  [[nodiscard]] TableThrottle& throttle() { return throttle_; }
+  [[nodiscard]] DramDevice& fm() { return *fm_; }
+  [[nodiscard]] size_t sm_device_count() const { return sm_.size(); }
+  [[nodiscard]] NvmeDevice& sm_device(size_t i) { return *sm_[i]; }
+  [[nodiscard]] IoEngine& io_engine(size_t i) { return *engines_[i]; }
+  [[nodiscard]] DirectIoReader& reader(size_t i) { return *readers_[i]; }
+  [[nodiscard]] EventLoop* loop() { return loop_; }
+  [[nodiscard]] const TuningConfig& tuning() const { return config_.tuning; }
+  [[nodiscard]] const SdmStoreConfig& config() const { return config_; }
+
+  // ---- FM accounting --------------------------------------------------------
+
+  [[nodiscard]] Bytes fm_capacity() const { return config_.fm_capacity; }
+  [[nodiscard]] Bytes fm_direct_bytes() const { return fm_direct_bytes_; }
+  [[nodiscard]] Bytes fm_mapping_bytes() const { return fm_mapping_bytes_; }
+  /// FM left for cache storage after direct tables and mapping tensors.
+  [[nodiscard]] Bytes fm_cache_budget() const;
+
+  /// Aggregate SM bytes occupied by loaded tables.
+  [[nodiscard]] Bytes sm_used_bytes() const { return sm_used_total_; }
+
+  /// Virtual time spent writing table images during load (per §A.3 updates
+  /// take longer when embeddings must be saved to SM).
+  [[nodiscard]] SimDuration load_write_time() const { return load_write_time_; }
+
+  [[nodiscard]] StatsRegistry& stats() { return stats_; }
+
+  /// Invalidates one row in the row cache (model update path).
+  void InvalidateRow(TableId table, RowIndex row);
+
+  /// Drops every pooled-cache entry for `table` (any row change invalidates
+  /// pooled outputs that may contain it).
+  void InvalidatePooledFor(TableId table);
+
+ private:
+  SdmStoreConfig config_;
+  EventLoop* loop_;
+  std::unique_ptr<DramDevice> fm_;
+  std::vector<std::unique_ptr<NvmeDevice>> sm_;
+  std::vector<std::unique_ptr<IoEngine>> engines_;
+  std::vector<std::unique_ptr<DirectIoReader>> readers_;
+  TableThrottle throttle_;
+  std::unique_ptr<DualRowCache> row_cache_;
+  std::unique_ptr<PooledEmbeddingCache> pooled_cache_;
+  std::unique_ptr<BlockCache> block_cache_;
+
+  std::vector<TableRuntime> tables_;
+  std::vector<Bytes> sm_used_;  // per-device bump allocator
+  Bytes fm_used_ = 0;           // direct-table arena bump allocator
+  Bytes fm_direct_bytes_ = 0;
+  Bytes fm_mapping_bytes_ = 0;
+  Bytes sm_used_total_ = 0;
+  SimDuration load_write_time_;
+  bool finished_ = false;
+  StatsRegistry stats_;
+};
+
+}  // namespace sdm

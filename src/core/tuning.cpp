@@ -1,0 +1,30 @@
+#include "core/tuning.h"
+
+namespace sdm {
+
+const char* ToString(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kSmOnlyWithCache: return "sm_only_with_cache";
+    case PlacementPolicy::kFixedFmSmWithCache: return "fixed_fm_sm_with_cache";
+    case PlacementPolicy::kPerTableCacheEnablement: return "per_table_cache_enablement";
+  }
+  return "unknown";
+}
+
+Status TuningConfig::Validate() const {
+  if (io_queue_depth < 1) {
+    return InvalidArgumentError("io_queue_depth must be >= 1");
+  }
+  if (row_cache.memory_optimized_fraction < 0 || row_cache.memory_optimized_fraction > 1) {
+    return InvalidArgumentError("memory_optimized_fraction must be in [0,1]");
+  }
+  if (cache_enable_min_alpha < 0) {
+    return InvalidArgumentError("cache_enable_min_alpha must be >= 0");
+  }
+  if (placement == PlacementPolicy::kFixedFmSmWithCache && placement_dram_budget == 0) {
+    return InvalidArgumentError("kFixedFmSmWithCache requires a placement_dram_budget");
+  }
+  return Status::Ok();
+}
+
+}  // namespace sdm

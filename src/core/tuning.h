@@ -1,0 +1,92 @@
+// The SDM tuning API (paper §4, "Tuning API" paragraphs).
+//
+// Every knob the paper exposes for deployment-time tuning is collected here
+// so an auto-tuner (or the benches) can sweep them:
+//   §4.1  outstanding IOs per table, concurrent tables, queue depth,
+//         completion mode, sub-block reads on/off
+//   §4.3  cache sizes and partitions
+//   §4.4  pooled-embedding-cache LenThreshold
+//   §4.5  de-pruning / de-quantization at load
+//   §4.6  placement policy and DRAM budget
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "cache/block_cache.h"
+#include "cache/dual_cache.h"
+#include "cache/pooled_cache.h"
+#include "common/result.h"
+#include "io/io_engine.h"
+#include "io/throttle.h"
+
+namespace sdm {
+
+/// Placement strategies (paper Table 5).
+enum class PlacementPolicy : uint8_t {
+  /// All candidate (user) tables on SM; FM holds only the cache.
+  kSmOnlyWithCache,
+  /// A DRAM budget direct-maps the highest-benefit tables to FM; the rest
+  /// go to SM with cache.
+  kFixedFmSmWithCache,
+  /// Like kSmOnlyWithCache, but low-temporal-locality tables bypass the
+  /// cache ("per table cache enablement").
+  kPerTableCacheEnablement,
+};
+
+[[nodiscard]] const char* ToString(PlacementPolicy p);
+
+struct TuningConfig {
+  // ---- Fast IO (§4.1) ----
+  ThrottleConfig throttle;
+  int io_queue_depth = 256;
+  CompletionMode completion_mode = CompletionMode::kInterrupt;
+  /// Use SGL bit-bucket sub-block reads when the device supports them.
+  bool sub_block_reads = true;
+
+  // ---- Cache organization (§4.3) ----
+  bool enable_row_cache = true;
+  /// capacity == 0 (the default) auto-sizes the cache to whatever FM the
+  /// direct tables and mapping tensors leave free (see SdmStore).
+  DualCacheConfig row_cache = AutoSizedRowCache();
+
+  [[nodiscard]] static DualCacheConfig AutoSizedRowCache() {
+    DualCacheConfig c;
+    c.capacity = 0;
+    return c;
+  }
+
+  // ---- Pooled embedding cache (§4.4) ----
+  bool enable_pooled_cache = false;
+  PooledCacheConfig pooled_cache;
+
+  // ---- Multi-level cache (§4.3, evaluated and rejected by the paper) ----
+  /// Back the row cache with a block cache. Kept as an ablation: with the
+  /// low spatial locality of Fig. 5 it wastes FM (see bench_ablation_multilevel).
+  bool enable_block_cache = false;
+  /// Share of the FM cache budget diverted to the block layer.
+  double block_cache_fraction = 0.5;
+  BlockCacheConfig block_cache;
+
+  // ---- SM vs FM capacity trades (§4.5, A.5) ----
+  bool deprune_at_load = false;
+  bool dequantize_at_load = false;
+
+  // ---- Placement (§4.6) ----
+  PlacementPolicy placement = PlacementPolicy::kSmOnlyWithCache;
+  /// FM bytes the placement may spend on direct-mapped tables. The row
+  /// cache's capacity is separate (row_cache.capacity).
+  Bytes placement_dram_budget = 0;
+  /// Tables that must not be placed on SM (offline placement escape hatch).
+  std::set<std::string> never_on_sm;
+  /// Zipf-alpha below which kPerTableCacheEnablement disables the cache.
+  double cache_enable_min_alpha = 0.4;
+
+  /// Item tables stay on FM/accelerator in all the paper's deployments;
+  /// placement only considers user tables for SM unless this is false.
+  bool user_tables_only_on_sm = true;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+}  // namespace sdm

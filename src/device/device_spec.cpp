@@ -1,0 +1,161 @@
+#include "device/device_spec.h"
+
+#include <cstdio>
+
+namespace sdm {
+
+const char* ToString(Technology t) {
+  switch (t) {
+    case Technology::kDram: return "DRAM";
+    case Technology::kNandFlash: return "PCIe Nand Flash";
+    case Technology::kOptaneSsd: return "PCIe 3DXP (Optane)";
+    case Technology::kZssd: return "PCIe ZSSD";
+    case Technology::kDimmOptane: return "DIMM 3DXP (Optane)";
+    case Technology::kCxlOptane: return "CXL 3DXP";
+  }
+  return "unknown";
+}
+
+std::string DeviceSpec::Describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-20s iops=%.1fM lat=%.1fus gran=%lluB cost=%.3f dwpd=%.0f",
+                ToString(technology), max_read_iops / 1e6, base_read_latency.micros(),
+                static_cast<unsigned long long>(access_granularity), cost_per_gb_rel_dram,
+                endurance_dwpd);
+  return buf;
+}
+
+DeviceSpec MakeNandFlashSpec(Bytes capacity) {
+  DeviceSpec s;
+  s.technology = Technology::kNandFlash;
+  s.name = "nand";
+  s.capacity = capacity;
+  s.max_read_iops = 500'000;            // Table 1: 0.5M
+  s.base_read_latency = Micros(90);     // Table 1: O(100)us
+  s.channels = 48;                      // 48 / 0.5M = 96us per-channel service
+  s.access_granularity = kBlockSize;    // 4K
+  s.supports_sub_block = true;          // with patched kernel/driver (§4.1.1)
+  s.write_bw_bytes_per_sec = 2.0e9;
+  s.endurance_dwpd = 5;
+  s.cost_per_gb_rel_dram = 1.0 / 30.0;
+  s.power_rel_dimm = 1.2;               // ~12W device vs ~10W 64GB DIMM
+  s.bus_bw_bytes_per_sec = 3.2e9;       // PCIe3 x4
+  s.tail_probability = 0.02;            // GC / media retries: long p99 tail
+  s.tail_multiplier = 8.0;
+  s.sourcing = Sourcing::kMulti;
+  return s;
+}
+
+DeviceSpec MakeOptaneSsdSpec(Bytes capacity) {
+  DeviceSpec s;
+  s.technology = Technology::kOptaneSsd;
+  s.name = "optane";
+  s.capacity = capacity;
+  s.max_read_iops = 4'000'000;          // Table 1: 4M @ 512B
+  s.base_read_latency = Micros(10);     // Table 1: O(10)us
+  s.channels = 40;                      // 40 / 4M = 10us per-channel service
+  s.access_granularity = 512;
+  s.supports_sub_block = true;
+  s.write_bw_bytes_per_sec = 2.2e9;
+  s.endurance_dwpd = 100;
+  s.cost_per_gb_rel_dram = 1.0 / 5.0;
+  s.power_rel_dimm = 1.4;
+  s.bus_bw_bytes_per_sec = 6.4e9;       // PCIe4 x4-ish
+  s.tail_probability = 0.001;           // 3DXP has no GC; tail is tiny
+  s.tail_multiplier = 2.0;
+  s.sourcing = Sourcing::kSingle;
+  return s;
+}
+
+DeviceSpec MakeZssdSpec(Bytes capacity) {
+  DeviceSpec s;
+  s.technology = Technology::kZssd;
+  s.name = "zssd";
+  s.capacity = capacity;
+  s.max_read_iops = 1'000'000;          // Table 1: 1M
+  s.base_read_latency = Micros(60);     // Table 1: O(100)us, better than Nand
+  s.channels = 64;
+  s.access_granularity = kBlockSize;
+  s.supports_sub_block = true;
+  s.write_bw_bytes_per_sec = 2.0e9;
+  s.endurance_dwpd = 5;
+  s.cost_per_gb_rel_dram = 1.0 / 10.0;
+  s.power_rel_dimm = 1.2;
+  s.bus_bw_bytes_per_sec = 3.2e9;
+  s.tail_probability = 0.01;
+  s.tail_multiplier = 5.0;
+  s.sourcing = Sourcing::kSingle;
+  return s;
+}
+
+DeviceSpec MakeDimmOptaneSpec(Bytes capacity) {
+  DeviceSpec s;
+  s.technology = Technology::kDimmOptane;
+  s.name = "dimm3dxp";
+  s.capacity = capacity;
+  s.max_read_iops = 40'000'000;         // memory-bus attached; latency-bound
+  s.base_read_latency = Nanos(300);     // Table 1: O(0.1)us
+  s.channels = 16;
+  s.access_granularity = 64;            // cacheline
+  s.supports_sub_block = true;          // byte-addressable: fine-grained reads
+                                        // are native (no SGL patch needed)
+  s.write_bw_bytes_per_sec = 2.0e9;
+  s.endurance_dwpd = 0;                 // not a limiter
+  s.cost_per_gb_rel_dram = 1.0 / 3.0;
+  s.power_rel_dimm = 1.5;
+  s.bus_bw_bytes_per_sec = 8.0e9;
+  s.tail_probability = 0;
+  s.tail_multiplier = 1;
+  s.sourcing = Sourcing::kSingle;
+  return s;
+}
+
+DeviceSpec MakeCxlOptaneSpec(Bytes capacity) {
+  DeviceSpec s;
+  s.technology = Technology::kCxlOptane;
+  s.name = "cxl3dxp";
+  s.capacity = capacity;
+  s.max_read_iops = 12'000'000;         // Table 1: >10M
+  s.base_read_latency = Nanos(500);     // Table 1: O(0.5)us
+  s.channels = 12;
+  s.access_granularity = 64;            // Table 1: 64-128B
+  s.supports_sub_block = true;          // byte-addressable over CXL
+  s.write_bw_bytes_per_sec = 8.0e9;
+  s.endurance_dwpd = 0;
+  s.cost_per_gb_rel_dram = 1.0 / 4.0;   // not public; between DIMM and SSD
+  s.power_rel_dimm = 1.5;
+  s.bus_bw_bytes_per_sec = 32.0e9;      // CXL x8
+  s.tail_probability = 0;
+  s.tail_multiplier = 1;
+  s.sourcing = Sourcing::kSingle;
+  return s;
+}
+
+DeviceSpec MakeDramSpec(Bytes capacity) {
+  DeviceSpec s;
+  s.technology = Technology::kDram;
+  s.name = "dram";
+  s.capacity = capacity;
+  s.max_read_iops = 400'000'000;        // effectively unbounded for our use
+  s.base_read_latency = Nanos(100);
+  s.channels = 64;
+  s.access_granularity = 64;
+  s.supports_sub_block = false;
+  s.write_bw_bytes_per_sec = 20.0e9;
+  s.endurance_dwpd = 0;
+  s.cost_per_gb_rel_dram = 1.0;
+  s.power_rel_dimm = 1.0;
+  s.bus_bw_bytes_per_sec = 100.0e9;
+  s.tail_probability = 0;
+  s.tail_multiplier = 1;
+  s.sourcing = Sourcing::kMulti;
+  return s;
+}
+
+std::vector<DeviceSpec> Table1Specs() {
+  return {MakeNandFlashSpec(), MakeOptaneSsdSpec(), MakeZssdSpec(), MakeDimmOptaneSpec(),
+          MakeCxlOptaneSpec()};
+}
+
+}  // namespace sdm

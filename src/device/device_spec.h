@@ -1,0 +1,101 @@
+// Device technology catalog (paper Table 1).
+//
+// Each SM technology option is described by a DeviceSpec: IOPS ceiling,
+// unloaded latency, access granularity, endurance, relative cost and power.
+// The numbers mirror Table 1 of the paper (public figures for PCIe Nand
+// Flash, PCIe 3DXP "Optane", ZSSD, DIMM 3DXP, CXL 3DXP) plus a DRAM entry
+// used for the FM tier and for cost/power comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sdm {
+
+enum class Technology : uint8_t {
+  kDram,
+  kNandFlash,   // PCIe Nand Flash SSD
+  kOptaneSsd,   // PCIe 3DXP (Optane) SSD
+  kZssd,        // PCIe ZSSD (low-latency SLC-ish Nand)
+  kDimmOptane,  // DIMM 3DXP (memory bus attached)
+  kCxlOptane,   // CXL-attached 3DXP
+};
+
+[[nodiscard]] const char* ToString(Technology t);
+
+/// Vendor availability (paper Table 1 "Sourcing" column).
+enum class Sourcing : uint8_t { kSingle, kMulti };
+
+struct DeviceSpec {
+  Technology technology = Technology::kNandFlash;
+  std::string name;
+
+  /// Usable capacity of one device.
+  Bytes capacity = 0;
+
+  /// Random-read IOPS ceiling for the device's natural access granularity.
+  double max_read_iops = 0;
+
+  /// Unloaded (QD~1) read latency.
+  SimDuration base_read_latency;
+
+  /// Internal parallelism: number of IOs the device services concurrently.
+  /// max_read_iops / channels gives the per-channel service time.
+  int channels = 1;
+
+  /// Smallest unit the device transfers over the bus without the SGL
+  /// bit-bucket extension (4KB for block devices, 64B for memory-like).
+  Bytes access_granularity = kBlockSize;
+
+  /// Whether the NVMe SGL bit-bucket sub-block read extension is available
+  /// (paper §4.1.1; requires the patched kernel + driver path).
+  bool supports_sub_block = false;
+
+  /// Sequential write bandwidth (model update path).
+  double write_bw_bytes_per_sec = 0;
+
+  /// Rated endurance in Physical Drive Writes Per Day. <= 0 means
+  /// effectively unlimited (DRAM, 3DXP DIMM/CXL).
+  double endurance_dwpd = 0;
+
+  /// Cost per GB relative to DDR4 DRAM (Table 1 "Cost" column; DRAM = 1).
+  double cost_per_gb_rel_dram = 1.0;
+
+  /// Active power per device, normalized to a 64GB DDR4 DIMM == 1.0.
+  double power_rel_dimm = 1.0;
+
+  /// Bus bandwidth device->host (PCIe lanes for SSDs).
+  double bus_bw_bytes_per_sec = 0;
+
+  /// Long-tail behaviour: probability that a read hits a slow internal path
+  /// (GC, media retry) and the latency multiplier applied when it does.
+  /// Nand flash has a pronounced tail (paper §5.1 observes p99 spikes).
+  double tail_probability = 0;
+  double tail_multiplier = 1.0;
+
+  /// Fault injection: probability a read completes with an UNAVAILABLE
+  /// error (uncorrectable media / transport fault). 0 for healthy devices;
+  /// tests and failure-injection benches raise it.
+  double read_error_probability = 0;
+
+  Sourcing sourcing = Sourcing::kSingle;
+
+  [[nodiscard]] std::string Describe() const;
+};
+
+/// Factory functions for Table 1 rows. `capacity` defaults to the sizes the
+/// paper deploys (Table 7), scaled by `scale` for laptop-sized runs.
+[[nodiscard]] DeviceSpec MakeNandFlashSpec(Bytes capacity = 2000 * kGiB);
+[[nodiscard]] DeviceSpec MakeOptaneSsdSpec(Bytes capacity = 400 * kGiB);
+[[nodiscard]] DeviceSpec MakeZssdSpec(Bytes capacity = 800 * kGiB);
+[[nodiscard]] DeviceSpec MakeDimmOptaneSpec(Bytes capacity = 512 * kGiB);
+[[nodiscard]] DeviceSpec MakeCxlOptaneSpec(Bytes capacity = 1024 * kGiB);
+[[nodiscard]] DeviceSpec MakeDramSpec(Bytes capacity = 64 * kGiB);
+
+/// All Table 1 rows in paper order (for the Table 1 reproduction bench).
+[[nodiscard]] std::vector<DeviceSpec> Table1Specs();
+
+}  // namespace sdm

@@ -1,0 +1,122 @@
+#include "device/nvme_device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace sdm {
+
+NvmeDevice::NvmeDevice(DeviceSpec spec, Bytes backing_size, EventLoop* loop, uint64_t seed)
+    : spec_(std::move(spec)),
+      loop_(loop),
+      latency_(spec_, seed),
+      wear_(spec_.capacity, spec_.endurance_dwpd),
+      fault_rng_(seed ^ 0xfa'017'0000ULL),
+      store_(backing_size, 0) {
+  assert(loop != nullptr);
+  reads_ = stats_.GetCounter("reads");
+  read_errors_ = stats_.GetCounter("read_errors");
+  bus_bytes_ = stats_.GetCounter("bus_bytes");
+  useful_bytes_ = stats_.GetCounter("useful_bytes");
+  sub_block_reads_ = stats_.GetCounter("sub_block_reads");
+  writes_ = stats_.GetCounter("writes");
+  written_bytes_ = stats_.GetCounter("written_bytes");
+}
+
+Result<SimDuration> NvmeDevice::Write(Bytes offset, std::span<const uint8_t> data) {
+  if (offset + data.size() > store_.size()) {
+    return OutOfRangeError("write beyond device backing store");
+  }
+  std::memcpy(store_.data() + offset, data.data(), data.size());
+  wear_.RecordWrite(data.size());
+  writes_->Add(1);
+  written_bytes_->Add(data.size());
+  return Seconds(static_cast<double>(data.size()) / spec_.write_bw_bytes_per_sec);
+}
+
+Bytes NvmeDevice::BusBytes(Bytes offset, Bytes length, bool sub_block) {
+  if (length == 0) return 0;
+  if (sub_block) {
+    // DWORD-aligned window covering [offset, offset + length).
+    const Bytes begin = offset & ~(kDwordBytes - 1);
+    const Bytes end = (offset + length + kDwordBytes - 1) & ~(kDwordBytes - 1);
+    return end - begin;
+  }
+  const Bytes first_block = offset / kBlockSize;
+  const Bytes last_block = (offset + length - 1) / kBlockSize;
+  return (last_block - first_block + 1) * kBlockSize;
+}
+
+void NvmeDevice::SubmitRead(ReadRequest req) {
+  // Validate, reporting errors through the normal completion path.
+  Status error;
+  if (req.length == 0) {
+    error = InvalidArgumentError("zero-length read");
+  } else if (req.offset + req.length > store_.size()) {
+    error = OutOfRangeError("read beyond device backing store");
+  } else if (req.sub_block && !spec_.supports_sub_block) {
+    error = FailedPreconditionError("device lacks SGL bit-bucket sub-block support");
+  } else if (req.dest.size() != BusBytes(req.offset, req.length, req.sub_block)) {
+    error = InvalidArgumentError("dest buffer size != bus bytes for request");
+  }
+  if (!error.ok()) {
+    read_errors_->Add(1);
+    loop_->ScheduleAfter(SimDuration(0),
+                         [cb = std::move(req.on_complete), error]() mutable {
+                           if (cb) cb(error, SimDuration(0));
+                         });
+    return;
+  }
+
+  const Bytes bus = req.dest.size();
+  const SimTime now = loop_->Now();
+  const SimTime done = latency_.CompleteRead(now, bus);
+  const SimDuration lat = done - now;
+
+  // Fault injection: the error surfaces at completion time, after the
+  // device has burned the service slot (as a real media error would).
+  if (spec_.read_error_probability > 0 &&
+      fault_rng_.NextBernoulli(spec_.read_error_probability)) {
+    read_errors_->Add(1);
+    loop_->ScheduleAt(done, [cb = std::move(req.on_complete), lat]() mutable {
+      if (cb) cb(UnavailableError("uncorrectable media read error"), lat);
+    });
+    return;
+  }
+
+  reads_->Add(1);
+  bus_bytes_->Add(bus);
+  useful_bytes_->Add(req.length);
+  if (req.sub_block) sub_block_reads_->Add(1);
+  read_latency_.Record(lat);
+
+  // Copy the data now (deterministic; the store is logically immutable
+  // between updates) but deliver the completion at the simulated time.
+  if (req.sub_block) {
+    const Bytes begin = req.offset & ~(kDwordBytes - 1);
+    std::memcpy(req.dest.data(), store_.data() + begin, req.dest.size());
+  } else {
+    const Bytes first_block = req.offset / kBlockSize;
+    const Bytes begin = first_block * kBlockSize;
+    const Bytes avail = store_.size() - begin;
+    const Bytes n = std::min<Bytes>(req.dest.size(), avail);
+    std::memcpy(req.dest.data(), store_.data() + begin, n);
+    if (n < req.dest.size()) {
+      // Tail of the last block extends past the backing store: zero-fill,
+      // as a real device would return zeroes for never-written space.
+      std::memset(req.dest.data() + n, 0, req.dest.size() - n);
+    }
+  }
+
+  loop_->ScheduleAt(done, [cb = std::move(req.on_complete), lat]() mutable {
+    if (cb) cb(Status::Ok(), lat);
+  });
+}
+
+double NvmeDevice::ReadAmplification() const {
+  const uint64_t useful = useful_bytes_->value();
+  if (useful == 0) return 1.0;
+  return static_cast<double>(bus_bytes_->value()) / static_cast<double>(useful);
+}
+
+}  // namespace sdm

@@ -1,0 +1,63 @@
+#include "dlrm/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sdm {
+
+LinearLayer::LinearLayer(uint32_t in_dim, uint32_t out_dim, Activation act, uint64_t seed)
+    : in_dim_(in_dim), out_dim_(out_dim), act_(act) {
+  assert(in_dim > 0 && out_dim > 0);
+  Rng rng(seed);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_dim));
+  weights_.resize(static_cast<size_t>(in_dim) * out_dim);
+  for (auto& w : weights_) w = static_cast<float>(rng.NextGaussian()) * stddev;
+  bias_.assign(out_dim, 0.0f);
+}
+
+void LinearLayer::Forward(std::span<const float> in, std::span<float> out) const {
+  assert(in.size() == in_dim_);
+  assert(out.size() == out_dim_);
+  for (uint32_t o = 0; o < out_dim_; ++o) {
+    const float* w = weights_.data() + static_cast<size_t>(o) * in_dim_;
+    float acc = bias_[o];
+    for (uint32_t i = 0; i < in_dim_; ++i) acc += w[i] * in[i];
+    switch (act_) {
+      case Activation::kRelu: out[o] = acc > 0 ? acc : 0; break;
+      case Activation::kSigmoid: out[o] = 1.0f / (1.0f + std::exp(-acc)); break;
+      case Activation::kNone: out[o] = acc; break;
+    }
+  }
+}
+
+Mlp::Mlp(std::span<const uint32_t> widths, LinearLayer::Activation final_activation,
+         uint64_t seed) {
+  assert(widths.size() >= 2);
+  Rng rng(seed);
+  layers_.reserve(widths.size() - 1);
+  for (size_t i = 0; i + 1 < widths.size(); ++i) {
+    const bool last = i + 2 == widths.size();
+    layers_.emplace_back(widths[i], widths[i + 1],
+                         last ? final_activation : LinearLayer::Activation::kRelu,
+                         rng.Next());
+  }
+}
+
+std::vector<float> Mlp::Forward(std::span<const float> in) const {
+  std::vector<float> cur(in.begin(), in.end());
+  std::vector<float> next;
+  for (const auto& layer : layers_) {
+    next.assign(layer.out_dim(), 0.0f);
+    layer.Forward(cur, next);
+    cur.swap(next);
+  }
+  return cur;
+}
+
+uint64_t Mlp::flops() const {
+  uint64_t total = 0;
+  for (const auto& layer : layers_) total += layer.flops();
+  return total;
+}
+
+}  // namespace sdm

@@ -1,0 +1,56 @@
+// Dense layers: fully-connected stacks with ReLU, used for the DLRM bottom
+// and top MLPs (paper Fig. 2). Real float math — examples and tests execute
+// genuine forward passes; the serving simulator additionally uses the FLOP
+// count to charge virtual compute time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sdm {
+
+/// One fully-connected layer: y = act(W x + b).
+class LinearLayer {
+ public:
+  enum class Activation : uint8_t { kRelu, kSigmoid, kNone };
+
+  /// He-style random init, deterministic in `seed`.
+  LinearLayer(uint32_t in_dim, uint32_t out_dim, Activation act, uint64_t seed);
+
+  void Forward(std::span<const float> in, std::span<float> out) const;
+
+  [[nodiscard]] uint32_t in_dim() const { return in_dim_; }
+  [[nodiscard]] uint32_t out_dim() const { return out_dim_; }
+  [[nodiscard]] uint64_t flops() const { return uint64_t{2} * in_dim_ * out_dim_; }
+
+ private:
+  uint32_t in_dim_;
+  uint32_t out_dim_;
+  Activation act_;
+  std::vector<float> weights_;  // row-major [out][in]
+  std::vector<float> bias_;
+};
+
+/// A stack of LinearLayers. The final layer's activation is configurable
+/// (sigmoid for CTR heads, ReLU for feature re-projection).
+class Mlp {
+ public:
+  /// widths = {in, h1, h2, ..., out}; needs >= 2 entries.
+  Mlp(std::span<const uint32_t> widths, LinearLayer::Activation final_activation,
+      uint64_t seed);
+
+  [[nodiscard]] std::vector<float> Forward(std::span<const float> in) const;
+
+  [[nodiscard]] uint32_t in_dim() const { return layers_.front().in_dim(); }
+  [[nodiscard]] uint32_t out_dim() const { return layers_.back().out_dim(); }
+  [[nodiscard]] size_t depth() const { return layers_.size(); }
+  [[nodiscard]] uint64_t flops() const;
+
+ private:
+  std::vector<LinearLayer> layers_;
+};
+
+}  // namespace sdm

@@ -1,0 +1,172 @@
+#include "dlrm/model_zoo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sdm {
+
+namespace {
+
+struct RoleParams {
+  size_t tables = 0;
+  Bytes capacity = 0;       ///< aggregate bytes for this role (already scaled)
+  Bytes row_bytes_min = 0;  ///< stored-row size range (paper "Emb table dim (B)")
+  Bytes row_bytes_max = 0;
+  double avg_pooling = 1.0;
+  double alpha_min = 0.5;  ///< temporal-locality range (item > user, Fig. 4)
+  double alpha_max = 0.9;
+};
+
+struct ZooParams {
+  std::string name;
+  RoleParams user;
+  RoleParams item;
+  int item_batch = 1;
+  int mlp_layers = 0;
+  int mlp_width = 0;
+  uint64_t seed = 0;
+};
+
+void AppendRole(ModelConfig& model, TableRole role, const RoleParams& p, Rng& rng) {
+  if (p.tables == 0) return;
+
+  // Log-normal capacity shares reproduce the Fig. 1 skew: a few huge tables,
+  // a long tail of small ones.
+  std::vector<double> weights(p.tables);
+  double total = 0;
+  for (auto& w : weights) {
+    w = std::exp(rng.NextGaussian() * 1.2);
+    total += w;
+  }
+
+  // Pooling factors spread around the average, renormalized to hit it.
+  std::vector<double> pfs(p.tables);
+  double pf_sum = 0;
+  for (auto& pf : pfs) {
+    pf = std::exp(rng.NextGaussian() * 0.6);
+    pf_sum += pf;
+  }
+  const double pf_norm = p.avg_pooling * static_cast<double>(p.tables) / pf_sum;
+
+  for (size_t i = 0; i < p.tables; ++i) {
+    TableConfig t;
+    t.name = model.name + "." + (role == TableRole::kUser ? "user" : "item") + "." +
+             std::to_string(i);
+    t.role = role;
+    t.dtype = DataType::kInt8Rowwise;
+
+    // Stored-row bytes log-uniform in [min, max]; int8 rowwise layout means
+    // dim elements = stored bytes - 8.
+    const double lg = rng.NextDouble(std::log(static_cast<double>(p.row_bytes_min)),
+                                     std::log(static_cast<double>(p.row_bytes_max)));
+    const auto row_bytes = static_cast<Bytes>(std::lround(std::exp(lg)));
+    t.dim = static_cast<uint32_t>(std::max<Bytes>(row_bytes, 12) - 8);
+
+    const auto table_bytes =
+        static_cast<Bytes>(static_cast<double>(p.capacity) * weights[i] / total);
+    t.num_rows = std::max<uint64_t>(64, table_bytes / t.row_bytes());
+
+    t.avg_pooling_factor = std::max(1.0, pfs[i] * pf_norm);
+    t.zipf_alpha = rng.NextDouble(p.alpha_min, p.alpha_max);
+    model.tables.push_back(std::move(t));
+  }
+}
+
+ModelConfig Generate(const ZooParams& p) {
+  ModelConfig model;
+  model.name = p.name;
+  model.item_batch_size = p.item_batch;
+  model.user_batch_size = 1;
+  model.num_mlp_layers = p.mlp_layers;
+  model.avg_mlp_width = p.mlp_width;
+  Rng rng(p.seed);
+  AppendRole(model, TableRole::kUser, p.user, rng);
+  AppendRole(model, TableRole::kItem, p.item, rng);
+  return model;
+}
+
+Bytes Scaled(double gib, double scale) {
+  return static_cast<Bytes>(gib * scale * static_cast<double>(kGiB));
+}
+
+}  // namespace
+
+ModelConfig MakeM1(double capacity_scale) {
+  ZooParams p;
+  p.name = "m1";
+  p.user = {61, Scaled(95, capacity_scale), 90, 172, 42.0, 0.55, 0.90};
+  p.item = {30, Scaled(48, capacity_scale), 90, 172, 9.0, 0.85, 1.15};
+  p.item_batch = 50;
+  p.mlp_layers = 31;
+  p.mlp_width = 300;
+  p.seed = 0x5ee1;
+  return Generate(p);
+}
+
+ModelConfig MakeM2(double capacity_scale) {
+  ZooParams p;
+  p.name = "m2";
+  p.user = {450, Scaled(100, capacity_scale), 32, 288, 25.0, 0.55, 0.90};
+  p.item = {280, Scaled(50, capacity_scale), 32, 320, 14.0, 0.85, 1.15};
+  p.item_batch = 150;
+  p.mlp_layers = 43;
+  p.mlp_width = 735;
+  p.seed = 0x5ee2;
+  return Generate(p);
+}
+
+ModelConfig MakeM3(double capacity_scale) {
+  ZooParams p;
+  p.name = "m3";
+  p.user = {1800, Scaled(667, capacity_scale), 32, 512, 26.0, 0.55, 0.90};
+  p.item = {900, Scaled(333, capacity_scale), 32, 512, 26.0, 0.85, 1.15};
+  p.item_batch = 1000;
+  p.mlp_layers = 35;
+  p.mlp_width = 6000;
+  p.seed = 0x5ee3;
+  return Generate(p);
+}
+
+ModelConfig MakeFig1Model(double capacity_scale) {
+  // "a 140GB model ... 734 tables, out of which 445 are user tables
+  //  accounting for 100GB".
+  ZooParams p;
+  p.name = "fig1";
+  p.user = {445, Scaled(100, capacity_scale), 32, 256, 30.0, 0.55, 0.90};
+  p.item = {289, Scaled(40, capacity_scale), 32, 256, 12.0, 0.85, 1.15};
+  p.item_batch = 100;
+  p.mlp_layers = 30;
+  p.mlp_width = 400;
+  p.seed = 0xf161;
+  return Generate(p);
+}
+
+ModelConfig MakeTinyUniformModel(uint32_t dim, size_t user_tables, size_t item_tables,
+                                 uint64_t rows_per_table) {
+  ModelConfig model;
+  model.name = "tiny";
+  model.item_batch_size = 4;
+  model.user_batch_size = 1;
+  model.num_mlp_layers = 4;
+  model.avg_mlp_width = 64;
+  Rng rng(0x71a9);
+  for (size_t i = 0; i < user_tables + item_tables; ++i) {
+    TableConfig t;
+    const bool user = i < user_tables;
+    t.name = std::string("tiny.") + (user ? "user." : "item.") +
+             std::to_string(user ? i : i - user_tables);
+    t.role = user ? TableRole::kUser : TableRole::kItem;
+    t.dtype = DataType::kInt8Rowwise;
+    t.dim = dim;
+    t.num_rows = rows_per_table;
+    t.avg_pooling_factor = user ? 8.0 : 4.0;
+    t.zipf_alpha = rng.NextDouble(0.6, 1.1);
+    model.tables.push_back(std::move(t));
+  }
+  return model;
+}
+
+}  // namespace sdm

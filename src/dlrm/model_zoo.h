@@ -1,0 +1,39 @@
+// Model zoo: the paper's target models (Table 6) as generators.
+//
+// M1 (143GB, CPU-served), M2 (150GB, accelerator + scale-out candidate) and
+// M3 (1TB, future multi-tenant) are reproduced structurally — table counts,
+// dim ranges, pooling factors, batch sizes, MLP shape — with capacities
+// scaled by `capacity_scale` so experiments fit in RAM. Table sizes follow a
+// log-normal spread (the Fig. 1 skew) and dims/pooling factors are sampled
+// deterministically within the paper's ranges.
+#pragma once
+
+#include "embedding/table_config.h"
+
+namespace sdm {
+
+/// Default scale: 1/1024 of production capacity (GB -> MB).
+constexpr double kDefaultZooScale = 1.0 / 1024.0;
+
+/// M1: 143GB, 61 user tables (dim 90-172B, avg PF 42), 30 item tables
+/// (avg PF 9), item batch 50, 31 MLP layers of avg width 300.
+[[nodiscard]] ModelConfig MakeM1(double capacity_scale = kDefaultZooScale);
+
+/// M2: 150GB (user side ~100GB), 450 user tables (dim 32-288B, avg PF 25),
+/// 280 item tables (avg PF 14), item batch 150, 43 MLP layers of width 735.
+[[nodiscard]] ModelConfig MakeM2(double capacity_scale = kDefaultZooScale);
+
+/// M3: 1TB, 1800 user tables (dim 32-512B, avg PF 26), 900 item tables,
+/// item batch 1000, 35 MLP layers of width 6000.
+[[nodiscard]] ModelConfig MakeM3(double capacity_scale = kDefaultZooScale / 8);
+
+/// The 140GB / 734-table (445 user) model behind Fig. 1's size-vs-BW skew.
+[[nodiscard]] ModelConfig MakeFig1Model(double capacity_scale = kDefaultZooScale);
+
+/// Small uniform-dim model for examples and tests that execute the real
+/// DLRM math (dot interaction requires one shared dim).
+[[nodiscard]] ModelConfig MakeTinyUniformModel(uint32_t dim = 32, size_t user_tables = 6,
+                                               size_t item_tables = 2,
+                                               uint64_t rows_per_table = 5000);
+
+}  // namespace sdm

@@ -1,0 +1,33 @@
+#include "embedding/pooling.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdm {
+
+void PoolRows(DataType dtype, PoolingMode mode,
+              std::span<const std::span<const uint8_t>> rows, std::span<float> out) {
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (const auto& row : rows) {
+    DequantizeAccumulate(dtype, row, out);
+  }
+  if (mode == PoolingMode::kMean && !rows.empty()) {
+    const float inv = 1.0f / static_cast<float>(rows.size());
+    for (auto& v : out) v *= inv;
+  }
+}
+
+void PoolDense(PoolingMode mode, std::span<const std::vector<float>> rows,
+               std::span<float> out) {
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (const auto& row : rows) {
+    assert(row.size() == out.size());
+    for (size_t i = 0; i < out.size(); ++i) out[i] += row[i];
+  }
+  if (mode == PoolingMode::kMean && !rows.empty()) {
+    const float inv = 1.0f / static_cast<float>(rows.size());
+    for (auto& v : out) v *= inv;
+  }
+}
+
+}  // namespace sdm

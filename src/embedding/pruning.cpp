@@ -1,0 +1,90 @@
+#include "embedding/pruning.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace sdm {
+
+namespace {
+
+PrunedTable PruneImpl(const EmbeddingTableImage& image, const PruneKeepPredicate& keep) {
+  const TableConfig& cfg = image.config();
+  std::vector<RowIndex> kept;
+  MappingTensor mapping;
+  mapping.map.assign(cfg.num_rows, kPrunedRow);
+  for (RowIndex r = 0; r < cfg.num_rows; ++r) {
+    // Exactly-zero rows are always pruned (the heuristic's easy case).
+    bool all_zero = true;
+    for (const float v : image.DequantizedRow(r)) {
+      if (v != 0.0f) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (!all_zero && keep(r)) {
+      mapping.map[r] = static_cast<int64_t>(kept.size());
+      kept.push_back(r);
+    }
+  }
+
+  // Compact surviving rows.
+  TableConfig pruned_cfg = cfg;
+  pruned_cfg.num_rows = kept.size();
+  pruned_cfg.name = cfg.name + ".pruned";
+  EmbeddingTableImage compact(pruned_cfg);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    const auto src = image.Row(kept[i]);
+    const auto dst = compact.MutableRow(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+
+  PrunedTable out{std::move(compact), std::move(mapping), cfg.num_rows};
+  return out;
+}
+
+}  // namespace
+
+PrunedTable PruneTable(const EmbeddingTableImage& image, double keep_fraction, uint64_t seed) {
+  assert(keep_fraction >= 0.0 && keep_fraction <= 1.0);
+  // Shared Rng captured mutably: PruneImpl evaluates rows in ascending
+  // order, so the draw sequence is deterministic.
+  auto rng = std::make_shared<Rng>(seed);
+  return PruneImpl(image, [rng, keep_fraction](RowIndex) {
+    return rng->NextBernoulli(keep_fraction);
+  });
+}
+
+PrunedTable PruneTableWithPredicate(const EmbeddingTableImage& image,
+                                    const PruneKeepPredicate& keep) {
+  assert(keep);
+  return PruneImpl(image, keep);
+}
+
+EmbeddingTableImage DeprunedTable(const PrunedTable& pruned) {
+  TableConfig cfg = pruned.rows.config();
+  cfg.num_rows = pruned.unpruned_num_rows;
+  // Restore the original (unpruned) name when the convention applies.
+  if (const auto pos = cfg.name.rfind(".pruned"); pos != std::string::npos) {
+    cfg.name = cfg.name.substr(0, pos) + ".depruned";
+  }
+  EmbeddingTableImage dense(cfg);  // all-zero rows with valid quant params
+  for (RowIndex unpruned = 0; unpruned < pruned.unpruned_num_rows; ++unpruned) {
+    const auto mapped = pruned.mapping.Lookup(unpruned);
+    if (!mapped.has_value()) continue;  // stays a zero row
+    const auto src = pruned.rows.Row(*mapped);
+    const auto dst = dense.MutableRow(unpruned);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return dense;
+}
+
+DepruneFootprint ComputeDepruneFootprint(const PrunedTable& pruned) {
+  DepruneFootprint f;
+  f.fm_bytes_freed = pruned.mapping.size_bytes();
+  const uint64_t zero_rows = pruned.unpruned_num_rows - pruned.rows.num_rows();
+  f.sm_bytes_added = zero_rows * pruned.rows.row_bytes();
+  return f;
+}
+
+}  // namespace sdm

@@ -1,0 +1,47 @@
+// Row-wise embedding quantization (paper §3 "row-wise quantization",
+// Guan et al. 2019 post-training 4/8-bit schemes).
+//
+// Storage layouts (one embedding row of `dim` elements):
+//   kFp32        : dim * 4 bytes of IEEE floats
+//   kFp16        : dim * 2 bytes of IEEE halfs
+//   kInt8Rowwise : dim bytes of uint8 codes, then float32 scale, float32 bias
+//   kInt4Rowwise : ceil(dim/2) bytes of packed nibbles (low nibble = even
+//                  element), then float16 scale, float16 bias
+// value = code * scale + bias; codes quantize the row's own [min, max].
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace sdm {
+
+enum class DataType : uint8_t { kFp32, kFp16, kInt8Rowwise, kInt4Rowwise };
+
+[[nodiscard]] const char* ToString(DataType t);
+
+/// Bytes one stored row occupies for the given element count.
+[[nodiscard]] Bytes StoredRowBytes(DataType type, uint32_t dim);
+
+/// IEEE 754 binary16 <-> binary32 conversions (round-to-nearest-even).
+[[nodiscard]] uint16_t FloatToHalf(float f);
+[[nodiscard]] float HalfToFloat(uint16_t h);
+
+/// Quantizes `values` into `dest` using the row-wise layout above.
+/// dest.size() must equal StoredRowBytes(type, values.size()).
+void QuantizeRow(DataType type, std::span<const float> values, std::span<uint8_t> dest);
+
+/// Inverse of QuantizeRow. src.size() must equal StoredRowBytes(type, dim)
+/// and out.size() must equal dim.
+void DequantizeRow(DataType type, std::span<const uint8_t> src, std::span<float> out);
+
+/// Accumulates the dequantized row into `acc` (acc[i] += row[i]) without
+/// materializing an intermediate — the fused dequant+pool kernel used by
+/// SLS-style pooling (§4.4: "dequantization and pooling").
+void DequantizeAccumulate(DataType type, std::span<const uint8_t> src, std::span<float> acc);
+
+/// Worst-case absolute quantization error for a row spanning [lo, hi].
+[[nodiscard]] float MaxAbsError(DataType type, float lo, float hi);
+
+}  // namespace sdm

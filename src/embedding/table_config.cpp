@@ -1,0 +1,62 @@
+#include "embedding/table_config.h"
+
+namespace sdm {
+
+Bytes ModelConfig::TotalBytes() const {
+  Bytes total = 0;
+  for (const auto& t : tables) total += t.total_bytes();
+  return total;
+}
+
+Bytes ModelConfig::BytesFor(TableRole role) const {
+  Bytes total = 0;
+  for (const auto& t : tables) {
+    if (t.role == role) total += t.total_bytes();
+  }
+  return total;
+}
+
+size_t ModelConfig::CountFor(TableRole role) const {
+  size_t n = 0;
+  for (const auto& t : tables) {
+    if (t.role == role) ++n;
+  }
+  return n;
+}
+
+double ModelConfig::AvgPoolingFactor(TableRole role) const {
+  double sum = 0;
+  size_t n = 0;
+  for (const auto& t : tables) {
+    if (t.role == role) {
+      sum += t.avg_pooling_factor;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double ModelConfig::BytesPerQuery() const {
+  double user = 0;
+  double item = 0;
+  for (const auto& t : tables) {
+    if (t.role == TableRole::kUser) {
+      user += t.bytes_per_query();
+    } else {
+      item += t.bytes_per_query();
+    }
+  }
+  return static_cast<double>(user_batch_size) * user +
+         static_cast<double>(item_batch_size) * item;
+}
+
+double ModelConfig::LookupsPerQuery(TableRole role) const {
+  double lookups = 0;
+  const double batch = role == TableRole::kUser ? user_batch_size : item_batch_size;
+  for (const auto& t : tables) {
+    if (t.role == role) lookups += t.avg_pooling_factor * batch;
+  }
+  return lookups;
+}
+
+}  // namespace sdm

@@ -1,0 +1,72 @@
+#include "io/direct_reader.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace sdm {
+
+DirectIoReader::DirectIoReader(IoEngine* engine, DirectReaderConfig config)
+    : engine_(engine), config_(config) {
+  assert(engine != nullptr);
+  fm_bytes_ = stats_.GetCounter("fm_bytes");
+  extra_copies_ = stats_.GetCounter("extra_copies");
+  reads_ = stats_.GetCounter("reads");
+  retries_ = stats_.GetCounter("retries");
+}
+
+bool DirectIoReader::sub_block() const {
+  return config_.sub_block && engine_->device()->spec().supports_sub_block;
+}
+
+void DirectIoReader::ReadRow(Bytes offset, std::span<uint8_t> dest, Callback cb) {
+  reads_->Add(1);
+  Attempt(offset, dest, config_.max_retries, SimDuration(0), std::move(cb));
+}
+
+void DirectIoReader::Attempt(Bytes offset, std::span<uint8_t> dest, int attempts_left,
+                             SimDuration accumulated, Callback cb) {
+  const Bytes length = dest.size();
+  const bool sgl = sub_block();
+  const Bytes bus = NvmeDevice::BusBytes(offset, length, sgl);
+
+  // Bounce buffer sized for the DMA target; owned by the completion closure
+  // (shared_ptr because std::function requires copyable targets).
+  auto bounce = std::make_shared<std::vector<uint8_t>>(bus);
+  const std::span<uint8_t> bounce_span(bounce->data(), bounce->size());
+
+  // Offset of the useful bytes within the bounce buffer.
+  const Bytes skew = sgl ? offset % kDwordBytes : offset % kBlockSize;
+
+  engine_->SubmitRead(
+      offset, length, sgl, bounce_span,
+      [this, offset, dest, skew, sgl, attempts_left, accumulated, cb = std::move(cb),
+       bounce = std::move(bounce)](Status status, SimDuration latency) mutable {
+        if (!status.ok()) {
+          // Retry transient (device-side) errors; invalid requests are not
+          // retryable and surface immediately.
+          if (status.code() == StatusCode::kUnavailable && attempts_left > 0) {
+            retries_->Add(1);
+            Attempt(offset, dest, attempts_left - 1, accumulated + latency,
+                    std::move(cb));
+            return;
+          }
+          if (cb) cb(std::move(status), accumulated + latency);
+          return;
+        }
+        const Bytes length = dest.size();
+        std::memcpy(dest.data(), bounce->data() + skew, length);
+
+        // DMA wrote `bounce` bytes into FM; the copy reads+writes the useful
+        // range again. In sub-block mode the "copy" is the single placement
+        // into the destination (cache storage), already close to 1x.
+        fm_bytes_->Add(bounce->size() + 2 * length);
+        SimDuration total = accumulated + latency;
+        if (!sgl) {
+          extra_copies_->Add(1);
+          total += Seconds(static_cast<double>(length) / config_.memcpy_bytes_per_sec);
+        }
+        if (cb) cb(Status::Ok(), total);
+      });
+}
+
+}  // namespace sdm

@@ -1,0 +1,86 @@
+#include "io/io_engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sdm {
+
+IoEngine::IoEngine(NvmeDevice* device, EventLoop* loop, IoEngineConfig config)
+    : device_(device), loop_(loop), config_(config) {
+  assert(device != nullptr);
+  assert(loop != nullptr);
+  assert(config.queue_depth >= 1);
+  submitted_ = stats_.GetCounter("submitted");
+  completed_ = stats_.GetCounter("completed");
+  errors_ = stats_.GetCounter("errors");
+  cpu_ns_ = stats_.GetCounter("cpu_ns");
+  spilled_ = stats_.GetCounter("spilled");
+}
+
+void IoEngine::SubmitRead(Bytes offset, Bytes length, bool sub_block,
+                          std::span<uint8_t> dest, Callback cb) {
+  submitted_->Add(1);
+  cpu_ns_->Add(static_cast<uint64_t>(config_.cpu_submit_cost.nanos()));
+  Pending p{offset, length, sub_block, dest, std::move(cb), loop_->Now()};
+  if (outstanding_ >= config_.queue_depth) {
+    spilled_->Add(1);
+    pending_.push_back(std::move(p));
+    return;
+  }
+  Dispatch(std::move(p));
+}
+
+void IoEngine::Dispatch(Pending p) {
+  ++outstanding_;
+  const SimTime submitted_at = p.enqueued_at;
+  NvmeDevice::ReadRequest req;
+  req.offset = p.offset;
+  req.length = p.length;
+  req.sub_block = p.sub_block;
+  req.dest = p.dest;
+  req.on_complete = [this, submitted_at, cb = std::move(p.cb)](
+                        Status status, SimDuration /*device_latency*/) mutable {
+    OnDeviceComplete(submitted_at, std::move(status), std::move(cb));
+  };
+  device_->SubmitRead(std::move(req));
+}
+
+void IoEngine::OnDeviceComplete(SimTime submitted_at, Status status, Callback cb) {
+  --outstanding_;
+  assert(outstanding_ >= 0);
+
+  // Refill the device queue from the spill queue.
+  if (!pending_.empty() && outstanding_ < config_.queue_depth) {
+    Pending next = std::move(pending_.front());
+    pending_.pop_front();
+    Dispatch(std::move(next));
+  }
+
+  const bool interrupt = config_.completion_mode == CompletionMode::kInterrupt;
+  const SimDuration reap_cpu =
+      interrupt ? config_.cpu_complete_cost_interrupt : config_.cpu_complete_cost_polling;
+  cpu_ns_->Add(static_cast<uint64_t>(reap_cpu.nanos()));
+  const SimDuration delivery = interrupt ? config_.interrupt_delay : SimDuration(0);
+
+  if (!status.ok()) errors_->Add(1);
+  completed_->Add(1);
+
+  auto finish = [this, submitted_at, status = std::move(status), cb = std::move(cb)]() mutable {
+    const SimDuration e2e = loop_->Now() - submitted_at;
+    latency_.Record(e2e);
+    if (cb) cb(std::move(status), e2e);
+  };
+  if (delivery > SimDuration(0)) {
+    loop_->ScheduleAfter(delivery, std::move(finish));
+  } else {
+    finish();
+  }
+}
+
+double IoEngine::IopsPerCore() const {
+  const double cpu_s = static_cast<double>(cpu_ns_->value()) / 1e9;
+  if (cpu_s <= 0) return 0;
+  return static_cast<double>(completed_->value()) / cpu_s;
+}
+
+}  // namespace sdm

@@ -1,0 +1,127 @@
+#include "io/mmap_reader.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <memory>
+
+namespace sdm {
+
+MmapReader::MmapReader(IoEngine* engine, MmapReaderConfig config)
+    : engine_(engine), config_(config) {
+  assert(engine != nullptr);
+  faults_ = stats_.GetCounter("page_faults");
+  hits_ = stats_.GetCounter("page_hits");
+  evictions_ = stats_.GetCounter("evictions");
+}
+
+void MmapReader::Read(Bytes offset, std::span<uint8_t> dest, Callback cb) {
+  if (dest.empty()) {
+    if (cb) cb(Status::Ok(), SimDuration(0));
+    return;
+  }
+  EventLoop* loop = engine_->loop();
+  const SimTime started_at = loop->Now();
+  const PageId first = offset / kBlockSize;
+  const PageId last = (offset + dest.size() - 1) / kBlockSize;
+
+  // Copies the requested range out of the now-resident pages and completes.
+  auto finish = [this, loop, offset, dest, started_at, cb](Status status) {
+    if (!status.ok()) {
+      if (cb) cb(status, loop->Now() - started_at);
+      return;
+    }
+    const PageId first_p = offset / kBlockSize;
+    const PageId last_p = (offset + dest.size() - 1) / kBlockSize;
+    for (PageId p = first_p; p <= last_p; ++p) {
+      auto it = pages_.find(p);
+      if (it == pages_.end() || !it->second.ready) {
+        // Page was evicted between fault completion and copy-out; a real
+        // kernel would re-fault. Rare under sane capacities; report it.
+        if (cb) cb(UnavailableError("page evicted before copy-out"), loop->Now() - started_at);
+        return;
+      }
+      const Bytes page_base = p * kBlockSize;
+      const Bytes lo = std::max<Bytes>(offset, page_base);
+      const Bytes hi = std::min<Bytes>(offset + dest.size(), page_base + kBlockSize);
+      std::memcpy(dest.data() + (lo - offset), it->second.data.data() + (lo - page_base),
+                  hi - lo);
+      // LRU bump.
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(p);
+      it->second.lru_it = lru_.begin();
+    }
+    if (cb) cb(Status::Ok(), loop->Now() - started_at);
+  };
+
+  struct Join {
+    int remaining = 0;
+  };
+  auto join = std::make_shared<Join>();
+
+  // Start faults for absent pages; piggyback on in-flight ones.
+  for (PageId p = first; p <= last; ++p) {
+    auto it = pages_.find(p);
+    if (it != pages_.end() && it->second.ready) {
+      hits_->Add(1);
+      continue;
+    }
+    ++join->remaining;
+    auto on_page_ready = [join, finish] {
+      if (--join->remaining == 0) finish(Status::Ok());
+    };
+    if (it != pages_.end()) {
+      it->second.waiters.push_back(std::move(on_page_ready));
+      continue;
+    }
+    Page page;
+    page.data.assign(kBlockSize, 0);
+    lru_.push_front(p);
+    page.lru_it = lru_.begin();
+    page.waiters.push_back(std::move(on_page_ready));
+    pages_.emplace(p, std::move(page));
+    FaultPage(p);
+  }
+
+  if (join->remaining == 0) finish(Status::Ok());
+}
+
+void MmapReader::FaultPage(PageId page) {
+  faults_->Add(1);
+  auto it = pages_.find(page);
+  assert(it != pages_.end());
+  const Bytes offset = page * kBlockSize;
+  const std::span<uint8_t> dest(it->second.data.data(), kBlockSize);
+  engine_->SubmitRead(offset, kBlockSize, /*sub_block=*/false, dest,
+                      [this, page](Status status, SimDuration /*latency*/) {
+                        auto it2 = pages_.find(page);
+                        if (it2 == pages_.end()) return;  // evicted mid-flight
+                        it2->second.ready = status.ok();
+                        auto waiters = std::move(it2->second.waiters);
+                        it2->second.waiters.clear();
+                        for (auto& w : waiters) w();
+                        EvictIfNeeded();
+                      });
+}
+
+void MmapReader::EvictIfNeeded() {
+  const size_t max_pages =
+      std::max<size_t>(1, config_.page_cache_capacity / kBlockSize);
+  while (pages_.size() > max_pages) {
+    // Evict the least-recently-used *ready* page (skip in-flight faults).
+    bool evicted = false;
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      auto it = pages_.find(*rit);
+      assert(it != pages_.end());
+      if (!it->second.ready || !it->second.waiters.empty()) continue;
+      lru_.erase(std::next(rit).base());
+      pages_.erase(it);
+      evictions_->Add(1);
+      evicted = true;
+      break;
+    }
+    if (!evicted) break;  // everything is mid-fault; try again later
+  }
+}
+
+}  // namespace sdm

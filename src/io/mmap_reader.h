@@ -1,0 +1,66 @@
+// mmap-style page-cache reader — the road not taken (paper §4.1).
+//
+// Models reading SM through mmap: every miss faults a whole 4KB page into a
+// page cache that competes for FM space, and the useful sub-range is copied
+// out on access. With 128B rows and little spatial locality this wastes
+// ~32x of FM per cached row and adds ~3x latency versus DIRECT_IO with an
+// application row cache — the comparison bench_mmap_vs_directio reproduces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "io/io_engine.h"
+
+namespace sdm {
+
+struct MmapReaderConfig {
+  /// FM budget for resident pages.
+  Bytes page_cache_capacity = 64 * kMiB;
+};
+
+class MmapReader {
+ public:
+  using Callback = std::function<void(Status, SimDuration)>;
+
+  MmapReader(IoEngine* engine, MmapReaderConfig config);
+
+  /// Reads [offset, offset + dest.size()): faults any non-resident pages
+  /// (block IO each), then copies the range out of the page cache.
+  void Read(Bytes offset, std::span<uint8_t> dest, Callback cb);
+
+  [[nodiscard]] uint64_t page_faults() const { return faults_->value(); }
+  [[nodiscard]] uint64_t page_hits() const { return hits_->value(); }
+  [[nodiscard]] size_t resident_pages() const { return pages_.size(); }
+  [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
+
+ private:
+  using PageId = uint64_t;
+
+  struct Page {
+    std::vector<uint8_t> data;
+    std::list<PageId>::iterator lru_it;
+    bool ready = false;  // false while the fault IO is outstanding
+    std::vector<std::function<void()>> waiters;
+  };
+
+  void FaultPage(PageId page);
+  void EvictIfNeeded();
+
+  IoEngine* engine_;
+  MmapReaderConfig config_;
+  std::unordered_map<PageId, Page> pages_;
+  std::list<PageId> lru_;  // front = most recent
+
+  StatsRegistry stats_;
+  Counter* faults_ = nullptr;
+  Counter* hits_ = nullptr;
+  Counter* evictions_ = nullptr;
+};
+
+}  // namespace sdm

@@ -1,0 +1,77 @@
+#include "io/throttle.h"
+
+#include <cassert>
+
+namespace sdm {
+
+TableThrottle::TableThrottle(ThrottleConfig config) : config_(config) {}
+
+bool TableThrottle::CanDispatch(const TableState& st) const {
+  if (config_.max_outstanding_per_table > 0 &&
+      st.in_flight >= config_.max_outstanding_per_table) {
+    return false;
+  }
+  if (config_.max_concurrent_tables > 0 && st.in_flight == 0 &&
+      active_tables_ >= config_.max_concurrent_tables) {
+    return false;  // would need a new table slot and none is free
+  }
+  return true;
+}
+
+void TableThrottle::Acquire(TableId table, Runner fn) {
+  assert(fn);
+  TableState& st = tables_[table];
+  if (CanDispatch(st)) {
+    if (st.in_flight == 0) ++active_tables_;
+    ++st.in_flight;
+    fn();
+    return;
+  }
+  ++deferred_;
+  st.waiting.push_back(std::move(fn));
+}
+
+void TableThrottle::Release(TableId table) {
+  auto it = tables_.find(table);
+  assert(it != tables_.end());
+  TableState& st = it->second;
+  assert(st.in_flight > 0);
+  --st.in_flight;
+  if (st.in_flight == 0) {
+    --active_tables_;
+  }
+  // First serve this table's own queue, then any table blocked on the
+  // global slot limit.
+  TryDispatch(table, st);
+  if (config_.max_concurrent_tables > 0) {
+    // Scan for other tables with queued work that can now start.
+    for (auto& [id, other] : tables_) {
+      if (id == table) continue;
+      if (other.waiting.empty()) continue;
+      TryDispatch(id, other);
+    }
+  }
+}
+
+void TableThrottle::TryDispatch(TableId table, TableState& st) {
+  (void)table;
+  while (!st.waiting.empty() && CanDispatch(st)) {
+    Runner fn = std::move(st.waiting.front());
+    st.waiting.pop_front();
+    if (st.in_flight == 0) ++active_tables_;
+    ++st.in_flight;
+    fn();
+  }
+}
+
+int TableThrottle::InFlight(TableId table) const {
+  const auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.in_flight;
+}
+
+size_t TableThrottle::QueuedFor(TableId table) const {
+  const auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.waiting.size();
+}
+
+}  // namespace sdm

@@ -1,0 +1,62 @@
+// Per-table and global IO admission control (paper §4.1 Tuning API:
+// "Total number of outstanding IOs per table and total number of tables
+// that can be processed at given time").
+//
+// The throttle sits in front of an IoEngine: lookups acquire a slot for
+// their table before submitting; excess work queues FIFO per table, and
+// tables themselves queue for one of the global table slots.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace sdm {
+
+struct ThrottleConfig {
+  /// Max IOs in flight per table (<=0 means unlimited).
+  int max_outstanding_per_table = 32;
+  /// Max distinct tables with in-flight IO at once (<=0 means unlimited).
+  int max_concurrent_tables = 0;
+};
+
+class TableThrottle {
+ public:
+  using Runner = std::function<void()>;
+
+  explicit TableThrottle(ThrottleConfig config);
+
+  /// Runs `fn` now if the table has a free slot (and a table slot is free),
+  /// otherwise queues it. `fn` performs the actual submission.
+  void Acquire(TableId table, Runner fn);
+
+  /// Releases one slot for `table` and dispatches queued work.
+  void Release(TableId table);
+
+  [[nodiscard]] int InFlight(TableId table) const;
+  [[nodiscard]] int ActiveTables() const { return active_tables_; }
+  [[nodiscard]] uint64_t deferred() const { return deferred_; }
+  [[nodiscard]] size_t QueuedFor(TableId table) const;
+
+ private:
+  struct TableState {
+    int in_flight = 0;
+    std::deque<Runner> waiting;
+  };
+
+  [[nodiscard]] bool CanDispatch(const TableState& st) const;
+  void TryDispatch(TableId table, TableState& st);
+
+  ThrottleConfig config_;
+  std::map<TableId, TableState> tables_;
+  int active_tables_ = 0;
+  uint64_t deferred_ = 0;
+  // Tables with queued work blocked only on the global table-slot limit.
+  std::deque<TableId> tables_waiting_for_slot_;
+};
+
+}  // namespace sdm

@@ -1,0 +1,122 @@
+#include "serving/cluster.h"
+
+#include <cassert>
+
+namespace sdm {
+
+namespace {
+
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+StickyRouter::StickyRouter(size_t num_hosts, RoutingPolicy policy, uint64_t seed)
+    : num_hosts_(num_hosts), policy_(policy), rng_(seed) {
+  assert(num_hosts >= 1);
+}
+
+size_t StickyRouter::Route(UserId user) {
+  if (policy_ == RoutingPolicy::kUserSticky) {
+    return static_cast<size_t>(Mix64(user) % num_hosts_);
+  }
+  return static_cast<size_t>(rng_.NextBounded(num_hosts_));
+}
+
+ClusterSimulation::ClusterSimulation(size_t num_hosts, const HostSimConfig& host_config,
+                                     RoutingPolicy policy)
+    : router_(num_hosts, policy, host_config.seed ^ 0xc1u), seed_(host_config.seed) {
+  assert(num_hosts >= 1);
+  hosts_.reserve(num_hosts);
+  for (size_t i = 0; i < num_hosts; ++i) {
+    HostSimConfig cfg = host_config;
+    cfg.seed = host_config.seed ^ Mix64(i + 1);
+    hosts_.push_back(std::make_unique<HostSimulation>(cfg));
+  }
+}
+
+Status ClusterSimulation::LoadModel(const ModelConfig& model) {
+  for (auto& h : hosts_) {
+    if (Status s = h->LoadModel(model); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+ClusterRunReport ClusterSimulation::Run(double total_qps, uint64_t num_queries) {
+  // Partition a global user stream by the router. Each host then serves its
+  // sub-population at its share of the global rate. Hosts run on separate
+  // event loops (they do not interact beyond routing), so running them
+  // sequentially is exact.
+  std::vector<std::vector<UserId>> per_host_users(hosts_.size());
+  // Reuse the first host's generator distributions to draw the user stream.
+  QueryGenerator& reference = hosts_[0]->workload();
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    const Query q = reference.Next();  // draws a popularity-weighted user
+    per_host_users[router_.Route(q.user)].push_back(q.user);
+  }
+
+  ClusterRunReport report;
+  report.hosts.reserve(hosts_.size());
+  double hit_sum = 0;
+  for (size_t h = 0; h < hosts_.size(); ++h) {
+    HostSimulation& host = *hosts_[h];
+    const auto& users = per_host_users[h];
+    if (users.empty()) {
+      report.hosts.push_back(HostRunReport{});
+      continue;
+    }
+    // Serve this host's routed queries at the proportional rate by feeding
+    // the exact user sequence through the host's own engine.
+    const double host_qps =
+        total_qps * static_cast<double>(users.size()) / static_cast<double>(num_queries);
+    HostRunReport r = host.RunUsers(users, host_qps);
+    hit_sum += r.row_cache_hit_rate;
+    report.aggregate_qps += r.achieved_qps;
+    report.hosts.push_back(std::move(r));
+  }
+  report.mean_hit_rate = hit_sum / static_cast<double>(hosts_.size());
+  return report;
+}
+
+MultiTenantHost::MultiTenantHost(HostSimConfig base_config, uint64_t seed)
+    : base_config_(std::move(base_config)), seed_(seed) {}
+
+Status MultiTenantHost::AddTenant(const ModelConfig& model, Bytes fm_share) {
+  HostSimConfig cfg = base_config_;
+  cfg.fm_capacity = fm_share;
+  cfg.seed = seed_ ^ Mix64(tenants_.size() + 0x7e0a);
+  Tenant t;
+  t.model = model;
+  t.sim = std::make_unique<HostSimulation>(cfg);
+  if (Status s = t.sim->LoadModel(model); !s.ok()) return s;
+  tenants_.push_back(std::move(t));
+  return Status::Ok();
+}
+
+MultiTenantReport MultiTenantHost::Run(double qps_per_tenant, uint64_t queries_per_tenant) {
+  MultiTenantReport report;
+  report.fm_capacity = base_config_.fm_capacity;
+  for (auto& t : tenants_) {
+    TenantReport tr;
+    tr.model_name = t.model.name;
+    tr.run = t.sim->Run(qps_per_tenant, queries_per_tenant);
+    tr.fm_used = t.sim->store().fm_direct_bytes() + t.sim->store().fm_mapping_bytes() +
+                 (t.sim->store().row_cache() != nullptr
+                      ? t.sim->store().row_cache()->capacity()
+                      : 0);
+    tr.sm_used = t.sim->store().sm_used_bytes();
+    report.fm_total += tr.fm_used;
+    report.tenants.push_back(std::move(tr));
+  }
+  // Without SM every tenant's SM bytes would need FM instead.
+  Bytes fm_needed_without_sm = report.fm_total;
+  for (const auto& tr : report.tenants) fm_needed_without_sm += tr.sm_used;
+  report.fits_in_fm = fm_needed_without_sm <= report.fm_capacity;
+  return report;
+}
+
+}  // namespace sdm

@@ -1,0 +1,140 @@
+// Fleet-level composition: sticky routing, scale-out, multi-tenancy.
+//
+// - StickyRouter / ClusterSimulation: queries route user->host by hash, so
+//   each host sees a stable user sub-population and higher per-host
+//   temporal locality than the global trace (paper Fig. 4c). Random
+//   routing is available as the baseline.
+// - ScaleOutModel: analytic latency/power for the (Lui et al.) sharded
+//   alternative SDM competes against in §5.2.
+// - MultiTenantHost: co-locates several models on one simulated host,
+//   sharing its FM budget, to exercise the §5.3 capacity argument.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "serving/host.h"
+#include "serving/power_model.h"
+
+namespace sdm {
+
+enum class RoutingPolicy : uint8_t { kUserSticky, kRandom };
+
+/// Maps users to hosts. Sticky = consistent hash; random = per-query draw.
+class StickyRouter {
+ public:
+  StickyRouter(size_t num_hosts, RoutingPolicy policy, uint64_t seed);
+
+  [[nodiscard]] size_t Route(UserId user);
+
+  [[nodiscard]] RoutingPolicy policy() const { return policy_; }
+
+ private:
+  size_t num_hosts_;
+  RoutingPolicy policy_;
+  Rng rng_;
+};
+
+struct ClusterRunReport {
+  std::vector<HostRunReport> hosts;
+  double mean_hit_rate = 0;
+  double aggregate_qps = 0;
+};
+
+/// A small fleet of identical hosts used to demonstrate routing effects:
+/// every host loads the same model; a global user stream is partitioned by
+/// the router; each host then serves its share.
+class ClusterSimulation {
+ public:
+  ClusterSimulation(size_t num_hosts, const HostSimConfig& host_config,
+                    RoutingPolicy policy);
+
+  Status LoadModel(const ModelConfig& model);
+
+  /// Routes `num_queries` global arrivals and runs each host at its share
+  /// of `total_qps`.
+  [[nodiscard]] ClusterRunReport Run(double total_qps, uint64_t num_queries);
+
+  [[nodiscard]] HostSimulation& host(size_t i) { return *hosts_[i]; }
+  [[nodiscard]] size_t size() const { return hosts_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<HostSimulation>> hosts_;
+  StickyRouter router_;
+  uint64_t seed_;
+};
+
+// ---------------------------------------------------------------------------
+// Scale-out (the alternative SDM displaces, §5.2).
+// ---------------------------------------------------------------------------
+
+struct ScaleOutModel {
+  /// Main hosts per helper (paper: one HW-S serves ~5 HW-AN).
+  double mains_per_helper = 5.0;
+  /// Network round trip for a remote embedding fetch.
+  SimDuration network_rtt = Micros(100);
+  /// Helper-side service time per query's user-embedding work.
+  SimDuration helper_service = Micros(200);
+
+  /// Added latency on the user path versus local DRAM.
+  [[nodiscard]] SimDuration UserPathLatency() const { return network_rtt + helper_service; }
+
+  /// Fleet scenario for mains at `qps_per_host` with helper overhead.
+  [[nodiscard]] FleetScenario Fleet(const std::string& name, double total_qps,
+                                    double qps_per_host, double main_power,
+                                    double helper_power) const {
+    FleetScenario s;
+    s.name = name;
+    s.total_qps = total_qps;
+    s.qps_per_host = qps_per_host;
+    s.host_power = main_power;
+    s.helpers_per_host = 1.0 / mains_per_helper;
+    s.helper_power = helper_power;
+    return s;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Multi-tenancy (§5.3).
+// ---------------------------------------------------------------------------
+
+struct TenantReport {
+  std::string model_name;
+  HostRunReport run;
+  Bytes fm_used = 0;
+  Bytes sm_used = 0;
+};
+
+struct MultiTenantReport {
+  std::vector<TenantReport> tenants;
+  Bytes fm_total = 0;
+  Bytes fm_capacity = 0;
+  bool fits_in_fm = false;  ///< would the tenant set fit without SM?
+};
+
+/// Co-locates several (typically experimental) models on one host spec.
+/// Each tenant gets an SDM sized to its share; the report shows the DRAM
+/// the host would need without SM versus with it.
+class MultiTenantHost {
+ public:
+  MultiTenantHost(HostSimConfig base_config, uint64_t seed);
+
+  /// Adds a tenant model; `fm_share` is its slice of the host FM budget.
+  Status AddTenant(const ModelConfig& model, Bytes fm_share);
+
+  /// Runs every tenant at `qps_per_tenant` for `queries_per_tenant`.
+  [[nodiscard]] MultiTenantReport Run(double qps_per_tenant, uint64_t queries_per_tenant);
+
+  [[nodiscard]] size_t tenant_count() const { return tenants_.size(); }
+
+ private:
+  HostSimConfig base_config_;
+  uint64_t seed_;
+  struct Tenant {
+    ModelConfig model;
+    std::unique_ptr<HostSimulation> sim;
+  };
+  std::vector<Tenant> tenants_;
+};
+
+}  // namespace sdm

@@ -1,0 +1,130 @@
+// Host types (paper Table 7) and the single-host serving simulation.
+//
+// HostSpec captures what distinguishes the paper's deployment platforms:
+// CPU sockets, DRAM, attached SSDs, accelerator, and (normalized) power.
+// HostSimulation assembles the full stack on one EventLoop — SdmStore,
+// ModelLoader, InferenceEngine, QueryGenerator — and drives an open-loop
+// Poisson arrival process to measure QPS/latency/hit-rate, the quantities
+// Tables 8/9/10/11 build their fleet arithmetic on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/model_loader.h"
+#include "serving/inference_engine.h"
+
+namespace sdm {
+
+struct HostSpec {
+  std::string name;
+  int cpu_sockets = 1;
+  Bytes dram = 64 * kGiB;            ///< nominal production DRAM
+  std::vector<DeviceSpec> ssds;      ///< SM devices (empty = DRAM-only host)
+  bool accelerator = false;
+  /// Host power normalized so HW-L == 1.0 (paper reports normalized power).
+  double power = 1.0;
+  /// Dense execution rate for one query: per-core flops/s on CPU hosts
+  /// (a query's MLP work occupies one core), whole-device flops/s when an
+  /// accelerator runs the dense part.
+  double dense_flops = 2.0e10;
+
+  /// Usable cores (the admission limit and Eq. 5's compute denominator).
+  [[nodiscard]] int cores() const { return 20 * cpu_sockets; }
+};
+
+/// Table 7 host types.
+[[nodiscard]] HostSpec MakeHwL();   ///< 2x Xeon, 256GB, no SSD
+[[nodiscard]] HostSpec MakeHwS();   ///< 1x Xeon, 64GB (scale-out helper)
+[[nodiscard]] HostSpec MakeHwSS();  ///< 1x Xeon, 64GB, 2x 2TB Nand
+[[nodiscard]] HostSpec MakeHwAN();  ///< accelerator + 2x 1TB Nand
+[[nodiscard]] HostSpec MakeHwAO();  ///< accelerator + 2x 0.4TB Optane
+/// M3-era platforms (§5.3): big accelerator host, optionally with Optane.
+[[nodiscard]] HostSpec MakeHwF();
+[[nodiscard]] HostSpec MakeHwFAO(int num_optane_ssds = 9);
+
+struct HostSimConfig {
+  HostSpec host;
+  /// FM the SDM may use (scaled-down experiments use far less than the
+  /// host's nominal DRAM).
+  Bytes fm_capacity = 128 * kMiB;
+  /// Backing bytes allocated per SSD (scaled).
+  Bytes sm_backing_per_device = 256 * kMiB;
+  TuningConfig tuning;
+  LoaderOptions loader;
+  WorkloadConfig workload;
+  InferenceConfig inference;
+  uint64_t seed = 7;
+};
+
+struct HostRunReport {
+  uint64_t queries_completed = 0;
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  SimDuration p50;
+  SimDuration p95;
+  SimDuration p99;
+  SimDuration mean;
+  double row_cache_hit_rate = 0;
+  double pooled_hit_rate = 0;
+  double sm_iops = 0;               ///< sustained IOs/sec against SM
+  double sm_read_amplification = 1;
+  SimDuration avg_cpu_per_query;
+  /// Max QPS one host CPU-second supports (1 / cpu_per_query); the compute
+  /// term of Eq. 5.
+  double cpu_qps_bound = 0;
+
+  [[nodiscard]] std::string Summary() const;
+};
+
+class HostSimulation {
+ public:
+  explicit HostSimulation(HostSimConfig config);
+
+  /// Loads the model onto the host's SDM. Must be called once before Run.
+  Status LoadModel(const ModelConfig& model);
+
+  /// Runs `num_queries` open-loop Poisson arrivals at `target_qps`
+  /// (virtual time) and reports. Callable repeatedly; histograms reset per
+  /// run, caches stay warm across runs (matching steady-state measurement
+  /// after a warmup run).
+  [[nodiscard]] HostRunReport Run(double target_qps, uint64_t num_queries);
+
+  /// Like Run, but serves queries for an explicit user sequence (one query
+  /// per entry) — the cluster router uses this to replay a routed stream.
+  [[nodiscard]] HostRunReport RunUsers(std::span<const UserId> users, double target_qps);
+
+  /// Convenience: warm the caches with `n` queries (no measurement).
+  void Warmup(uint64_t n, double qps = 1000.0);
+
+  [[nodiscard]] SdmStore& store() { return *store_; }
+  [[nodiscard]] InferenceEngine& engine() { return *engine_; }
+  [[nodiscard]] QueryGenerator& workload() { return *workload_; }
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] const HostSimConfig& config() const { return config_; }
+  [[nodiscard]] const LoadReport& load_report() const { return load_report_; }
+
+  /// Finds the highest QPS whose p-latency stays under `sla` (binary
+  /// search over Run; `use_p99` picks the percentile — §2.3's p95 vs p99).
+  [[nodiscard]] double FindMaxQps(SimDuration sla, bool use_p99, uint64_t queries_per_probe,
+                                  double qps_lo = 50, double qps_hi = 100000);
+
+ private:
+  [[nodiscard]] HostRunReport RunInternal(double target_qps, uint64_t num_queries,
+                                          const std::function<Query()>& next_query);
+
+  HostSimConfig config_;
+  EventLoop loop_;
+  std::unique_ptr<SdmStore> store_;
+  std::unique_ptr<InferenceEngine> engine_;
+  std::unique_ptr<QueryGenerator> workload_;
+  LoadReport load_report_;
+  ModelConfig model_;
+  bool loaded_ = false;
+};
+
+}  // namespace sdm

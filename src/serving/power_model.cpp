@@ -1,0 +1,63 @@
+#include "serving/power_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace sdm {
+
+FleetEstimate EvaluateFleet(const FleetScenario& s) {
+  assert(s.qps_per_host > 0);
+  FleetEstimate e;
+  e.main_hosts = std::ceil(s.total_qps / s.qps_per_host);
+  e.helper_hosts = std::ceil(e.main_hosts * s.helpers_per_host);
+  e.total_power = e.main_hosts * s.host_power + e.helper_hosts * s.helper_power;
+  e.power_per_kqps = s.total_qps > 0 ? e.total_power / (s.total_qps / 1000.0) : 0;
+  return e;
+}
+
+double PowerSaving(const FleetEstimate& a, const FleetEstimate& b) {
+  if (a.total_power <= 0) return 0;
+  return 1.0 - b.total_power / a.total_power;
+}
+
+std::string FleetEstimate::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "hosts=%.0f(+%.0f helpers) power=%.1f (%.3f/kQPS)",
+                main_hosts, helper_hosts, total_power, power_per_kqps);
+  return buf;
+}
+
+MultiTenancyEstimate EvaluateMultiTenancy(const MultiTenancyScenario& s) {
+  assert(s.base_utilization > 0 && s.sdm_utilization > 0);
+  MultiTenancyEstimate e;
+  // Same aggregate work; hosts needed scale inversely with utilization.
+  const double base_hosts = 1.0 / s.base_utilization;
+  const double sdm_hosts = 1.0 / s.sdm_utilization;
+  e.fleet_power_ratio =
+      (sdm_hosts * s.sdm_host_power) / (base_hosts * s.base_host_power);
+  e.perf_per_watt_gain = 1.0 / e.fleet_power_ratio - 1.0;
+  return e;
+}
+
+SsdSizingResult ComputeSsdRequirement(const SsdSizingInput& in) {
+  assert(in.per_ssd_iops > 0);
+  assert(in.target_device_utilization > 0 && in.target_device_utilization <= 1.0);
+  SsdSizingResult r;
+  // Eq. 8: IOPS = QPS * sum(p_i) over SM tables, then the cache absorbs
+  // hit_rate of it.
+  const double raw = in.qps * in.user_tables * in.avg_pooling;
+  r.required_iops = raw * (1.0 - in.cache_hit_rate);
+  const double effective_per_ssd = in.per_ssd_iops * in.target_device_utilization;
+  r.ssds_needed = static_cast<int>(std::ceil(r.required_iops / effective_per_ssd));
+  return r;
+}
+
+std::string SsdSizingResult::Summary() const {
+  char buf[120];
+  std::snprintf(buf, sizeof(buf), "required=%.1f MIOPS -> %d SSDs", required_iops / 1e6,
+                ssds_needed);
+  return buf;
+}
+
+}  // namespace sdm

@@ -1,0 +1,84 @@
+// Fleet power / capacity arithmetic (paper §2.3 Eq. 5-7, Tables 8/9/10/11).
+//
+// The paper's headline numbers are fleet-level: measured QPS-per-host at
+// the latency SLA, multiplied out to the hosts (and watts) a region needs.
+// These helpers keep that arithmetic explicit and auditable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace sdm {
+
+/// One serving configuration for a model with a fleet-wide QPS demand.
+struct FleetScenario {
+  std::string name;
+  double total_qps = 0;      ///< region-level demand
+  double qps_per_host = 0;   ///< measured at the latency SLA (Eq. 5)
+  double host_power = 1.0;   ///< normalized per-host power
+  /// Scale-out helpers (e.g. HW-S hosts serving user embeddings remotely):
+  /// helpers needed per main host and their power.
+  double helpers_per_host = 0;
+  double helper_power = 0;
+};
+
+struct FleetEstimate {
+  double main_hosts = 0;
+  double helper_hosts = 0;
+  double total_power = 0;
+  double power_per_kqps = 0;
+
+  [[nodiscard]] std::string Summary() const;
+};
+
+/// Eq. 7: Resources = QPS_total / QPS_host, plus helper fan-out and power.
+[[nodiscard]] FleetEstimate EvaluateFleet(const FleetScenario& s);
+
+/// Relative power saving of `b` versus `a` (positive = b cheaper).
+[[nodiscard]] double PowerSaving(const FleetEstimate& a, const FleetEstimate& b);
+
+// ---------------------------------------------------------------------------
+// Multi-tenancy (Table 11).
+// ---------------------------------------------------------------------------
+
+struct MultiTenancyScenario {
+  double base_utilization = 0.63;  ///< fleet util without SDM (memory-bound)
+  double sdm_utilization = 0.90;   ///< with SM capacity unlocking co-location
+  double base_host_power = 1.0;
+  double sdm_host_power = 1.01;    ///< + SSDs
+};
+
+struct MultiTenancyEstimate {
+  /// Fleet power to serve the same work, relative to the base fleet.
+  double fleet_power_ratio = 1.0;
+  double perf_per_watt_gain = 0.0;
+};
+
+[[nodiscard]] MultiTenancyEstimate EvaluateMultiTenancy(const MultiTenancyScenario& s);
+
+// ---------------------------------------------------------------------------
+// SM device sizing (Table 10).
+// ---------------------------------------------------------------------------
+
+struct SsdSizingInput {
+  double qps = 0;              ///< per-host QPS target
+  double user_tables = 0;      ///< tables served from SM
+  double avg_pooling = 0;      ///< lookups per table per query
+  double cache_hit_rate = 0;   ///< SM cache hit rate (misses reach devices)
+  double per_ssd_iops = 4e6;   ///< device capability (Optane: 4M)
+  /// Headroom: devices run below their ceiling to hold latency (<=1).
+  double target_device_utilization = 1.0;
+};
+
+struct SsdSizingResult {
+  double required_iops = 0;  ///< post-cache IOPS demand (Eq. 8 * miss rate)
+  int ssds_needed = 0;
+
+  [[nodiscard]] std::string Summary() const;
+};
+
+[[nodiscard]] SsdSizingResult ComputeSsdRequirement(const SsdSizingInput& in);
+
+}  // namespace sdm

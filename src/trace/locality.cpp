@@ -1,0 +1,85 @@
+#include "trace/locality.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sdm {
+
+TemporalLocality AnalyzeTemporalLocality(std::span<const RowIndex> trace, size_t max_points) {
+  TemporalLocality out;
+  out.total_accesses = trace.size();
+  if (trace.empty()) return out;
+
+  std::unordered_map<RowIndex, uint64_t> counts;
+  counts.reserve(trace.size() / 4);
+  for (const RowIndex r : trace) ++counts[r];
+  out.unique_rows = counts.size();
+
+  std::vector<uint64_t> freq;
+  freq.reserve(counts.size());
+  for (const auto& [row, c] : counts) freq.push_back(c);
+  std::sort(freq.begin(), freq.end(), std::greater<>());
+
+  // Downsample the cumulative curve to max_points evenly spaced ranks.
+  const size_t points = std::min(max_points, freq.size());
+  out.cumulative.reserve(points);
+  const double total = static_cast<double>(trace.size());
+  size_t next_emit = 0;
+  uint64_t running = 0;
+  for (size_t i = 0; i < freq.size(); ++i) {
+    running += freq[i];
+    // Emit when rank i crosses the next sample position.
+    const size_t target = (next_emit + 1) * freq.size() / points - 1;
+    if (i >= target && next_emit < points) {
+      out.cumulative.push_back(static_cast<double>(running) / total);
+      ++next_emit;
+    }
+  }
+  while (out.cumulative.size() < points) out.cumulative.push_back(1.0);
+  return out;
+}
+
+double TemporalLocality::ShareOfTopRows(double fraction) const {
+  if (cumulative.empty()) return 0;
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  const size_t idx = f >= 1.0 ? cumulative.size() - 1
+                              : static_cast<size_t>(f * static_cast<double>(cumulative.size()));
+  return cumulative[std::min(idx, cumulative.size() - 1)];
+}
+
+SpatialLocality AnalyzeSpatialLocality(std::span<const RowIndex> trace, Bytes row_bytes,
+                                       size_t window) {
+  SpatialLocality out;
+  assert(row_bytes > 0);
+  out.rows_per_block = std::max<uint64_t>(1, kBlockSize / row_bytes);
+  if (trace.empty() || window == 0) return out;
+
+  out.min_ratio = 1.0;
+  double sum = 0;
+  size_t windows = 0;
+  for (size_t begin = 0; begin < trace.size(); begin += window) {
+    const size_t end = std::min(trace.size(), begin + window);
+    std::unordered_set<RowIndex> unique_rows;
+    std::unordered_set<uint64_t> unique_blocks;
+    for (size_t i = begin; i < end; ++i) {
+      unique_rows.insert(trace[i]);
+      unique_blocks.insert(trace[i] * row_bytes / kBlockSize);
+    }
+    if (unique_blocks.empty()) continue;
+    const double ratio = static_cast<double>(unique_rows.size()) /
+                         static_cast<double>(unique_blocks.size()) /
+                         static_cast<double>(out.rows_per_block);
+    sum += ratio;
+    out.min_ratio = std::min(out.min_ratio, ratio);
+    out.max_ratio = std::max(out.max_ratio, ratio);
+    ++windows;
+  }
+  out.windows = windows;
+  out.mean_ratio = windows == 0 ? 0 : sum / static_cast<double>(windows);
+  return out;
+}
+
+}  // namespace sdm

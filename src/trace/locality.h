@@ -1,0 +1,47 @@
+// Locality analyzers (paper §4.2, Figs. 4 and 5).
+//
+// Temporal: cumulative-access CDF over popularity ranks — power-law tables
+// concentrate most accesses in few rows (the row cache's reason to exist).
+// Spatial: per-window ratio of unique indices to unique 4KB blocks,
+// normalized by rows-per-block; 1.0 means accessed rows pack perfectly into
+// blocks (high spatial locality), ~rows_per_block^-1 means fully scattered.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sdm {
+
+struct TemporalLocality {
+  uint64_t total_accesses = 0;
+  uint64_t unique_rows = 0;
+  /// cumulative[i] = fraction of all accesses covered by the (i+1) hottest
+  /// rows, downsampled to at most `max_points` points.
+  std::vector<double> cumulative;
+
+  /// Fraction of accesses covered by the hottest `fraction` of unique rows.
+  [[nodiscard]] double ShareOfTopRows(double fraction) const;
+};
+
+[[nodiscard]] TemporalLocality AnalyzeTemporalLocality(std::span<const RowIndex> trace,
+                                                       size_t max_points = 1000);
+
+struct SpatialLocality {
+  /// Mean over windows of (unique_indices / unique_blocks) / rows_per_block.
+  double mean_ratio = 0;
+  double min_ratio = 0;
+  double max_ratio = 0;
+  size_t windows = 0;
+  uint64_t rows_per_block = 0;
+};
+
+/// `row_bytes` sizes rows within 4KB blocks; `window` is the paper's
+/// averaging interval (~25M accesses at production scale).
+[[nodiscard]] SpatialLocality AnalyzeSpatialLocality(std::span<const RowIndex> trace,
+                                                     Bytes row_bytes,
+                                                     size_t window = 100'000);
+
+}  // namespace sdm

@@ -1,0 +1,294 @@
+// Coverage sweep for corners the per-module suites leave open: fleet math
+// edges, router balance, placement interactions, config helpers, and
+// histogram/stat boundary behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/model_loader.h"
+#include "core/model_updater.h"
+#include "dlrm/model_zoo.h"
+#include "serving/cluster.h"
+#include "serving/power_model.h"
+
+namespace sdm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fleet power math.
+// ---------------------------------------------------------------------------
+
+TEST(FleetMath, CeilsFractionalHosts) {
+  const FleetEstimate e = EvaluateFleet({"x", 1001, 100, 1.0, 0, 0});
+  EXPECT_DOUBLE_EQ(e.main_hosts, 11);  // 10.01 -> 11
+}
+
+TEST(FleetMath, HelpersScaleWithMains) {
+  const FleetEstimate e = EvaluateFleet({"x", 10'000, 100, 1.0, 0.2, 0.25});
+  EXPECT_DOUBLE_EQ(e.main_hosts, 100);
+  EXPECT_DOUBLE_EQ(e.helper_hosts, 20);
+  EXPECT_DOUBLE_EQ(e.total_power, 100 + 5);
+}
+
+TEST(FleetMath, PowerPerKqpsNormalizes) {
+  const FleetEstimate e = EvaluateFleet({"x", 10'000, 100, 0.5, 0, 0});
+  EXPECT_DOUBLE_EQ(e.power_per_kqps, 50.0 / 10.0);
+}
+
+TEST(FleetMath, SavingSymmetry) {
+  const FleetEstimate a = EvaluateFleet({"a", 1000, 100, 1.0, 0, 0});
+  const FleetEstimate b = EvaluateFleet({"b", 1000, 100, 0.5, 0, 0});
+  EXPECT_NEAR(PowerSaving(a, b), 0.5, 1e-9);
+  EXPECT_NEAR(PowerSaving(b, a), -1.0, 1e-9);
+}
+
+TEST(FleetMath, MultiTenancyNeutralWhenNothingChanges) {
+  MultiTenancyScenario s;
+  s.base_utilization = 0.7;
+  s.sdm_utilization = 0.7;
+  s.base_host_power = 1.0;
+  s.sdm_host_power = 1.0;
+  EXPECT_NEAR(EvaluateMultiTenancy(s).fleet_power_ratio, 1.0, 1e-9);
+}
+
+TEST(FleetMath, SsdSizingUtilizationHeadroom) {
+  SsdSizingInput in;
+  in.qps = 1000;
+  in.user_tables = 100;
+  in.avg_pooling = 10;
+  in.cache_hit_rate = 0.0;
+  in.per_ssd_iops = 1e6;
+  in.target_device_utilization = 0.5;  // run devices at half rate
+  EXPECT_EQ(ComputeSsdRequirement(in).ssds_needed, 2);
+  in.target_device_utilization = 1.0;
+  EXPECT_EQ(ComputeSsdRequirement(in).ssds_needed, 1);
+}
+
+TEST(FleetMath, SsdSizingPerfectCacheNeedsNoDevices) {
+  SsdSizingInput in;
+  in.qps = 1000;
+  in.user_tables = 100;
+  in.avg_pooling = 10;
+  in.cache_hit_rate = 1.0;
+  EXPECT_EQ(ComputeSsdRequirement(in).ssds_needed, 0);
+  EXPECT_DOUBLE_EQ(ComputeSsdRequirement(in).required_iops, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// StickyRouter distribution.
+// ---------------------------------------------------------------------------
+
+TEST(Router, StickyBalancesUsersAcrossHosts) {
+  StickyRouter r(8, RoutingPolicy::kUserSticky, 1);
+  std::map<size_t, int> counts;
+  for (UserId u = 0; u < 80'000; ++u) ++counts[r.Route(u)];
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [host, n] : counts) {
+    EXPECT_NEAR(n, 10'000, 500) << "host " << host;
+  }
+}
+
+TEST(Router, RandomRoutesEverywhere) {
+  StickyRouter r(4, RoutingPolicy::kRandom, 2);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 40'000; ++i) ++counts[r.Route(7)];  // same user!
+  EXPECT_EQ(counts.size(), 4u);  // random routing scatters even one user
+}
+
+TEST(Router, SingleHostDegenerate) {
+  StickyRouter r(1, RoutingPolicy::kUserSticky, 3);
+  for (UserId u = 0; u < 100; ++u) EXPECT_EQ(r.Route(u), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Placement interactions.
+// ---------------------------------------------------------------------------
+
+TEST(PlacementEdge, AllowItemTablesOnSmWhenConfigured) {
+  ModelConfig model = MakeTinyUniformModel(16, 1, 2, 1000);
+  TuningConfig t;
+  t.user_tables_only_on_sm = false;  // everything is an SM candidate
+  const auto plan = ComputePlacement(model, t);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& p : plan.value().tables) {
+    EXPECT_EQ(p.tier, MemoryTier::kSm);
+  }
+}
+
+TEST(PlacementEdge, BudgetSmallerThanEveryTableLeavesAllOnSm) {
+  ModelConfig model = MakeTinyUniformModel(16, 3, 0, 10'000);
+  TuningConfig t;
+  t.placement = PlacementPolicy::kFixedFmSmWithCache;
+  t.placement_dram_budget = 16;  // can't fit anything
+  const auto plan = ComputePlacement(model, t);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().fm_direct_bytes, 0u);
+}
+
+TEST(PlacementEdge, BudgetCoveringEverythingDirectMapsAll) {
+  ModelConfig model = MakeTinyUniformModel(16, 3, 0, 1000);
+  TuningConfig t;
+  t.placement = PlacementPolicy::kFixedFmSmWithCache;
+  t.placement_dram_budget = model.TotalBytes() + kMiB;
+  const auto plan = ComputePlacement(model, t);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& p : plan.value().tables) {
+    EXPECT_EQ(p.tier, MemoryTier::kFm);
+  }
+  EXPECT_EQ(plan.value().sm_bytes, 0u);
+}
+
+TEST(PlacementEdge, EmptyModelProducesEmptyPlan) {
+  ModelConfig model;
+  model.name = "empty";
+  const auto plan = ComputePlacement(model, TuningConfig{});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().tables.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Model config helpers.
+// ---------------------------------------------------------------------------
+
+TEST(ModelConfigHelpers, BytesPerQuerySeparatesBatches) {
+  ModelConfig m;
+  TableConfig user;
+  user.role = TableRole::kUser;
+  user.dim = 56;  // 64B stored
+  user.num_rows = 10;
+  user.avg_pooling_factor = 2;
+  TableConfig item = user;
+  item.role = TableRole::kItem;
+  m.tables = {user, item};
+  m.user_batch_size = 1;
+  m.item_batch_size = 10;
+  // user: 1 * 2 * 64 = 128; item: 10 * 2 * 64 = 1280.
+  EXPECT_DOUBLE_EQ(m.BytesPerQuery(), 128 + 1280);
+}
+
+TEST(ModelConfigHelpers, CountsAndAverages) {
+  const ModelConfig m = MakeTinyUniformModel(16, 3, 2, 100);
+  EXPECT_EQ(m.CountFor(TableRole::kUser), 3u);
+  EXPECT_EQ(m.CountFor(TableRole::kItem), 2u);
+  EXPECT_DOUBLE_EQ(m.AvgPoolingFactor(TableRole::kUser), 8.0);
+  EXPECT_DOUBLE_EQ(m.AvgPoolingFactor(TableRole::kItem), 4.0);
+  EXPECT_EQ(m.TotalBytes(), m.BytesFor(TableRole::kUser) + m.BytesFor(TableRole::kItem));
+}
+
+TEST(ModelConfigHelpers, RowBytesTrackDtype) {
+  TableConfig t;
+  t.dim = 64;
+  t.dtype = DataType::kInt8Rowwise;
+  EXPECT_EQ(t.row_bytes(), 72u);
+  t.dtype = DataType::kFp32;
+  EXPECT_EQ(t.row_bytes(), 256u);
+  EXPECT_DOUBLE_EQ(t.bytes_per_query(), t.avg_pooling_factor * 256);
+}
+
+// ---------------------------------------------------------------------------
+// Store / loader interactions not covered elsewhere.
+// ---------------------------------------------------------------------------
+
+TEST(StoreEdge, PinnedTableLandsOnFmAndServes) {
+  ModelConfig model = MakeTinyUniformModel(16, 2, 0, 1000);
+  EventLoop loop;
+  SdmStoreConfig cfg;
+  cfg.fm_capacity = 8 * kMiB;
+  cfg.sm_specs = {MakeOptaneSsdSpec()};
+  cfg.sm_backing_bytes = {8 * kMiB};
+  cfg.tuning.never_on_sm.insert(model.tables[0].name);
+  SdmStore store(cfg, &loop);
+  ASSERT_TRUE(ModelLoader::Load(model, {}, &store).ok());
+  EXPECT_EQ(store.table(MakeTableId(0)).tier, MemoryTier::kFm);
+  EXPECT_EQ(store.table(MakeTableId(1)).tier, MemoryTier::kSm);
+
+  LookupEngine engine(&store);
+  bool done = false;
+  LookupRequest req;
+  req.table = MakeTableId(0);
+  req.indices = {5};
+  engine.Lookup(std::move(req),
+                [&](Status s, std::vector<float> out, const LookupTrace& trace) {
+                  ASSERT_TRUE(s.ok());
+                  EXPECT_EQ(trace.rows_from_fm_direct, 1u);
+                  EXPECT_FALSE(out.empty());
+                  done = true;
+                });
+  loop.RunUntilIdle();
+  EXPECT_TRUE(done);
+}
+
+TEST(StoreEdge, ExplicitCacheCapacityRespected) {
+  ModelConfig model = MakeTinyUniformModel(16, 1, 0, 1000);
+  EventLoop loop;
+  SdmStoreConfig cfg;
+  cfg.fm_capacity = 8 * kMiB;
+  cfg.sm_specs = {MakeOptaneSsdSpec()};
+  cfg.sm_backing_bytes = {8 * kMiB};
+  cfg.tuning.row_cache.capacity = 1 * kMiB;  // explicit, not auto
+  SdmStore store(cfg, &loop);
+  ASSERT_TRUE(ModelLoader::Load(model, {}, &store).ok());
+  EXPECT_EQ(store.row_cache()->capacity(), 1 * kMiB);
+}
+
+TEST(StoreEdge, ExplicitCacheOverCommitRejected) {
+  ModelConfig model = MakeTinyUniformModel(16, 1, 0, 1000);
+  EventLoop loop;
+  SdmStoreConfig cfg;
+  cfg.fm_capacity = 1 * kMiB;
+  cfg.sm_specs = {MakeOptaneSsdSpec()};
+  cfg.sm_backing_bytes = {8 * kMiB};
+  cfg.tuning.row_cache.capacity = 16 * kMiB;  // bigger than all of FM
+  SdmStore store(cfg, &loop);
+  EXPECT_FALSE(ModelLoader::Load(model, {}, &store).ok());
+}
+
+TEST(StoreEdge, PooledCacheBudgetCappedAtQuarterOfFm) {
+  ModelConfig model = MakeTinyUniformModel(16, 1, 0, 1000);
+  EventLoop loop;
+  SdmStoreConfig cfg;
+  cfg.fm_capacity = 8 * kMiB;
+  cfg.sm_specs = {MakeOptaneSsdSpec()};
+  cfg.sm_backing_bytes = {8 * kMiB};
+  cfg.tuning.enable_pooled_cache = true;
+  cfg.tuning.pooled_cache.capacity = 1000 * kMiB;  // absurd request
+  SdmStore store(cfg, &loop);
+  ASSERT_TRUE(ModelLoader::Load(model, {}, &store).ok());
+  ASSERT_NE(store.pooled_cache(), nullptr);
+  EXPECT_LE(store.pooled_cache()->config().capacity, store.fm_capacity() / 4 + kKiB);
+}
+
+// ---------------------------------------------------------------------------
+// Warmup / update helpers.
+// ---------------------------------------------------------------------------
+
+TEST(WarmupMath, OverheadScalesLinearly) {
+  const double base = ModelUpdater::WarmupCapacityOverhead(0.1, 5, 0.5, 30);
+  EXPECT_NEAR(ModelUpdater::WarmupCapacityOverhead(0.2, 5, 0.5, 30), 2 * base, 1e-12);
+  EXPECT_NEAR(ModelUpdater::WarmupCapacityOverhead(0.1, 10, 0.5, 30), 2 * base, 1e-12);
+  EXPECT_NEAR(ModelUpdater::WarmupCapacityOverhead(0.1, 5, 0.5, 60), base / 2, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Scale-out model.
+// ---------------------------------------------------------------------------
+
+TEST(ScaleOutModel, FleetHelperRatioFollowsFanout) {
+  ScaleOutModel so;
+  so.mains_per_helper = 4;
+  const FleetScenario s = so.Fleet("x", 4000, 100, 1.0, 0.25);
+  const FleetEstimate e = EvaluateFleet(s);
+  EXPECT_DOUBLE_EQ(e.main_hosts, 40);
+  EXPECT_DOUBLE_EQ(e.helper_hosts, 10);
+}
+
+TEST(ScaleOutModel, UserPathIncludesRttAndService) {
+  ScaleOutModel so;
+  so.network_rtt = Micros(100);
+  so.helper_service = Micros(200);
+  EXPECT_EQ(so.UserPathLatency().nanos(), Micros(300).nanos());
+}
+
+}  // namespace
+}  // namespace sdm

@@ -1,0 +1,302 @@
+// Tests for src/dlrm: MLP layers, the DLRM assembly, cost models, and the
+// Table 6 model zoo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dlrm/dlrm_model.h"
+#include "dlrm/mlp.h"
+#include "dlrm/model_zoo.h"
+
+namespace sdm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LinearLayer / Mlp.
+// ---------------------------------------------------------------------------
+
+TEST(LinearLayer, ShapesAndFlops) {
+  LinearLayer layer(8, 4, LinearLayer::Activation::kNone, 1);
+  EXPECT_EQ(layer.in_dim(), 8u);
+  EXPECT_EQ(layer.out_dim(), 4u);
+  EXPECT_EQ(layer.flops(), 2u * 8 * 4);
+}
+
+TEST(LinearLayer, ReluClampsNegative) {
+  LinearLayer layer(4, 16, LinearLayer::Activation::kRelu, 2);
+  std::vector<float> in = {1, -1, 0.5f, 2};
+  std::vector<float> out(16);
+  layer.Forward(in, out);
+  for (const float v : out) EXPECT_GE(v, 0.0f);
+}
+
+TEST(LinearLayer, SigmoidBounded) {
+  LinearLayer layer(4, 8, LinearLayer::Activation::kSigmoid, 3);
+  std::vector<float> in = {10, -10, 3, -3};
+  std::vector<float> out(8);
+  layer.Forward(in, out);
+  // Float sigmoid saturates to exactly 0/1 for large |x|; bounds inclusive.
+  for (const float v : out) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(LinearLayer, DeterministicInSeed) {
+  LinearLayer a(4, 4, LinearLayer::Activation::kNone, 7);
+  LinearLayer b(4, 4, LinearLayer::Activation::kNone, 7);
+  std::vector<float> in = {1, 2, 3, 4};
+  std::vector<float> oa(4);
+  std::vector<float> ob(4);
+  a.Forward(in, oa);
+  b.Forward(in, ob);
+  EXPECT_EQ(oa, ob);
+}
+
+TEST(Mlp, ForwardThroughStack) {
+  const std::vector<uint32_t> widths = {13, 32, 16, 8};
+  Mlp mlp(widths, LinearLayer::Activation::kRelu, 5);
+  EXPECT_EQ(mlp.depth(), 3u);
+  EXPECT_EQ(mlp.in_dim(), 13u);
+  EXPECT_EQ(mlp.out_dim(), 8u);
+  std::vector<float> in(13, 0.5f);
+  const auto out = mlp.Forward(in);
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(Mlp, FlopsSumLayers) {
+  const std::vector<uint32_t> widths = {10, 20, 5};
+  Mlp mlp(widths, LinearLayer::Activation::kNone, 5);
+  EXPECT_EQ(mlp.flops(), 2u * 10 * 20 + 2u * 20 * 5);
+}
+
+TEST(Mlp, NonTrivialOutput) {
+  const std::vector<uint32_t> widths = {4, 8, 2};
+  Mlp mlp(widths, LinearLayer::Activation::kNone, 11);
+  const auto zero_out = mlp.Forward(std::vector<float>(4, 0.0f));
+  const auto one_out = mlp.Forward(std::vector<float>(4, 1.0f));
+  EXPECT_NE(zero_out, one_out);
+}
+
+// ---------------------------------------------------------------------------
+// DlrmModel.
+// ---------------------------------------------------------------------------
+
+DlrmArchitecture TinyArch() {
+  DlrmArchitecture a;
+  a.dense_features = 13;
+  a.bottom_widths = {32};
+  a.top_widths = {32, 16};
+  a.embedding_dim = 8;
+  return a;
+}
+
+TEST(Dlrm, InteractionWidthFormula) {
+  DlrmModel model(TinyArch(), MakeTinyUniformModel(8, 2, 1, 100));
+  // 3 tables + bottom = 4 vectors -> 6 pairwise dots + dim 8.
+  EXPECT_EQ(model.InteractionWidth(3), 8u + 6u);
+}
+
+TEST(Dlrm, ScoreInUnitInterval) {
+  const ModelConfig sparse = MakeTinyUniformModel(8, 2, 1, 100);
+  DlrmModel model(TinyArch(), sparse);
+  std::vector<float> dense(13, 0.3f);
+  std::vector<std::vector<float>> pooled(3, std::vector<float>(8, 0.1f));
+  const auto score = model.Score(dense, pooled);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score.value(), 0.0f);
+  EXPECT_LT(score.value(), 1.0f);
+}
+
+TEST(Dlrm, ScoreIsDeterministic) {
+  const ModelConfig sparse = MakeTinyUniformModel(8, 2, 1, 100);
+  DlrmModel a(TinyArch(), sparse);
+  DlrmModel b(TinyArch(), sparse);
+  std::vector<float> dense(13, 0.3f);
+  std::vector<std::vector<float>> pooled(3, std::vector<float>(8, 0.1f));
+  EXPECT_EQ(a.Score(dense, pooled).value(), b.Score(dense, pooled).value());
+}
+
+TEST(Dlrm, ScoreSensitiveToEmbeddings) {
+  const ModelConfig sparse = MakeTinyUniformModel(8, 2, 1, 100);
+  DlrmModel model(TinyArch(), sparse);
+  std::vector<float> dense(13, 0.3f);
+  std::vector<std::vector<float>> p1(3, std::vector<float>(8, 0.1f));
+  std::vector<std::vector<float>> p2(3, std::vector<float>(8, -0.8f));
+  EXPECT_NE(model.Score(dense, p1).value(), model.Score(dense, p2).value());
+}
+
+TEST(Dlrm, ScoreValidatesShapes) {
+  const ModelConfig sparse = MakeTinyUniformModel(8, 2, 1, 100);
+  DlrmModel model(TinyArch(), sparse);
+  std::vector<float> bad_dense(7, 0.0f);
+  std::vector<std::vector<float>> pooled(3, std::vector<float>(8, 0.0f));
+  EXPECT_FALSE(model.Score(bad_dense, pooled).ok());
+  std::vector<float> dense(13, 0.0f);
+  std::vector<std::vector<float>> bad_count(2, std::vector<float>(8, 0.0f));
+  EXPECT_FALSE(model.Score(dense, bad_count).ok());
+  std::vector<std::vector<float>> bad_dim(3, std::vector<float>(4, 0.0f));
+  EXPECT_FALSE(model.Score(dense, bad_dim).ok());
+}
+
+TEST(Dlrm, InteractContainsBottomCopy) {
+  const ModelConfig sparse = MakeTinyUniformModel(8, 1, 1, 100);
+  DlrmModel model(TinyArch(), sparse);
+  std::vector<float> bottom(8);
+  for (size_t i = 0; i < 8; ++i) bottom[i] = static_cast<float>(i);
+  std::vector<std::vector<float>> pooled(2, std::vector<float>(8, 1.0f));
+  const auto z = model.Interact(bottom, pooled);
+  ASSERT_GE(z.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(z[i], bottom[i]);
+}
+
+TEST(Dlrm, InteractDotValuesCorrect) {
+  const ModelConfig sparse = MakeTinyUniformModel(2, 1, 0, 100);
+  DlrmArchitecture arch = TinyArch();
+  arch.embedding_dim = 2;
+  DlrmModel model(arch, sparse);
+  const std::vector<float> bottom = {1.0f, 2.0f};
+  std::vector<std::vector<float>> pooled = {{3.0f, 4.0f}};
+  const auto z = model.Interact(bottom, pooled);
+  // Layout: [bottom(2); dot(bottom, pooled0)] = [1, 2, 11].
+  ASSERT_EQ(z.size(), 3u);
+  EXPECT_FLOAT_EQ(z[2], 1.0f * 3.0f + 2.0f * 4.0f);
+}
+
+TEST(Dlrm, DenseCostScalesWithItemBatch) {
+  ModelConfig m = MakeTinyUniformModel();
+  DenseCostModel cost;
+  m.item_batch_size = 10;
+  const auto t10 = cost.TimePerQuery(m);
+  m.item_batch_size = 100;
+  const auto t100 = cost.TimePerQuery(m);
+  EXPECT_NEAR(static_cast<double>(t100.nanos()), 10.0 * static_cast<double>(t10.nanos()),
+              static_cast<double>(t10.nanos()));
+}
+
+// ---------------------------------------------------------------------------
+// Model zoo (Table 6 structure).
+// ---------------------------------------------------------------------------
+
+TEST(Zoo, M1Structure) {
+  const ModelConfig m1 = MakeM1();
+  EXPECT_EQ(m1.CountFor(TableRole::kUser), 61u);
+  EXPECT_EQ(m1.CountFor(TableRole::kItem), 30u);
+  EXPECT_EQ(m1.item_batch_size, 50);
+  EXPECT_EQ(m1.user_batch_size, 1);
+  EXPECT_EQ(m1.num_mlp_layers, 31);
+  EXPECT_NEAR(m1.AvgPoolingFactor(TableRole::kUser), 42.0, 6.0);
+  EXPECT_NEAR(m1.AvgPoolingFactor(TableRole::kItem), 9.0, 2.0);
+}
+
+TEST(Zoo, M2Structure) {
+  const ModelConfig m2 = MakeM2();
+  EXPECT_EQ(m2.CountFor(TableRole::kUser), 450u);
+  EXPECT_EQ(m2.CountFor(TableRole::kItem), 280u);
+  EXPECT_EQ(m2.item_batch_size, 150);
+  EXPECT_NEAR(m2.AvgPoolingFactor(TableRole::kUser), 25.0, 4.0);
+}
+
+TEST(Zoo, M3Structure) {
+  const ModelConfig m3 = MakeM3();
+  EXPECT_EQ(m3.CountFor(TableRole::kUser), 1800u);
+  EXPECT_EQ(m3.CountFor(TableRole::kItem), 900u);
+  EXPECT_EQ(m3.item_batch_size, 1000);
+  EXPECT_EQ(m3.avg_mlp_width, 6000);
+}
+
+TEST(Zoo, CapacityScalesAsRequested) {
+  const ModelConfig full = MakeM1(1.0 / 512);
+  const ModelConfig half = MakeM1(1.0 / 1024);
+  EXPECT_NEAR(static_cast<double>(full.TotalBytes()),
+              2.0 * static_cast<double>(half.TotalBytes()),
+              static_cast<double>(half.TotalBytes()) * 0.2);
+}
+
+TEST(Zoo, UserSideDominatesCapacity) {
+  // Paper: "more than 2/3 of the model capacity are contributed by the
+  // user embeddings".
+  for (const ModelConfig& m : {MakeM1(), MakeM2(), MakeFig1Model()}) {
+    const double user = static_cast<double>(m.BytesFor(TableRole::kUser));
+    const double total = static_cast<double>(m.TotalBytes());
+    EXPECT_GT(user / total, 0.6) << m.name;
+  }
+}
+
+TEST(Zoo, ItemTablesHaveMoreLocality) {
+  const ModelConfig m = MakeM2();
+  double user_alpha = 0;
+  double item_alpha = 0;
+  for (const auto& t : m.tables) {
+    if (t.role == TableRole::kUser) {
+      user_alpha += t.zipf_alpha;
+    } else {
+      item_alpha += t.zipf_alpha;
+    }
+  }
+  user_alpha /= static_cast<double>(m.CountFor(TableRole::kUser));
+  item_alpha /= static_cast<double>(m.CountFor(TableRole::kItem));
+  EXPECT_GT(item_alpha, user_alpha);
+}
+
+TEST(Zoo, BytesPerQueryFollowsEq2) {
+  // Item batch multiplies the item-side BW (Eq. 2): most of the per-query
+  // bytes come from item tables despite user tables holding most capacity.
+  const ModelConfig m = MakeM2();
+  double user_bpq = 0;
+  double item_bpq = 0;
+  for (const auto& t : m.tables) {
+    if (t.role == TableRole::kUser) {
+      user_bpq += t.bytes_per_query() * m.user_batch_size;
+    } else {
+      item_bpq += t.bytes_per_query() * m.item_batch_size;
+    }
+  }
+  EXPECT_GT(item_bpq, user_bpq);
+  EXPECT_NEAR(m.BytesPerQuery(), user_bpq + item_bpq, 1.0);
+}
+
+TEST(Zoo, LookupsPerQueryMatchesEq8) {
+  const ModelConfig m = MakeM1();
+  // IOPS candidate load = QPS * sum(p_i) over user tables (B_U = 1).
+  double pf_sum = 0;
+  for (const auto& t : m.tables) {
+    if (t.role == TableRole::kUser) pf_sum += t.avg_pooling_factor;
+  }
+  EXPECT_NEAR(m.LookupsPerQuery(TableRole::kUser), pf_sum, 1e-6);
+}
+
+TEST(Zoo, DeterministicGeneration) {
+  const ModelConfig a = MakeM1();
+  const ModelConfig b = MakeM1();
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    EXPECT_EQ(a.tables[i].num_rows, b.tables[i].num_rows);
+    EXPECT_EQ(a.tables[i].dim, b.tables[i].dim);
+  }
+}
+
+TEST(Zoo, TableSizesAreSkewed) {
+  // Fig. 1: a few big tables hold most capacity.
+  const ModelConfig m = MakeFig1Model();
+  std::vector<Bytes> sizes;
+  for (const auto& t : m.tables) sizes.push_back(t.total_bytes());
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  Bytes top10 = 0;
+  Bytes total = 0;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (i < sizes.size() / 10) top10 += sizes[i];
+    total += sizes[i];
+  }
+  EXPECT_GT(static_cast<double>(top10) / static_cast<double>(total), 0.35);
+}
+
+TEST(Zoo, TinyUniformHasOneDim) {
+  const ModelConfig m = MakeTinyUniformModel(24, 3, 2, 100);
+  EXPECT_EQ(m.tables.size(), 5u);
+  for (const auto& t : m.tables) EXPECT_EQ(t.dim, 24u);
+}
+
+}  // namespace
+}  // namespace sdm

@@ -1,0 +1,308 @@
+// Property-based sweeps over the library's core invariants, using
+// parameterized gtest suites as the sweep harness.
+//
+// Invariants covered:
+//  1. Quantize/dequantize round-trip error is bounded for every dtype/dim.
+//  2. Pooling over SDM equals pooling over the source image (any placement,
+//     cache config, granularity, throttle, or device technology).
+//  3. Cache capacity accounting never exceeds budget under random churn.
+//  4. Prune -> deprune -> lookup semantics are index-stable.
+//  5. Device bus accounting: sub-block bytes <= block bytes, both >= useful.
+//  6. Loaded-latency monotonicity in offered load for every technology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cache/cpu_optimized_cache.h"
+#include "cache/memory_optimized_cache.h"
+#include "core/lookup_engine.h"
+#include "core/model_loader.h"
+#include "dlrm/model_zoo.h"
+
+namespace sdm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// 1. Quantization error bound, randomized rows.
+// ---------------------------------------------------------------------------
+
+struct QuantSweep {
+  DataType type;
+  uint32_t dim;
+  double range;
+};
+
+class QuantProperty : public ::testing::TestWithParam<QuantSweep> {};
+
+TEST_P(QuantProperty, RoundTripBoundHoldsOverRandomRows) {
+  const auto [type, dim, range] = GetParam();
+  Rng rng(dim * 31 + static_cast<uint32_t>(range * 100));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> values(dim);
+    float lo = 1e30f;
+    float hi = -1e30f;
+    for (auto& v : values) {
+      v = static_cast<float>(rng.NextDouble(-range, range));
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    std::vector<uint8_t> stored(StoredRowBytes(type, dim));
+    QuantizeRow(type, values, stored);
+    std::vector<float> back(dim);
+    DequantizeRow(type, stored, back);
+    const float bound = MaxAbsError(type, lo, hi) + 1e-6f;
+    for (uint32_t i = 0; i < dim; ++i) {
+      ASSERT_NEAR(back[i], values[i], bound)
+          << ToString(type) << " dim=" << dim << " range=" << range;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantProperty,
+    ::testing::Values(QuantSweep{DataType::kInt8Rowwise, 4, 1.0},
+                      QuantSweep{DataType::kInt8Rowwise, 64, 10.0},
+                      QuantSweep{DataType::kInt8Rowwise, 200, 0.01},
+                      QuantSweep{DataType::kInt4Rowwise, 16, 1.0},
+                      QuantSweep{DataType::kInt4Rowwise, 65, 5.0},
+                      QuantSweep{DataType::kFp16, 32, 100.0},
+                      QuantSweep{DataType::kFp32, 48, 1000.0}));
+
+// ---------------------------------------------------------------------------
+// 2. SDM lookup equals image pooling under any configuration.
+// ---------------------------------------------------------------------------
+
+struct StoreSweep {
+  bool sub_block;
+  bool row_cache;
+  bool pooled_cache;
+  int throttle;
+  int device;  // 0 = optane, 1 = nand, 2 = two optanes
+  double prune_keep;
+  bool deprune;
+};
+
+class StoreProperty : public ::testing::TestWithParam<StoreSweep> {};
+
+TEST_P(StoreProperty, LookupAlwaysMatchesReferenceSemantics) {
+  const StoreSweep sweep = GetParam();
+  const ModelConfig model = MakeTinyUniformModel(24, 2, 1, 2000);
+
+  SdmStoreConfig cfg;
+  cfg.fm_capacity = 8 * kMiB;
+  if (sweep.device == 0) {
+    cfg.sm_specs = {MakeOptaneSsdSpec()};
+    cfg.sm_backing_bytes = {16 * kMiB};
+  } else if (sweep.device == 1) {
+    cfg.sm_specs = {MakeNandFlashSpec()};
+    cfg.sm_backing_bytes = {16 * kMiB};
+  } else {
+    cfg.sm_specs = {MakeOptaneSsdSpec(), MakeOptaneSsdSpec()};
+    cfg.sm_backing_bytes = {16 * kMiB, 16 * kMiB};
+  }
+  cfg.tuning.sub_block_reads = sweep.sub_block;
+  cfg.tuning.enable_row_cache = sweep.row_cache;
+  cfg.tuning.enable_pooled_cache = sweep.pooled_cache;
+  cfg.tuning.pooled_cache.len_threshold = 2;
+  cfg.tuning.throttle.max_outstanding_per_table = sweep.throttle;
+  cfg.tuning.deprune_at_load = sweep.deprune;
+
+  LoaderOptions loader;
+  loader.prune_keep_fraction = sweep.prune_keep;
+
+  EventLoop loop;
+  SdmStore store(cfg, &loop);
+  auto report = ModelLoader::Load(model, loader, &store);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  LookupEngine engine(&store);
+
+  // Reference structures.
+  const uint64_t seed0 = loader.seed ^ (0xabcdef12345678ULL * 1);
+  const auto image = EmbeddingTableImage::GenerateRandom(model.tables[0], seed0);
+  std::optional<PrunedTable> pruned;
+  if (sweep.prune_keep < 1.0) {
+    pruned = PruneTable(image, sweep.prune_keep, seed0 + 1);
+  }
+
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<RowIndex> indices;
+    const size_t len = 1 + rng.NextBounded(12);
+    for (size_t i = 0; i < len; ++i) indices.push_back(rng.NextBounded(2000));
+
+    std::vector<float> pooled;
+    bool done = false;
+    LookupRequest req;
+    req.table = MakeTableId(0);
+    req.indices = indices;
+    engine.Lookup(std::move(req),
+                  [&](Status s, std::vector<float> out, const LookupTrace&) {
+                    ASSERT_TRUE(s.ok()) << s.ToString();
+                    pooled = std::move(out);
+                    done = true;
+                  });
+    loop.RunUntilIdle();
+    ASSERT_TRUE(done);
+
+    std::vector<float> ref(model.tables[0].dim, 0.0f);
+    for (const RowIndex idx : indices) {
+      if (pruned.has_value() && !pruned->mapping.Lookup(idx).has_value()) continue;
+      const auto row = image.DequantizedRow(idx);
+      for (size_t i = 0; i < ref.size(); ++i) ref[i] += row[i];
+    }
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(pooled[i], ref[i], 1e-4f)
+          << "trial " << trial << " sub_block=" << sweep.sub_block
+          << " cache=" << sweep.row_cache << " pooled=" << sweep.pooled_cache;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, StoreProperty,
+    ::testing::Values(StoreSweep{true, true, false, 0, 0, 1.0, false},
+                      StoreSweep{false, true, false, 0, 0, 1.0, false},
+                      StoreSweep{true, false, false, 0, 0, 1.0, false},
+                      StoreSweep{true, true, true, 0, 0, 1.0, false},
+                      StoreSweep{true, true, false, 2, 0, 1.0, false},
+                      StoreSweep{true, true, false, 0, 1, 1.0, false},
+                      StoreSweep{false, false, false, 1, 1, 1.0, false},
+                      StoreSweep{true, true, false, 0, 2, 1.0, false},
+                      StoreSweep{true, true, false, 0, 0, 0.5, false},
+                      StoreSweep{true, true, false, 0, 0, 0.5, true},
+                      StoreSweep{true, true, true, 3, 2, 0.7, true}));
+
+// ---------------------------------------------------------------------------
+// 3. Cache capacity safety under random churn.
+// ---------------------------------------------------------------------------
+
+class CacheChurnProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheChurnProperty, NeverExceedsBudgetMeaningfully) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const Bytes budget = (16 + rng.NextBounded(64)) * kKiB;
+
+  CpuOptimizedCacheConfig ccfg;
+  ccfg.capacity = budget;
+  ccfg.shards = 1 + static_cast<int>(rng.NextBounded(8));
+  CpuOptimizedCache cpu(ccfg);
+
+  MemoryOptimizedCacheConfig mcfg;
+  mcfg.capacity = budget;
+  mcfg.expected_value_bytes = 32 + rng.NextBounded(128);
+  MemoryOptimizedCache mem(mcfg);
+
+  for (int op = 0; op < 20'000; ++op) {
+    const RowKey key{MakeTableId(static_cast<uint32_t>(rng.NextBounded(4))),
+                     rng.NextBounded(5000)};
+    const size_t len = 8 + rng.NextBounded(256);
+    const std::vector<uint8_t> value(len, static_cast<uint8_t>(op));
+    const int action = static_cast<int>(rng.NextBounded(10));
+    std::vector<uint8_t> out(512);
+    if (action < 6) {
+      cpu.Insert(key, value);
+      mem.Insert(key, value);
+    } else if (action < 9) {
+      (void)cpu.Lookup(key, out, nullptr);
+      (void)mem.Lookup(key, out, nullptr);
+    } else {
+      (void)cpu.Erase(key);
+      (void)mem.Erase(key);
+    }
+    ASSERT_LE(cpu.memory_used(), budget + 4096);
+    ASSERT_LE(mem.memory_used(), budget + 4096);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheChurnProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// 4. Prune/deprune index stability.
+// ---------------------------------------------------------------------------
+
+class PruneProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PruneProperty, DeprunePreservesEveryKeptRowAndZeroesRest) {
+  const double keep = GetParam();
+  TableConfig cfg;
+  cfg.name = "p";
+  cfg.num_rows = 3000;
+  cfg.dim = 8;
+  cfg.dtype = DataType::kInt8Rowwise;
+  const auto image = EmbeddingTableImage::GenerateRandom(cfg, 5);
+  const PrunedTable pruned = PruneTable(image, keep, 6);
+  const EmbeddingTableImage dense = DeprunedTable(pruned);
+  ASSERT_EQ(dense.num_rows(), cfg.num_rows);
+  uint64_t kept = 0;
+  for (RowIndex r = 0; r < cfg.num_rows; ++r) {
+    const auto out = dense.DequantizedRow(r);
+    if (pruned.mapping.Lookup(r).has_value()) {
+      ++kept;
+      const auto orig = image.DequantizedRow(r);
+      for (size_t i = 0; i < out.size(); ++i) ASSERT_FLOAT_EQ(out[i], orig[i]);
+    } else {
+      for (const float v : out) ASSERT_FLOAT_EQ(v, 0.0f);
+    }
+  }
+  EXPECT_EQ(kept, pruned.rows.num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(KeepFractions, PruneProperty,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0));
+
+// ---------------------------------------------------------------------------
+// 5. Bus-byte accounting invariants.
+// ---------------------------------------------------------------------------
+
+class BusBytesProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BusBytesProperty, SubBlockNeverExceedsBlockAndCoversRequest) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 10'000; ++i) {
+    const Bytes offset = rng.NextBounded(1 << 22);
+    const Bytes length = 1 + rng.NextBounded(1024);
+    const Bytes sub = NvmeDevice::BusBytes(offset, length, true);
+    const Bytes block = NvmeDevice::BusBytes(offset, length, false);
+    ASSERT_GE(sub, length);
+    ASSERT_LT(sub, length + 2 * kDwordBytes);
+    ASSERT_GE(block, length);
+    ASSERT_EQ(block % kBlockSize, 0u);
+    ASSERT_LE(sub, block);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BusBytesProperty, ::testing::Values(11, 22, 33));
+
+// ---------------------------------------------------------------------------
+// 6. Loaded latency monotone in offered load, per technology.
+// ---------------------------------------------------------------------------
+
+class LatencyMonotoneProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LatencyMonotoneProperty, MeanLatencyNonDecreasingInLoad) {
+  const auto specs = Table1Specs();
+  const DeviceSpec spec = specs[static_cast<size_t>(GetParam())];
+  // Mean latency at three offered loads: 20%, 60%, 95% of the IOPS ceiling.
+  std::vector<double> means;
+  for (const double util : {0.2, 0.6, 0.95}) {
+    LatencyModel model(spec, 77);
+    const double iops = spec.max_read_iops * util;
+    const int n = 20'000;
+    double total_ns = 0;
+    for (int i = 0; i < n; ++i) {
+      const SimTime now(static_cast<int64_t>(i * 1e9 / iops));
+      total_ns += static_cast<double>(
+          (model.CompleteRead(now, spec.access_granularity) - now).nanos());
+    }
+    means.push_back(total_ns / n);
+  }
+  EXPECT_LE(means[0], means[1] * 1.05);
+  EXPECT_LE(means[1], means[2] * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechnologies, LatencyMonotoneProperty,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace sdm
