@@ -16,7 +16,7 @@ using namespace sdm;
 
 namespace {
 
-void RoleHeatmap(const ModelConfig& model, TableRole role) {
+double RoleHeatmap(const ModelConfig& model, TableRole role) {
   bench::Section(bench::Fmt("Fig. 5 — %s tables: (unique idx / unique block) / max",
                             ToString(role)));
   bench::Table t({"table", "row B", "rows/4KB", "mean ratio", "min", "max"});
@@ -39,18 +39,20 @@ void RoleHeatmap(const ModelConfig& model, TableRole role) {
   t.Print();
   bench::Note(bench::Fmt("mean ratio over %d tables: %.3f (1.0 = perfectly packed)",
                          tracked, mean_sum / tracked));
+  return mean_sum / tracked;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::QuietLogs quiet;
+  bench::JsonReporter json(argc, argv, "fig5_spatial_locality");
   // Trace-scale model: production row counts, so windows touch only the hot
   // subset of each table (a scaled-down table saturates — every row gets
   // touched and the ratio trivially approaches 1).
   const ModelConfig model = MakeM2(/*capacity_scale=*/1.0);
-  RoleHeatmap(model, TableRole::kUser);
-  RoleHeatmap(model, TableRole::kItem);
+  json.Metric("user_mean_ratio", RoleHeatmap(model, TableRole::kUser));
+  json.Metric("item_mean_ratio", RoleHeatmap(model, TableRole::kItem));
 
   // Contrast: what a spatially-local (sequential) workload would score.
   bench::Section("contrast — sequential scan of one table (not the production pattern)");
@@ -59,6 +61,7 @@ int main() {
     for (RowIndex i = 0; i < 100'000; ++i) seq.push_back(i);
   }
   const SpatialLocality s = AnalyzeSpatialLocality(seq, 128, 50'000);
+  json.Metric("sequential_ratio", s.mean_ratio);
   bench::Note(bench::Fmt("sequential ratio: %.3f", s.mean_ratio));
   bench::Note("");
   bench::Note("paper shape: production (Zipf-over-permuted-rows) traces score far below");

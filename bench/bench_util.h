@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -83,6 +85,76 @@ inline std::string Fmt(const char* fmt, ...) {
 /// Quiet logging for benches.
 struct QuietLogs {
   QuietLogs() { SetLogLevel(LogLevel::kWarn); }
+};
+
+/// Machine-readable bench output for the BENCH_*.json perf trajectory.
+///
+/// Construct from main's argc/argv; `--json` (stdout) or `--json=PATH`
+/// (file) enables it. Metrics accumulate and are emitted as one JSON
+/// object on Flush() or destruction:
+///
+///   {"bench": "coalescing", "metrics": {"device_reads": 123, ...}}
+///
+/// Without the flag every call is a no-op, so benches can report
+/// unconditionally and keep their human-readable tables as the default.
+class JsonReporter {
+ public:
+  JsonReporter(int argc, char** argv, std::string bench_name)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        enabled_ = true;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        enabled_ = true;
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+  ~JsonReporter() { Flush(); }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void Metric(const std::string& name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(name, buf);
+  }
+  void Metric(const std::string& name, uint64_t value) {
+    fields_.emplace_back(name, std::to_string(value));
+  }
+  void Metric(const std::string& name, int value) {
+    fields_.emplace_back(name, std::to_string(value));
+  }
+
+  void Flush() {
+    if (!enabled_ || flushed_) return;
+    flushed_ = true;
+    std::string out = "{\"bench\": \"" + bench_name_ + "\", \"metrics\": {";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}}\n";
+    if (path_.empty()) {
+      std::printf("%s", out.c_str());
+    } else if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
+      std::fputs(out.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "JsonReporter: cannot write %s\n", path_.c_str());
+    }
+  }
+
+ private:
+  std::string bench_name_;
+  bool enabled_ = false;
+  bool flushed_ = false;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 }  // namespace sdm::bench

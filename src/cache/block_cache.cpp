@@ -43,6 +43,15 @@ void BlockCache::InsertBlock(const BlockKey& key, std::span<const uint8_t> block
   EvictIfNeeded();
 }
 
+void BlockCache::InsertBlocks(uint32_t device, uint64_t first_block,
+                              std::span<const uint8_t> data) {
+  assert(data.size() % kBlockSize == 0);
+  for (Bytes off = 0; off < data.size(); off += kBlockSize) {
+    InsertBlock(BlockKey{device, first_block + off / kBlockSize},
+                data.subspan(off, kBlockSize));
+  }
+}
+
 bool BlockCache::Contains(const BlockKey& key) const { return map_.contains(key); }
 
 void BlockCache::EvictIfNeeded() {

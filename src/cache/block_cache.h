@@ -55,6 +55,11 @@ class BlockCache {
   /// Inserts a whole block (block.size() must be kBlockSize).
   void InsertBlock(const BlockKey& key, std::span<const uint8_t> block);
 
+  /// Inserts every whole kBlockSize chunk of `data` as consecutive blocks
+  /// starting at (device, first_block) — the fill path of a coalesced
+  /// multi-block read. `data.size()` must be a multiple of kBlockSize.
+  void InsertBlocks(uint32_t device, uint64_t first_block, std::span<const uint8_t> data);
+
   [[nodiscard]] bool Contains(const BlockKey& key) const;
   [[nodiscard]] const BlockCacheStats& stats() const { return stats_; }
   [[nodiscard]] size_t block_count() const { return map_.size(); }

@@ -1,7 +1,9 @@
 #include "core/lookup_engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <unordered_map>
 
 namespace sdm {
 
@@ -9,6 +11,10 @@ namespace {
 
 /// CPU cost of translating one index through the mapping tensor.
 constexpr SimDuration kMapCostPerIndex = Nanos(4);
+
+/// CPU cost of the intra-request dedup hash probe per index (coalesced
+/// path only; the per-row ablation path skips dedup entirely).
+constexpr SimDuration kDedupCostPerIndex = Nanos(3);
 
 }  // namespace
 
@@ -20,9 +26,15 @@ struct LookupEngine::RequestState {
   // Rows resolved in the mapped (physical) space; kept per requested index
   // so pooling skips pruned slots.
   struct Slot {
+    enum class Source : uint8_t { kNone, kFmDirect, kCache, kBlockCache, kSm };
+
     RowIndex physical_row = 0;
     bool pruned = false;
     bool needs_io = false;
+    /// >= 0: this slot repeats slots[dup_of]'s physical row; its bytes are
+    /// fanned out from that slot once every fetch has landed.
+    int32_t dup_of = -1;
+    Source source = Source::kNone;
   };
   std::vector<Slot> slots;
   std::vector<uint8_t> row_bytes;  // slots.size() * row_bytes contiguous
@@ -36,6 +48,27 @@ struct LookupEngine::RequestState {
   LookupTrace trace;
 };
 
+/// One coalesced device read: a run of same-or-adjacent-block misses served
+/// by a single SQE and scattered to its slots at completion.
+struct LookupEngine::CoalescedRun {
+  uint64_t first_block = 0;
+  uint64_t last_block = 0;
+  Bytes span_begin = 0;  ///< device offset of the first useful byte
+  Bytes span_end = 0;    ///< one past the last useful byte
+  std::vector<uint32_t> slot_indices;
+  /// Bus bytes the per-row path would have moved for these rows.
+  Bytes per_row_bus = 0;
+
+  // ---- Submission context, filled by SubmitCoalescedRuns ----
+  bool sgl = false;
+  Bytes base = 0;  ///< device byte the buffer's first byte corresponds to
+  Bytes bus = 0;
+  Bytes bytes_saved = 0;
+  /// Bounce buffer; acquired once throttle admission succeeds and reused
+  /// across retries.
+  std::shared_ptr<BufferArena::Buffer> buf;
+};
+
 LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()) {
   assert(store->loading_finished() && "SdmStore must be sealed before lookups");
   lookups_ = stats_.GetCounter("lookups");
@@ -45,8 +78,19 @@ LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()
   rows_sm_read_ = stats_.GetCounter("rows_sm_read");
   rows_fm_read_ = stats_.GetCounter("rows_fm_read");
   rows_pruned_ = stats_.GetCounter("rows_pruned");
+  rows_deduped_ = stats_.GetCounter("rows_deduped");
+  device_reads_ = stats_.GetCounter("device_reads");
+  io_bytes_saved_ = stats_.GetCounter("io_bytes_saved");
   cpu_ns_ = stats_.GetCounter("cpu_ns");
   io_errors_ = stats_.GetCounter("io_errors");
+  io_retries_ = stats_.GetCounter("io_retries");
+  if (store->sm_device_count() > 0) {
+    memcpy_bytes_per_sec_ = store->reader(0).memcpy_bytes_per_sec();
+  }
+}
+
+SimDuration LookupEngine::CopyCost(Bytes bytes) const {
+  return Seconds(static_cast<double>(bytes) / memcpy_bytes_per_sec_);
 }
 
 void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
@@ -68,14 +112,16 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
     if (hit != nullptr) {
       pooled_hits_->Add(1);
       st->trace.pooled_cache_hit = true;
-      std::vector<float> out = *hit;  // copy: entry may be evicted later
       cpu_ns_->Add(static_cast<uint64_t>(st->cpu_pre.nanos()));
       st->trace.cpu_time = st->cpu_pre;
-      loop_->ScheduleAfter(st->cpu_pre, [this, st, out = std::move(out)]() mutable {
-        st->trace.latency = loop_->Now() - st->start;
-        latency_.Record(st->trace.latency);
-        st->cb(Status::Ok(), std::move(out), st->trace);
-      });
+      // One copy, constructed straight into the callback's output slot
+      // (the entry may be evicted before the callback runs).
+      loop_->ScheduleAfter(st->cpu_pre,
+                           [this, st, out = std::vector<float>(*hit)]() mutable {
+                             st->trace.latency = loop_->Now() - st->start;
+                             latency_.Record(st->trace.latency);
+                             st->cb(Status::Ok(), std::move(out), st->trace);
+                           });
       return;
     }
   }
@@ -111,11 +157,30 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
 
   st->row_bytes.assign(st->slots.size() * st->stored_row_bytes, 0);
 
-  // ---- Row resolution: FM direct / row cache / SM IO ----
+  // ---- Row resolution: dedup / FM direct / row cache / SM IO ----
+  const bool coalesce = store_->tuning().coalesce_io;
+  std::unordered_map<RowIndex, uint32_t> first_slot_for_row;
+  if (coalesce) first_slot_for_row.reserve(st->slots.size());
   DualRowCache* cache = store_->row_cache();
+  int misses = 0;
   for (size_t i = 0; i < st->slots.size(); ++i) {
     auto& slot = st->slots[i];
     if (slot.pruned) continue;
+
+    if (coalesce) {
+      // Duplicate indices within the bag resolve once; the other slots fan
+      // out from that fetch (whatever source it comes from).
+      st->cpu_pre += kDedupCostPerIndex;
+      const auto [it, inserted] =
+          first_slot_for_row.try_emplace(slot.physical_row, static_cast<uint32_t>(i));
+      if (!inserted) {
+        slot.dup_of = static_cast<int32_t>(it->second);
+        ++st->trace.rows_deduped;
+        rows_deduped_->Add(1);
+        continue;
+      }
+    }
+
     std::span<uint8_t> dest(st->row_bytes.data() + i * st->stored_row_bytes,
                             st->stored_row_bytes);
 
@@ -126,6 +191,7 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
       st->cpu_pre += read.value();
       rows_fm_read_->Add(1);
       ++st->trace.rows_from_fm_direct;
+      slot.source = RequestState::Slot::Source::kFmDirect;
       continue;
     }
 
@@ -137,6 +203,7 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
         assert(len == st->stored_row_bytes);
         rows_cache_hit_->Add(1);
         ++st->trace.rows_from_cache;
+        slot.source = RequestState::Slot::Source::kCache;
         continue;
       }
       // Second level (multi-level ablation): a block hit avoids device IO
@@ -153,6 +220,7 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
             blocks->ReadRange(bkey, off % kBlockSize, dest)) {
           rows_block_hit_->Add(1);
           ++st->trace.rows_from_block_cache;
+          slot.source = RequestState::Slot::Source::kBlockCache;
           cache->Insert(RowKey{st->request.table, slot.physical_row}, dest);
           st->cpu_pre += cache->RouteCpuCost(st->request.table);
           continue;
@@ -160,11 +228,11 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
       }
     }
     slot.needs_io = true;
-    ++st->outstanding_ios;
+    ++misses;
   }
 
   // ---- IO phase (or straight to pooling) ----
-  if (st->outstanding_ios == 0) {
+  if (misses == 0) {
     FinishRequest(st);
     return;
   }
@@ -174,73 +242,303 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
 
 void LookupEngine::StartIoPhase(std::shared_ptr<RequestState> st) {
   st->io_phase_started = true;
+  const TuningConfig& tuning = store_->tuning();
+  const TableRuntime& table = store_->table(st->request.table);
+
+  if (!tuning.coalesce_io) {
+    // Per-row ablation path: one device IO per missing row.
+    int ios = 0;
+    for (const auto& slot : st->slots) ios += slot.needs_io ? 1 : 0;
+    st->outstanding_ios = ios;
+    for (uint32_t i = 0; i < st->slots.size(); ++i) {
+      if (st->slots[i].needs_io) SubmitRowIo(st, i);
+    }
+    return;
+  }
+
+  DirectIoReader& reader = store_->reader(table.sm_device);
+  const bool block_cache_mode = store_->block_cache() != nullptr && table.cache_enabled;
+  const bool sgl = !block_cache_mode && reader.sub_block();
+  const Bytes rb = st->stored_row_bytes;
+
+  // Gather misses in device-offset order so runs form with one pass.
+  struct Miss {
+    uint32_t slot;
+    Bytes offset;
+  };
+  std::vector<Miss> misses;
+  for (uint32_t i = 0; i < st->slots.size(); ++i) {
+    if (!st->slots[i].needs_io) continue;
+    misses.push_back(Miss{i, table.offset + st->slots[i].physical_row * rb});
+  }
+  std::sort(misses.begin(), misses.end(),
+            [](const Miss& a, const Miss& b) { return a.offset < b.offset; });
+
+  // Group misses by 4KB block and merge adjacent blocks into multi-block
+  // runs, bounded by max_coalesce_bytes (and, for sub-block spans, by the
+  // dead gap a merge would drag across the bus). Rows that straddle a
+  // block boundary fall back to un-coalesced per-row IO.
+  std::vector<uint32_t> fallback;
+  std::vector<CoalescedRun> runs;
+  for (const Miss& m : misses) {
+    const uint64_t block = m.offset / kBlockSize;
+    if (block != (m.offset + rb - 1) / kBlockSize) {
+      fallback.push_back(m.slot);
+      continue;
+    }
+    const Bytes end = m.offset + rb;
+    const Bytes solo_bus = NvmeDevice::BusBytes(m.offset, rb, sgl);
+    bool merged = false;
+    if (!runs.empty()) {
+      CoalescedRun& r = runs.back();
+      // Block path: whole blocks cross the bus anyway, so same-block rows
+      // always share one read and adjacent blocks merge up to the cap.
+      // Sub-block path: merge only across small dead gaps (request-merging
+      // semantics) so scattered rows don't inflate bus traffic.
+      const bool gap_ok = !sgl || m.offset - r.span_end <= tuning.coalesce_gap_bytes;
+      if (block == r.last_block) {
+        merged = gap_ok;
+      } else if (block == r.last_block + 1 &&
+                 (block - r.first_block + 1) * kBlockSize <= tuning.max_coalesce_bytes) {
+        merged = gap_ok;
+      }
+      if (merged) {
+        r.last_block = block;
+        r.span_end = end;
+        r.slot_indices.push_back(m.slot);
+        r.per_row_bus += solo_bus;
+      }
+    }
+    if (!merged) {
+      CoalescedRun r;
+      r.first_block = block;
+      r.last_block = block;
+      r.span_begin = m.offset;
+      r.span_end = end;
+      r.slot_indices = {m.slot};
+      r.per_row_bus = solo_bus;
+      runs.push_back(std::move(r));
+    }
+  }
+
+  st->outstanding_ios = static_cast<int>(runs.size() + fallback.size());
+  for (const uint32_t i : fallback) SubmitRowIo(st, i);
+  if (!runs.empty()) SubmitCoalescedRuns(st, std::move(runs));
+}
+
+void LookupEngine::SubmitRowIo(const std::shared_ptr<RequestState>& st,
+                               uint32_t slot_index) {
   const TableRuntime& table = store_->table(st->request.table);
   DirectIoReader& reader = store_->reader(table.sm_device);
   TableThrottle& throttle = store_->throttle();
   const bool block_mode = store_->block_cache() != nullptr && table.cache_enabled;
 
-  for (size_t i = 0; i < st->slots.size(); ++i) {
-    auto& slot = st->slots[i];
-    if (!slot.needs_io) continue;
-    const Bytes off = table.offset + slot.physical_row * st->stored_row_bytes;
-    std::span<uint8_t> dest(st->row_bytes.data() + i * st->stored_row_bytes,
-                            st->stored_row_bytes);
-    const RowIndex physical = slot.physical_row;
+  auto& slot = st->slots[slot_index];
+  const Bytes off = table.offset + slot.physical_row * st->stored_row_bytes;
+  std::span<uint8_t> dest(st->row_bytes.data() + slot_index * st->stored_row_bytes,
+                          st->stored_row_bytes);
+  const RowIndex physical = slot.physical_row;
 
-    // Shared completion: cache fills + join bookkeeping.
-    auto on_row_done = [this, st, dest, physical, &throttle](Status status) {
-      throttle.Release(st->request.table);
+  ++st->trace.device_reads;
+  device_reads_->Add(1);
+
+  // Shared completion: cache fills + join bookkeeping. Errored reads count
+  // only toward io_errors, not toward rows served from SM.
+  auto on_row_done = [this, st, slot_index, dest, physical, &throttle](Status status) {
+    throttle.Release(st->request.table);
+    if (!status.ok()) {
+      io_errors_->Add(1);
+      if (st->first_error.ok()) st->first_error = status;
+    } else {
       rows_sm_read_->Add(1);
       ++st->trace.rows_from_sm;
-      if (!status.ok()) {
-        io_errors_->Add(1);
-        if (st->first_error.ok()) st->first_error = status;
+      st->slots[slot_index].source = RequestState::Slot::Source::kSm;
+      // Read-through insert (§4.3): with sub-block reads the row goes
+      // straight into cache storage.
+      DualRowCache* cache = store_->row_cache();
+      const TableRuntime& t = store_->table(st->request.table);
+      if (cache != nullptr && t.cache_enabled) {
+        cache->Insert(RowKey{st->request.table, physical}, dest);
+        st->cpu_post += cache->RouteCpuCost(st->request.table);
+      }
+    }
+    if (--st->outstanding_ios == 0) FinishRequest(st);
+  };
+
+  if (block_mode && off / kBlockSize == (off + st->stored_row_bytes - 1) / kBlockSize) {
+    // Multi-level path: fetch the whole 4KB block, fill the block cache,
+    // then extract the row.
+    const Bytes block_start = off / kBlockSize * kBlockSize;
+    const auto device = static_cast<uint32_t>(table.sm_device);
+    const int max_retries = reader.max_retries();
+    throttle.Acquire(st->request.table, [this, st, off, dest, block_start, device,
+                                         max_retries, on_row_done] {
+      BlockRowReadAttempt(st, off, block_start, dest, device, max_retries, on_row_done);
+    });
+    return;
+  }
+
+  throttle.Acquire(st->request.table, [off, dest, &reader, on_row_done] {
+    reader.ReadRow(off, dest, [on_row_done](Status status, SimDuration /*lat*/) {
+      on_row_done(std::move(status));
+    });
+  });
+}
+
+void LookupEngine::BlockRowReadAttempt(const std::shared_ptr<RequestState>& st, Bytes off,
+                                       Bytes block_start, std::span<uint8_t> dest,
+                                       uint32_t device, int attempts_left,
+                                       std::function<void(Status)> done) {
+  IoEngine& engine = store_->io_engine(device);
+  auto block_buf = store_->buffer_arena().Acquire(kBlockSize);
+  const std::span<uint8_t> block_span(block_buf->data(), block_buf->size());
+  engine.SubmitRead(
+      block_start, kBlockSize, /*sub_block=*/false, block_span,
+      [this, st, off, dest, block_start, device, attempts_left, block_buf,
+       done = std::move(done)](Status status, SimDuration /*lat*/) mutable {
+        // Retry transient media errors inside the held throttle slot, like
+        // DirectIoReader does for the sub-block path.
+        if (!status.ok() && status.code() == StatusCode::kUnavailable &&
+            attempts_left > 0) {
+          io_retries_->Add(1);
+          BlockRowReadAttempt(st, off, block_start, dest, device, attempts_left - 1,
+                              std::move(done));
+          return;
+        }
+        if (status.ok()) {
+          store_->block_cache()->InsertBlock(
+              BlockCache::BlockKey{device, block_start / kBlockSize}, *block_buf);
+          std::memcpy(dest.data(), block_buf->data() + (off - block_start), dest.size());
+          st->cpu_post += CopyCost(kBlockSize);
+        }
+        done(std::move(status));
+      });
+}
+
+void LookupEngine::SubmitCoalescedRuns(const std::shared_ptr<RequestState>& st,
+                                       std::vector<CoalescedRun> runs) {
+  const TableRuntime& table = store_->table(st->request.table);
+  IoEngine& engine = store_->io_engine(table.sm_device);
+  DirectIoReader& reader = store_->reader(table.sm_device);
+  TableThrottle& throttle = store_->throttle();
+  const bool block_cache_mode = store_->block_cache() != nullptr && table.cache_enabled;
+  const bool sgl = !block_cache_mode && reader.sub_block();
+  const int max_retries = reader.max_retries();
+
+  // Runs whose throttle slot is free right now are submitted as ONE ring
+  // doorbell (SubmitBatch); throttled runs ring their own bell later when
+  // a slot frees up — by then the batch window has passed.
+  auto batch = std::make_shared<std::vector<IoEngine::ReadOp>>();
+  auto collecting = std::make_shared<bool>(true);
+
+  for (CoalescedRun& planned : runs) {
+    auto run = std::make_shared<CoalescedRun>(std::move(planned));
+    // The device lands data at its alignment base: the first byte of the
+    // first block (block path) or the DWORD floor of the span (sub-block).
+    run->sgl = sgl;
+    run->base =
+        sgl ? (run->span_begin & ~(kDwordBytes - 1)) : run->first_block * kBlockSize;
+    run->bus = NvmeDevice::BusBytes(run->span_begin, run->span_end - run->span_begin, sgl);
+    run->bytes_saved = run->per_row_bus > run->bus ? run->per_row_bus - run->bus : 0;
+
+    ++st->trace.device_reads;
+    device_reads_->Add(1);
+    st->trace.io_bytes_saved += run->bytes_saved;
+    io_bytes_saved_->Add(run->bytes_saved);
+
+    throttle.Acquire(st->request.table, [this, st, run, block_cache_mode, max_retries,
+                                         batch, collecting, &engine] {
+      // Acquire the bounce buffer only once admitted, so runs waiting in
+      // the throttle queue don't pin arena memory.
+      run->buf = store_->buffer_arena().Acquire(run->bus);
+      IoEngine::ReadOp op = BuildRunOp(
+          run, /*first_attempt=*/true,
+          MakeRunCompletion(st, run, block_cache_mode, max_retries));
+      if (*collecting) {
+        batch->push_back(std::move(op));
       } else {
-        // Read-through insert (§4.3): with sub-block reads the row goes
-        // straight into cache storage.
-        DualRowCache* cache = store_->row_cache();
-        const TableRuntime& t = store_->table(st->request.table);
+        engine.SubmitBatch(std::span<IoEngine::ReadOp>(&op, 1));
+      }
+    });
+  }
+
+  *collecting = false;
+  if (!batch->empty()) engine.SubmitBatch(*batch);
+}
+
+IoEngine::ReadOp LookupEngine::BuildRunOp(const std::shared_ptr<CoalescedRun>& run,
+                                          bool first_attempt, IoEngine::Callback cb) {
+  IoEngine::ReadOp op;
+  op.offset = run->span_begin;
+  op.length = run->span_end - run->span_begin;
+  op.sub_block = run->sgl;
+  op.dest = std::span<uint8_t>(run->buf->data(), run->buf->size());
+  // Coalescing counters only on the first attempt; a retry is the same
+  // logical read and must not double-count.
+  op.merged_reads = first_attempt ? static_cast<uint32_t>(run->slot_indices.size()) : 1;
+  op.bytes_saved = first_attempt ? run->bytes_saved : 0;
+  op.cb = std::move(cb);
+  return op;
+}
+
+IoEngine::Callback LookupEngine::MakeRunCompletion(
+    const std::shared_ptr<RequestState>& st, const std::shared_ptr<CoalescedRun>& run,
+    bool block_cache_mode, int attempts_left) {
+  return [this, st, run, block_cache_mode, attempts_left](Status status,
+                                                          SimDuration /*lat*/) {
+    TableThrottle& throttle = store_->throttle();
+    throttle.Release(st->request.table);
+    if (!status.ok()) {
+      // Transient (device-side) errors are retried like DirectIoReader's
+      // per-row reads; invalid requests surface immediately.
+      if (status.code() == StatusCode::kUnavailable && attempts_left > 0) {
+        io_retries_->Add(1);
+        throttle.Acquire(st->request.table, [this, st, run, block_cache_mode,
+                                             attempts_left] {
+          IoEngine& engine =
+              store_->io_engine(store_->table(st->request.table).sm_device);
+          IoEngine::ReadOp op =
+              BuildRunOp(run, /*first_attempt=*/false,
+                         MakeRunCompletion(st, run, block_cache_mode, attempts_left - 1));
+          engine.SubmitBatch(std::span<IoEngine::ReadOp>(&op, 1));
+        });
+        return;
+      }
+      // One failed device read fails every row it carried; only io_errors
+      // is charged (not rows_from_sm).
+      io_errors_->Add(1);
+      if (st->first_error.ok()) st->first_error = status;
+    } else {
+      const TableRuntime& t = store_->table(st->request.table);
+      DualRowCache* cache = store_->row_cache();
+      Bytes copied = 0;
+      for (const uint32_t i : run->slot_indices) {
+        auto& slot = st->slots[i];
+        const Bytes off = t.offset + slot.physical_row * st->stored_row_bytes;
+        std::span<uint8_t> dest(st->row_bytes.data() + i * st->stored_row_bytes,
+                                st->stored_row_bytes);
+        std::memcpy(dest.data(), run->buf->data() + (off - run->base), dest.size());
+        copied += dest.size();
+        slot.source = RequestState::Slot::Source::kSm;
+        rows_sm_read_->Add(1);
+        ++st->trace.rows_from_sm;
         if (cache != nullptr && t.cache_enabled) {
-          cache->Insert(RowKey{st->request.table, physical}, dest);
+          cache->Insert(RowKey{st->request.table, slot.physical_row}, dest);
           st->cpu_post += cache->RouteCpuCost(st->request.table);
         }
       }
-      if (--st->outstanding_ios == 0) FinishRequest(st);
-    };
-
-    if (block_mode && off / kBlockSize == (off + st->stored_row_bytes - 1) / kBlockSize) {
-      // Multi-level path: fetch the whole 4KB block, fill the block cache,
-      // then extract the row.
-      const Bytes block_start = off / kBlockSize * kBlockSize;
-      const auto device = static_cast<uint32_t>(table.sm_device);
-      IoEngine& engine = store_->io_engine(table.sm_device);
-      throttle.Acquire(st->request.table, [this, st, off, dest, block_start, device,
-                                           &engine, on_row_done] {
-        auto block_buf = std::make_shared<std::vector<uint8_t>>(kBlockSize);
-        const std::span<uint8_t> block_span(block_buf->data(), block_buf->size());
-        engine.SubmitRead(
-            block_start, kBlockSize, /*sub_block=*/false, block_span,
-            [this, st, off, dest, block_start, device, block_buf, on_row_done](
-                Status status, SimDuration /*lat*/) mutable {
-              if (status.ok()) {
-                store_->block_cache()->InsertBlock(
-                    BlockCache::BlockKey{device, block_start / kBlockSize}, *block_buf);
-                std::memcpy(dest.data(), block_buf->data() + (off - block_start),
-                            dest.size());
-                st->cpu_post += Nanos(static_cast<int64_t>(kBlockSize / 12));  // memcpy
-              }
-              on_row_done(std::move(status));
-            });
-      });
-      continue;
+      st->cpu_post += CopyCost(copied);
+      if (block_cache_mode) {
+        // The buffer holds whole blocks: fill the block layer too.
+        store_->block_cache()->InsertBlocks(
+            static_cast<uint32_t>(t.sm_device), run->first_block,
+            std::span<const uint8_t>(*run->buf));
+        st->cpu_post += CopyCost(run->buf->size());
+      }
     }
-
-    throttle.Acquire(st->request.table, [off, dest, &reader, on_row_done] {
-      reader.ReadRow(off, dest, [on_row_done](Status status, SimDuration /*lat*/) {
-        on_row_done(std::move(status));
-      });
-    });
-  }
+    run->buf.reset();  // return the bounce buffer to the arena promptly
+    if (--st->outstanding_ios == 0) FinishRequest(st);
+  };
 }
 
 void LookupEngine::FinishRequest(const std::shared_ptr<RequestState>& st) {
@@ -253,6 +551,42 @@ void LookupEngine::FinishRequest(const std::shared_ptr<RequestState>& st) {
 
   const TableRuntime& table = store_->table(st->request.table);
   const uint32_t dim = table.config.dim;
+
+  // Fan duplicate-index slots out from the sibling that fetched the row;
+  // they inherit its source for the accounting.
+  Bytes dup_copied = 0;
+  for (size_t i = 0; i < st->slots.size(); ++i) {
+    auto& slot = st->slots[i];
+    if (slot.dup_of < 0) continue;
+    const auto& primary = st->slots[static_cast<size_t>(slot.dup_of)];
+    std::memcpy(
+        st->row_bytes.data() + i * st->stored_row_bytes,
+        st->row_bytes.data() + static_cast<size_t>(slot.dup_of) * st->stored_row_bytes,
+        st->stored_row_bytes);
+    dup_copied += st->stored_row_bytes;
+    slot.source = primary.source;
+    switch (primary.source) {
+      case RequestState::Slot::Source::kFmDirect:
+        rows_fm_read_->Add(1);
+        ++st->trace.rows_from_fm_direct;
+        break;
+      case RequestState::Slot::Source::kCache:
+        rows_cache_hit_->Add(1);
+        ++st->trace.rows_from_cache;
+        break;
+      case RequestState::Slot::Source::kBlockCache:
+        rows_block_hit_->Add(1);
+        ++st->trace.rows_from_block_cache;
+        break;
+      case RequestState::Slot::Source::kSm:
+        rows_sm_read_->Add(1);
+        ++st->trace.rows_from_sm;
+        break;
+      case RequestState::Slot::Source::kNone:
+        break;  // primary errored; the error path below never pools
+    }
+  }
+  if (dup_copied > 0) st->cpu_post += CopyCost(dup_copied);
 
   // Fused dequant+pool over resolved slots.
   std::vector<float> out(dim, 0.0f);

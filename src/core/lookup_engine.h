@@ -39,6 +39,18 @@ struct LookupTrace {
   uint32_t rows_from_cache = 0;
   uint32_t rows_from_block_cache = 0;  ///< multi-level ablation path
   uint32_t rows_from_sm = 0;
+
+  // ---- Coalesced-IO effectiveness (tuning.coalesce_io) ----
+  /// Duplicate-index slots served by a sibling slot's fetch instead of
+  /// their own (counted on top of the category counters above).
+  uint32_t rows_deduped = 0;
+  /// SM device IOs issued for this request. With coalescing, N missing
+  /// rows in one block (or an adjacent-block run) cost one device read, so
+  /// device_reads <= rows_from_sm.
+  uint32_t device_reads = 0;
+  /// Bus bytes avoided versus issuing every missing row as its own read.
+  Bytes io_bytes_saved = 0;
+
   SimDuration cpu_time;
   SimDuration latency;
 };
@@ -71,12 +83,37 @@ class LookupEngine {
 
  private:
   struct RequestState;
+  struct CoalescedRun;
 
   void StartIoPhase(std::shared_ptr<RequestState> st);
+  /// Submits one missing row as its own throttled device IO (the per-row
+  /// ablation path, and the fallback for rows straddling a block boundary).
+  void SubmitRowIo(const std::shared_ptr<RequestState>& st, uint32_t slot_index);
+  /// One whole-block read attempt for the multi-level per-row path, with
+  /// transient-error retries inside the held throttle slot.
+  void BlockRowReadAttempt(const std::shared_ptr<RequestState>& st, Bytes off,
+                           Bytes block_start, std::span<uint8_t> dest, uint32_t device,
+                           int attempts_left, std::function<void(Status)> done);
+  void SubmitCoalescedRuns(const std::shared_ptr<RequestState>& st,
+                           std::vector<CoalescedRun> runs);
+  /// Builds the batchable read op for a planned run; accounting fields are
+  /// only populated on the first attempt (retries must not double-count).
+  IoEngine::ReadOp BuildRunOp(const std::shared_ptr<CoalescedRun>& run,
+                              bool first_attempt, IoEngine::Callback cb);
+  /// Completion for one coalesced run: scatter rows, fill caches, and —
+  /// like DirectIoReader — retry transient device errors `attempts_left`
+  /// more times before surfacing the failure.
+  IoEngine::Callback MakeRunCompletion(const std::shared_ptr<RequestState>& st,
+                                       const std::shared_ptr<CoalescedRun>& run,
+                                       bool block_cache_mode, int attempts_left);
   void FinishRequest(const std::shared_ptr<RequestState>& st);
+  /// Modeled CPU time of copying `bytes` (shared with DirectIoReader's
+  /// memcpy_bytes_per_sec so the two paths charge the same throughput).
+  [[nodiscard]] SimDuration CopyCost(Bytes bytes) const;
 
   SdmStore* store_;
   EventLoop* loop_;
+  double memcpy_bytes_per_sec_ = 12e9;
   PoolingCostModel cost_;
   Histogram latency_;
   StatsRegistry stats_;
@@ -87,8 +124,12 @@ class LookupEngine {
   Counter* rows_sm_read_ = nullptr;
   Counter* rows_fm_read_ = nullptr;
   Counter* rows_pruned_ = nullptr;
+  Counter* rows_deduped_ = nullptr;
+  Counter* device_reads_ = nullptr;
+  Counter* io_bytes_saved_ = nullptr;
   Counter* cpu_ns_ = nullptr;
   Counter* io_errors_ = nullptr;
+  Counter* io_retries_ = nullptr;
 };
 
 }  // namespace sdm

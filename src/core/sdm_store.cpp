@@ -29,7 +29,8 @@ SdmStore::SdmStore(SdmStoreConfig config, EventLoop* loop)
     engines_.push_back(std::make_unique<IoEngine>(sm_.back().get(), loop_, ecfg));
     DirectReaderConfig rcfg;
     rcfg.sub_block = config_.tuning.sub_block_reads;
-    readers_.push_back(std::make_unique<DirectIoReader>(engines_.back().get(), rcfg));
+    readers_.push_back(
+        std::make_unique<DirectIoReader>(engines_.back().get(), rcfg, &buffer_arena_));
   }
   sm_used_.assign(sm_.size(), 0);
 }

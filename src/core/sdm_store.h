@@ -29,6 +29,7 @@
 #include "device/nvme_device.h"
 #include "embedding/pruning.h"
 #include "embedding/embedding_table.h"
+#include "io/buffer_arena.h"
 #include "io/direct_reader.h"
 #include "io/io_engine.h"
 #include "io/throttle.h"
@@ -102,6 +103,8 @@ class SdmStore {
   [[nodiscard]] NvmeDevice& sm_device(size_t i) { return *sm_[i]; }
   [[nodiscard]] IoEngine& io_engine(size_t i) { return *engines_[i]; }
   [[nodiscard]] DirectIoReader& reader(size_t i) { return *readers_[i]; }
+  /// Shared pool of device-read bounce buffers (coalesced IO path).
+  [[nodiscard]] BufferArena& buffer_arena() { return buffer_arena_; }
   [[nodiscard]] EventLoop* loop() { return loop_; }
   [[nodiscard]] const TuningConfig& tuning() const { return config_.tuning; }
   [[nodiscard]] const SdmStoreConfig& config() const { return config_; }
@@ -134,6 +137,9 @@ class SdmStore {
   SdmStoreConfig config_;
   EventLoop* loop_;
   std::unique_ptr<DramDevice> fm_;
+  // Declared before the engines/readers that hold a pointer to it so it
+  // outlives them on destruction.
+  BufferArena buffer_arena_;
   std::vector<std::unique_ptr<NvmeDevice>> sm_;
   std::vector<std::unique_ptr<IoEngine>> engines_;
   std::vector<std::unique_ptr<DirectIoReader>> readers_;

@@ -15,6 +15,9 @@ Status TuningConfig::Validate() const {
   if (io_queue_depth < 1) {
     return InvalidArgumentError("io_queue_depth must be >= 1");
   }
+  if (coalesce_io && max_coalesce_bytes < kBlockSize) {
+    return InvalidArgumentError("max_coalesce_bytes must be >= one 4KB block");
+  }
   if (row_cache.memory_optimized_fraction < 0 || row_cache.memory_optimized_fraction > 1) {
     return InvalidArgumentError("memory_optimized_fraction must be in [0,1]");
   }

@@ -44,6 +44,21 @@ struct TuningConfig {
   /// Use SGL bit-bucket sub-block reads when the device supports them.
   bool sub_block_reads = true;
 
+  // ---- Coalesced batch IO (§4.1 extension) ----
+  /// Dedup duplicate indices within a request, group misses by 4KB block
+  /// (N rows in one block cost one device read), merge adjacent blocks, and
+  /// submit the request's device reads as one batched io_uring doorbell.
+  /// `false` restores the one-IO-per-row path (ablation baseline).
+  bool coalesce_io = true;
+  /// Upper bound on the byte span of one merged multi-block read.
+  Bytes max_coalesce_bytes = 64 * kKiB;
+  /// In sub-block (SGL) mode, the largest dead gap (bytes) a merged read
+  /// may bridge between consecutive rows; larger gaps split the read so
+  /// scattered rows don't inflate bus traffic (block-layer request-merging
+  /// semantics). Block-mode reads ignore this: whole blocks cross the bus
+  /// either way, so same-block rows always share one read.
+  Bytes coalesce_gap_bytes = 512;
+
   // ---- Cache organization (§4.3) ----
   bool enable_row_cache = true;
   /// capacity == 0 (the default) auto-sizes the cache to whatever FM the

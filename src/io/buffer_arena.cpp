@@ -1,0 +1,62 @@
+#include "io/buffer_arena.h"
+
+#include <algorithm>
+
+namespace sdm {
+
+BufferArena::BufferArena(size_t max_pooled_buffers)
+    : max_pooled_buffers_(max_pooled_buffers),
+      self_(std::make_shared<BufferArena*>(this)) {}
+
+BufferArena::~BufferArena() { *self_ = nullptr; }
+
+std::shared_ptr<BufferArena::Buffer> BufferArena::Acquire(Bytes bytes) {
+  ++stats_.acquires;
+
+  std::unique_ptr<Buffer> buf;
+  // Best-fit over the (small, bounded) free list: smallest pooled buffer
+  // whose capacity covers the request.
+  size_t best = free_list_.size();
+  for (size_t i = 0; i < free_list_.size(); ++i) {
+    if (free_list_[i]->capacity() < bytes) continue;
+    if (best == free_list_.size() ||
+        free_list_[i]->capacity() < free_list_[best]->capacity()) {
+      best = i;
+    }
+  }
+  if (best != free_list_.size()) {
+    ++stats_.reuses;
+    buf = std::move(free_list_[best]);
+    free_list_.erase(free_list_.begin() + static_cast<ptrdiff_t>(best));
+  } else {
+    ++stats_.allocations;
+    buf = std::make_unique<Buffer>();
+    buf->reserve(bytes);
+  }
+  buf->resize(bytes);
+
+  return {buf.release(), [weak = self_](Buffer* b) {
+            if (BufferArena* arena = *weak) {
+              arena->Recycle(b);
+            } else {
+              delete b;  // arena destroyed with the IO still in flight
+            }
+          }};
+}
+
+void BufferArena::Recycle(Buffer* buf) {
+  if (free_list_.size() >= max_pooled_buffers_) {
+    ++stats_.discarded;
+    delete buf;
+    return;
+  }
+  free_list_.emplace_back(buf);
+}
+
+Bytes BufferArena::pooled_bytes() const {
+  Bytes total = 0;
+  for (const auto& b : free_list_) total += b->capacity();
+  return total;
+}
+
+}  // namespace sdm

@@ -5,8 +5,9 @@
 
 namespace sdm {
 
-DirectIoReader::DirectIoReader(IoEngine* engine, DirectReaderConfig config)
-    : engine_(engine), config_(config) {
+DirectIoReader::DirectIoReader(IoEngine* engine, DirectReaderConfig config,
+                               BufferArena* arena)
+    : engine_(engine), config_(config), arena_(arena) {
   assert(engine != nullptr);
   fm_bytes_ = stats_.GetCounter("fm_bytes");
   extra_copies_ = stats_.GetCounter("extra_copies");
@@ -30,8 +31,10 @@ void DirectIoReader::Attempt(Bytes offset, std::span<uint8_t> dest, int attempts
   const Bytes bus = NvmeDevice::BusBytes(offset, length, sgl);
 
   // Bounce buffer sized for the DMA target; owned by the completion closure
-  // (shared_ptr because std::function requires copyable targets).
-  auto bounce = std::make_shared<std::vector<uint8_t>>(bus);
+  // (shared_ptr because std::function requires copyable targets). With an
+  // arena attached the buffer is recycled instead of freed.
+  auto bounce = arena_ != nullptr ? arena_->Acquire(bus)
+                                  : std::make_shared<std::vector<uint8_t>>(bus);
   const std::span<uint8_t> bounce_span(bounce->data(), bounce->size());
 
   // Offset of the useful bytes within the bounce buffer.

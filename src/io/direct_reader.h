@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "io/buffer_arena.h"
 #include "io/io_engine.h"
 
 namespace sdm {
@@ -37,7 +38,9 @@ class DirectIoReader {
  public:
   using Callback = std::function<void(Status, SimDuration)>;
 
-  DirectIoReader(IoEngine* engine, DirectReaderConfig config);
+  /// `arena` (optional) recycles bounce buffers across reads instead of
+  /// heap-allocating one per IO; it must outlive the reader.
+  DirectIoReader(IoEngine* engine, DirectReaderConfig config, BufferArena* arena = nullptr);
 
   /// Asynchronously fills `dest` (sized to the useful length) from device
   /// range [offset, offset + dest.size()). Latency includes the modeled
@@ -51,6 +54,8 @@ class DirectIoReader {
   [[nodiscard]] uint64_t retries() const { return retries_->value(); }
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
   [[nodiscard]] bool sub_block() const;
+  [[nodiscard]] int max_retries() const { return config_.max_retries; }
+  [[nodiscard]] double memcpy_bytes_per_sec() const { return config_.memcpy_bytes_per_sec; }
 
  private:
   void Attempt(Bytes offset, std::span<uint8_t> dest, int attempts_left,
@@ -58,6 +63,7 @@ class DirectIoReader {
 
   IoEngine* engine_;
   DirectReaderConfig config_;
+  BufferArena* arena_;
   StatsRegistry stats_;
   Counter* fm_bytes_ = nullptr;
   Counter* extra_copies_ = nullptr;

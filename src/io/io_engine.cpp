@@ -15,6 +15,10 @@ IoEngine::IoEngine(NvmeDevice* device, EventLoop* loop, IoEngineConfig config)
   errors_ = stats_.GetCounter("errors");
   cpu_ns_ = stats_.GetCounter("cpu_ns");
   spilled_ = stats_.GetCounter("spilled");
+  batches_ = stats_.GetCounter("batches");
+  batch_sqes_ = stats_.GetCounter("batch_sqes");
+  coalesced_reads_ = stats_.GetCounter("coalesced_reads");
+  bytes_saved_ = stats_.GetCounter("bytes_saved");
 }
 
 void IoEngine::SubmitRead(Bytes offset, Bytes length, bool sub_block,
@@ -28,6 +32,29 @@ void IoEngine::SubmitRead(Bytes offset, Bytes length, bool sub_block,
     return;
   }
   Dispatch(std::move(p));
+}
+
+void IoEngine::SubmitBatch(std::span<ReadOp> ops) {
+  if (ops.empty()) return;
+  batches_->Add(1);
+  batch_sqes_->Add(ops.size());
+  submitted_->Add(ops.size());
+  // One doorbell for the whole batch; SQEs after the first are nearly free.
+  cpu_ns_->Add(static_cast<uint64_t>(
+      config_.cpu_submit_cost.nanos() +
+      config_.cpu_submit_cost_batch_sqe.nanos() * static_cast<int64_t>(ops.size() - 1)));
+  for (ReadOp& op : ops) {
+    if (op.merged_reads > 1) coalesced_reads_->Add(op.merged_reads - 1);
+    bytes_saved_->Add(op.bytes_saved);
+    Pending p{op.offset, op.length, op.sub_block, op.dest, std::move(op.cb),
+              loop_->Now()};
+    if (outstanding_ >= config_.queue_depth) {
+      spilled_->Add(1);
+      pending_.push_back(std::move(p));
+      continue;
+    }
+    Dispatch(std::move(p));
+  }
 }
 
 void IoEngine::Dispatch(Pending p) {

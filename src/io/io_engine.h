@@ -41,7 +41,12 @@ struct IoEngineConfig {
   int queue_depth = 256;
 
   /// CPU cost to build + submit one SQE (io_uring syscall amortized).
+  /// For batched submission this is charged once per ring doorbell.
   SimDuration cpu_submit_cost = Nanos(800);
+
+  /// CPU cost of each additional SQE in a batched submission: building the
+  /// SQE itself is cheap once the io_uring_enter syscall is shared.
+  SimDuration cpu_submit_cost_batch_sqe = Nanos(150);
 
   /// CPU cost to reap one CQE in interrupt mode (IRQ + context switch share).
   SimDuration cpu_complete_cost_interrupt = Nanos(1600);
@@ -67,6 +72,26 @@ class IoEngine {
   /// end-to-end latency: engine queueing + device + completion delivery.
   void SubmitRead(Bytes offset, Bytes length, bool sub_block, std::span<uint8_t> dest,
                   Callback cb);
+
+  /// One read in a batched submission. `merged_reads` / `bytes_saved`
+  /// describe how many logical (per-row) reads this op coalesces and how
+  /// many bus bytes that saved versus issuing them individually — the
+  /// engine only aggregates them into its counters.
+  struct ReadOp {
+    Bytes offset = 0;
+    Bytes length = 0;
+    bool sub_block = false;
+    std::span<uint8_t> dest;
+    Callback cb;
+    uint32_t merged_reads = 1;
+    Bytes bytes_saved = 0;
+  };
+
+  /// Submits `ops` as one ring doorbell: the first SQE pays the full
+  /// `cpu_submit_cost`, each further SQE only `cpu_submit_cost_batch_sqe`
+  /// (amortized io_uring_enter). Ops beyond `queue_depth` spill to the
+  /// engine's FIFO queue exactly like single submissions.
+  void SubmitBatch(std::span<ReadOp> ops);
 
   [[nodiscard]] int outstanding() const { return outstanding_; }
   [[nodiscard]] size_t queued() const { return pending_.size(); }
@@ -111,6 +136,10 @@ class IoEngine {
   Counter* errors_ = nullptr;
   Counter* cpu_ns_ = nullptr;
   Counter* spilled_ = nullptr;
+  Counter* batches_ = nullptr;
+  Counter* batch_sqes_ = nullptr;
+  Counter* coalesced_reads_ = nullptr;
+  Counter* bytes_saved_ = nullptr;
 };
 
 }  // namespace sdm

@@ -68,6 +68,69 @@ TEST_F(IoFixture, EnforcesQueueDepth) {
   EXPECT_EQ(engine.queued(), 0u);
 }
 
+TEST_F(IoFixture, BatchSubmitSpillsAtQueueDepth) {
+  IoEngineConfig cfg;
+  cfg.queue_depth = 4;
+  IoEngine engine(&dev_, &loop_, cfg);
+  std::vector<std::vector<uint8_t>> bufs(16, std::vector<uint8_t>(512));
+  int completed = 0;
+  std::vector<IoEngine::ReadOp> ops;
+  for (auto& b : bufs) {
+    IoEngine::ReadOp op;
+    op.offset = 0;
+    op.length = 512;
+    op.sub_block = true;
+    op.dest = b;
+    op.cb = [&](Status s, SimDuration) {
+      EXPECT_TRUE(s.ok());
+      ++completed;
+    };
+    ops.push_back(std::move(op));
+  }
+  engine.SubmitBatch(ops);
+  // One doorbell, 16 SQEs: at most QD dispatched, the rest spilled FIFO.
+  EXPECT_LE(engine.outstanding(), 4);
+  EXPECT_EQ(engine.queued(), 12u);
+  EXPECT_EQ(engine.stats().CounterValue("spilled"), 12u);
+  EXPECT_EQ(engine.stats().CounterValue("batches"), 1u);
+  EXPECT_EQ(engine.stats().CounterValue("batch_sqes"), 16u);
+  loop_.RunUntilIdle();
+  EXPECT_EQ(completed, 16);
+  EXPECT_EQ(engine.outstanding(), 0);
+  EXPECT_EQ(engine.queued(), 0u);
+}
+
+TEST_F(IoFixture, BatchSubmissionAmortizesSubmitCpu) {
+  IoEngineConfig cfg;
+  IoEngine batched(&dev_, &loop_, cfg);
+  IoEngine single(&dev_, &loop_, cfg);
+
+  std::vector<std::vector<uint8_t>> bufs(8, std::vector<uint8_t>(512));
+  std::vector<IoEngine::ReadOp> ops;
+  for (auto& b : bufs) {
+    IoEngine::ReadOp op;
+    op.offset = 0;
+    op.length = 512;
+    op.sub_block = true;
+    op.dest = b;
+    op.cb = [](Status, SimDuration) {};
+    ops.push_back(std::move(op));
+  }
+  batched.SubmitBatch(ops);
+  const SimDuration batched_submit_cpu = batched.cpu_time();
+
+  std::vector<std::vector<uint8_t>> bufs2(8, std::vector<uint8_t>(512));
+  for (auto& b : bufs2) single.SubmitRead(0, 512, true, b, [](Status, SimDuration) {});
+  const SimDuration single_submit_cpu = single.cpu_time();
+
+  // 1 doorbell + 7 cheap SQEs vs 8 full submissions.
+  EXPECT_EQ(batched_submit_cpu,
+            cfg.cpu_submit_cost + cfg.cpu_submit_cost_batch_sqe * 7.0);
+  EXPECT_EQ(single_submit_cpu, cfg.cpu_submit_cost * 8.0);
+  EXPECT_LT(batched_submit_cpu.nanos(), single_submit_cpu.nanos());
+  loop_.RunUntilIdle();
+}
+
 TEST_F(IoFixture, PollingImprovesIopsPerCoreBy50Percent) {
   IoEngineConfig irq;
   irq.completion_mode = CompletionMode::kInterrupt;

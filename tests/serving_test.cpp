@@ -108,6 +108,9 @@ TEST(HostSim, SubBlockReadsKeepAmplificationNearOne) {
 TEST(HostSim, BlockReadsAmplify) {
   HostSimConfig cfg = SmallHostConfig();
   cfg.tuning.sub_block_reads = false;
+  // Per-row block IO is the amplification worst case this test documents;
+  // coalescing merges same-block rows and would hide it.
+  cfg.tuning.coalesce_io = false;
   HostSimulation sim(cfg);
   ASSERT_TRUE(sim.LoadModel(SmallModel()).ok());
   const HostRunReport r = sim.Run(300, 500);
