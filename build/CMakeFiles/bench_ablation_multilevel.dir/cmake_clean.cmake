@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multilevel.dir/bench/bench_ablation_multilevel.cpp.o"
+  "CMakeFiles/bench_ablation_multilevel.dir/bench/bench_ablation_multilevel.cpp.o.d"
+  "bench_ablation_multilevel"
+  "bench_ablation_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

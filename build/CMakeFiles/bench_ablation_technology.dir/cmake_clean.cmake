@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_technology.dir/bench/bench_ablation_technology.cpp.o"
+  "CMakeFiles/bench_ablation_technology.dir/bench/bench_ablation_technology.cpp.o.d"
+  "bench_ablation_technology"
+  "bench_ablation_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

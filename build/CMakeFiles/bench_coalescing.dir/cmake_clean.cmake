@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coalescing.dir/bench/bench_coalescing.cpp.o"
+  "CMakeFiles/bench_coalescing.dir/bench/bench_coalescing.cpp.o.d"
+  "bench_coalescing"
+  "bench_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depruning.dir/bench/bench_depruning.cpp.o"
+  "CMakeFiles/bench_depruning.dir/bench/bench_depruning.cpp.o.d"
+  "bench_depruning"
+  "bench_depruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

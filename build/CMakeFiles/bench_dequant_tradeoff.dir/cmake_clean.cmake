@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dequant_tradeoff.dir/bench/bench_dequant_tradeoff.cpp.o"
+  "CMakeFiles/bench_dequant_tradeoff.dir/bench/bench_dequant_tradeoff.cpp.o.d"
+  "bench_dequant_tradeoff"
+  "bench_dequant_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dequant_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

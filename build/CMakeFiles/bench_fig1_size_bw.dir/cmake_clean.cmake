@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_size_bw.dir/bench/bench_fig1_size_bw.cpp.o"
+  "CMakeFiles/bench_fig1_size_bw.dir/bench/bench_fig1_size_bw.cpp.o.d"
+  "bench_fig1_size_bw"
+  "bench_fig1_size_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_size_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_device_curves.dir/bench/bench_fig3_device_curves.cpp.o"
+  "CMakeFiles/bench_fig3_device_curves.dir/bench/bench_fig3_device_curves.cpp.o.d"
+  "bench_fig3_device_curves"
+  "bench_fig3_device_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_device_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_temporal_locality.dir/bench/bench_fig4_temporal_locality.cpp.o"
+  "CMakeFiles/bench_fig4_temporal_locality.dir/bench/bench_fig4_temporal_locality.cpp.o.d"
+  "bench_fig4_temporal_locality"
+  "bench_fig4_temporal_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_temporal_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

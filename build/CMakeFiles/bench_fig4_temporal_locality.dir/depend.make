@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_temporal_locality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cache_org.dir/bench/bench_fig6_cache_org.cpp.o"
+  "CMakeFiles/bench_fig6_cache_org.dir/bench/bench_fig6_cache_org.cpp.o.d"
+  "bench_fig6_cache_org"
+  "bench_fig6_cache_org.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cache_org.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

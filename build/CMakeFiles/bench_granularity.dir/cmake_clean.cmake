@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_granularity.dir/bench/bench_granularity.cpp.o"
+  "CMakeFiles/bench_granularity.dir/bench/bench_granularity.cpp.o.d"
+  "bench_granularity"
+  "bench_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

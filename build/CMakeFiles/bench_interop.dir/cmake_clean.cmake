@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interop.dir/bench/bench_interop.cpp.o"
+  "CMakeFiles/bench_interop.dir/bench/bench_interop.cpp.o.d"
+  "bench_interop"
+  "bench_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mmap_vs_directio.dir/bench/bench_mmap_vs_directio.cpp.o"
+  "CMakeFiles/bench_mmap_vs_directio.dir/bench/bench_mmap_vs_directio.cpp.o.d"
+  "bench_mmap_vs_directio"
+  "bench_mmap_vs_directio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mmap_vs_directio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_mmap_vs_directio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_polling.dir/bench/bench_polling.cpp.o"
+  "CMakeFiles/bench_polling.dir/bench/bench_polling.cpp.o.d"
+  "bench_polling"
+  "bench_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

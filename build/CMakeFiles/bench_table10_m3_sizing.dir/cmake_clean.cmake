@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_m3_sizing.dir/bench/bench_table10_m3_sizing.cpp.o"
+  "CMakeFiles/bench_table10_m3_sizing.dir/bench/bench_table10_m3_sizing.cpp.o.d"
+  "bench_table10_m3_sizing"
+  "bench_table10_m3_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_m3_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

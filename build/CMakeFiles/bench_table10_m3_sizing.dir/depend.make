@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table10_m3_sizing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_multitenancy.dir/bench/bench_table11_multitenancy.cpp.o"
+  "CMakeFiles/bench_table11_multitenancy.dir/bench/bench_table11_multitenancy.cpp.o.d"
+  "bench_table11_multitenancy"
+  "bench_table11_multitenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

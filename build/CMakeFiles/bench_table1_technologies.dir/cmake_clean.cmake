@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_technologies.dir/bench/bench_table1_technologies.cpp.o"
+  "CMakeFiles/bench_table1_technologies.dir/bench/bench_table1_technologies.cpp.o.d"
+  "bench_table1_technologies"
+  "bench_table1_technologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_technologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

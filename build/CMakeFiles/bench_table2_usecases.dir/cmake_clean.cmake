@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_usecases.dir/bench/bench_table2_usecases.cpp.o"
+  "CMakeFiles/bench_table2_usecases.dir/bench/bench_table2_usecases.cpp.o.d"
+  "bench_table2_usecases"
+  "bench_table2_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

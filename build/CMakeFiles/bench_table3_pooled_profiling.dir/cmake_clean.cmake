@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pooled_profiling.dir/bench/bench_table3_pooled_profiling.cpp.o"
+  "CMakeFiles/bench_table3_pooled_profiling.dir/bench/bench_table3_pooled_profiling.cpp.o.d"
+  "bench_table3_pooled_profiling"
+  "bench_table3_pooled_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pooled_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

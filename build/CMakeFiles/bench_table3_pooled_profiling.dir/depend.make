@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_pooled_profiling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_pooled_cache.dir/bench/bench_table4_pooled_cache.cpp.o"
+  "CMakeFiles/bench_table4_pooled_cache.dir/bench/bench_table4_pooled_cache.cpp.o.d"
+  "bench_table4_pooled_cache"
+  "bench_table4_pooled_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_pooled_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

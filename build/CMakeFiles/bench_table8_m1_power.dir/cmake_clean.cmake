@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_m1_power.dir/bench/bench_table8_m1_power.cpp.o"
+  "CMakeFiles/bench_table8_m1_power.dir/bench/bench_table8_m1_power.cpp.o.d"
+  "bench_table8_m1_power"
+  "bench_table8_m1_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_m1_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

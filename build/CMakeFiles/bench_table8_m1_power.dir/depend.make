@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_m1_power.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_m2_scaleout.dir/bench/bench_table9_m2_scaleout.cpp.o"
+  "CMakeFiles/bench_table9_m2_scaleout.dir/bench/bench_table9_m2_scaleout.cpp.o.d"
+  "bench_table9_m2_scaleout"
+  "bench_table9_m2_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_m2_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

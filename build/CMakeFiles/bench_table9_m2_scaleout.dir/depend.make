@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table9_m2_scaleout.
+# This may be replaced when dependencies are built.

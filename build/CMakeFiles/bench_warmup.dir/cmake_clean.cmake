@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_warmup.dir/bench/bench_warmup.cpp.o"
+  "CMakeFiles/bench_warmup.dir/bench/bench_warmup.cpp.o.d"
+  "bench_warmup"
+  "bench_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

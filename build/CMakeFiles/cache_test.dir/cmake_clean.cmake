@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_test.dir/tests/cache_test.cpp.o"
+  "CMakeFiles/cache_test.dir/tests/cache_test.cpp.o.d"
+  "cache_test"
+  "cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

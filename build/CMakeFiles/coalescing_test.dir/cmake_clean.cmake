@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalescing_test.dir/tests/coalescing_test.cpp.o"
+  "CMakeFiles/coalescing_test.dir/tests/coalescing_test.cpp.o.d"
+  "coalescing_test"
+  "coalescing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalescing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

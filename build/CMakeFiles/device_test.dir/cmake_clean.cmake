@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_test.dir/tests/device_test.cpp.o"
+  "CMakeFiles/device_test.dir/tests/device_test.cpp.o.d"
+  "device_test"
+  "device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

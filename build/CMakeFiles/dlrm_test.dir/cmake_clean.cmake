@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrm_test.dir/tests/dlrm_test.cpp.o"
+  "CMakeFiles/dlrm_test.dir/tests/dlrm_test.cpp.o.d"
+  "dlrm_test"
+  "dlrm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

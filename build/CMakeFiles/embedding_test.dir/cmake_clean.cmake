@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_test.dir/tests/embedding_test.cpp.o"
+  "CMakeFiles/embedding_test.dir/tests/embedding_test.cpp.o.d"
+  "embedding_test"
+  "embedding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

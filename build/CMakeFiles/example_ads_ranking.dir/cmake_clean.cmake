@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ads_ranking.dir/examples/ads_ranking.cpp.o"
+  "CMakeFiles/example_ads_ranking.dir/examples/ads_ranking.cpp.o.d"
+  "example_ads_ranking"
+  "example_ads_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ads_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

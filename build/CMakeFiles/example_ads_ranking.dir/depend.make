@@ -1,0 +1,2 @@
+# Empty dependencies file for example_ads_ranking.
+# This may be replaced when dependencies are built.

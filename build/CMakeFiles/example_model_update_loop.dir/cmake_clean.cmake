@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_update_loop.dir/examples/model_update_loop.cpp.o"
+  "CMakeFiles/example_model_update_loop.dir/examples/model_update_loop.cpp.o.d"
+  "example_model_update_loop"
+  "example_model_update_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_update_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_model_update_loop.
+# This may be replaced when dependencies are built.

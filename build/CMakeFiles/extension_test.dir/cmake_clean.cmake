@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_test.dir/tests/extension_test.cpp.o"
+  "CMakeFiles/extension_test.dir/tests/extension_test.cpp.o.d"
+  "extension_test"
+  "extension_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

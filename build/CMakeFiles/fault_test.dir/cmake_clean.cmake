@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_test.dir/tests/fault_test.cpp.o"
+  "CMakeFiles/fault_test.dir/tests/fault_test.cpp.o.d"
+  "fault_test"
+  "fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

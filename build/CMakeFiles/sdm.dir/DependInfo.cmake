@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_cache.cpp" "CMakeFiles/sdm.dir/src/cache/block_cache.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/cache/block_cache.cpp.o.d"
+  "/root/repo/src/cache/cpu_optimized_cache.cpp" "CMakeFiles/sdm.dir/src/cache/cpu_optimized_cache.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/cache/cpu_optimized_cache.cpp.o.d"
+  "/root/repo/src/cache/dual_cache.cpp" "CMakeFiles/sdm.dir/src/cache/dual_cache.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/cache/dual_cache.cpp.o.d"
+  "/root/repo/src/cache/memory_optimized_cache.cpp" "CMakeFiles/sdm.dir/src/cache/memory_optimized_cache.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/cache/memory_optimized_cache.cpp.o.d"
+  "/root/repo/src/cache/pooled_cache.cpp" "CMakeFiles/sdm.dir/src/cache/pooled_cache.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/cache/pooled_cache.cpp.o.d"
+  "/root/repo/src/common/event_loop.cpp" "CMakeFiles/sdm.dir/src/common/event_loop.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/common/event_loop.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "CMakeFiles/sdm.dir/src/common/histogram.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/common/histogram.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "CMakeFiles/sdm.dir/src/common/logging.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/sdm.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/sdm.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/sdm.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/lookup_engine.cpp" "CMakeFiles/sdm.dir/src/core/lookup_engine.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/core/lookup_engine.cpp.o.d"
+  "/root/repo/src/core/model_loader.cpp" "CMakeFiles/sdm.dir/src/core/model_loader.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/core/model_loader.cpp.o.d"
+  "/root/repo/src/core/model_updater.cpp" "CMakeFiles/sdm.dir/src/core/model_updater.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/core/model_updater.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "CMakeFiles/sdm.dir/src/core/placement.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/core/placement.cpp.o.d"
+  "/root/repo/src/core/sdm_store.cpp" "CMakeFiles/sdm.dir/src/core/sdm_store.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/core/sdm_store.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "CMakeFiles/sdm.dir/src/core/tuning.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/core/tuning.cpp.o.d"
+  "/root/repo/src/device/device_spec.cpp" "CMakeFiles/sdm.dir/src/device/device_spec.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/device/device_spec.cpp.o.d"
+  "/root/repo/src/device/dram_device.cpp" "CMakeFiles/sdm.dir/src/device/dram_device.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/device/dram_device.cpp.o.d"
+  "/root/repo/src/device/endurance.cpp" "CMakeFiles/sdm.dir/src/device/endurance.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/device/endurance.cpp.o.d"
+  "/root/repo/src/device/latency_model.cpp" "CMakeFiles/sdm.dir/src/device/latency_model.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/device/latency_model.cpp.o.d"
+  "/root/repo/src/device/nvme_device.cpp" "CMakeFiles/sdm.dir/src/device/nvme_device.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/device/nvme_device.cpp.o.d"
+  "/root/repo/src/dlrm/dlrm_model.cpp" "CMakeFiles/sdm.dir/src/dlrm/dlrm_model.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/dlrm/dlrm_model.cpp.o.d"
+  "/root/repo/src/dlrm/mlp.cpp" "CMakeFiles/sdm.dir/src/dlrm/mlp.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/dlrm/mlp.cpp.o.d"
+  "/root/repo/src/dlrm/model_zoo.cpp" "CMakeFiles/sdm.dir/src/dlrm/model_zoo.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/dlrm/model_zoo.cpp.o.d"
+  "/root/repo/src/embedding/embedding_table.cpp" "CMakeFiles/sdm.dir/src/embedding/embedding_table.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/embedding/embedding_table.cpp.o.d"
+  "/root/repo/src/embedding/pooling.cpp" "CMakeFiles/sdm.dir/src/embedding/pooling.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/embedding/pooling.cpp.o.d"
+  "/root/repo/src/embedding/pruning.cpp" "CMakeFiles/sdm.dir/src/embedding/pruning.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/embedding/pruning.cpp.o.d"
+  "/root/repo/src/embedding/quantization.cpp" "CMakeFiles/sdm.dir/src/embedding/quantization.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/embedding/quantization.cpp.o.d"
+  "/root/repo/src/embedding/table_config.cpp" "CMakeFiles/sdm.dir/src/embedding/table_config.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/embedding/table_config.cpp.o.d"
+  "/root/repo/src/io/buffer_arena.cpp" "CMakeFiles/sdm.dir/src/io/buffer_arena.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/io/buffer_arena.cpp.o.d"
+  "/root/repo/src/io/direct_reader.cpp" "CMakeFiles/sdm.dir/src/io/direct_reader.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/io/direct_reader.cpp.o.d"
+  "/root/repo/src/io/io_engine.cpp" "CMakeFiles/sdm.dir/src/io/io_engine.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/io/io_engine.cpp.o.d"
+  "/root/repo/src/io/mmap_reader.cpp" "CMakeFiles/sdm.dir/src/io/mmap_reader.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/io/mmap_reader.cpp.o.d"
+  "/root/repo/src/io/throttle.cpp" "CMakeFiles/sdm.dir/src/io/throttle.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/io/throttle.cpp.o.d"
+  "/root/repo/src/serving/cluster.cpp" "CMakeFiles/sdm.dir/src/serving/cluster.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/serving/cluster.cpp.o.d"
+  "/root/repo/src/serving/host.cpp" "CMakeFiles/sdm.dir/src/serving/host.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/serving/host.cpp.o.d"
+  "/root/repo/src/serving/inference_engine.cpp" "CMakeFiles/sdm.dir/src/serving/inference_engine.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/serving/inference_engine.cpp.o.d"
+  "/root/repo/src/serving/power_model.cpp" "CMakeFiles/sdm.dir/src/serving/power_model.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/serving/power_model.cpp.o.d"
+  "/root/repo/src/trace/locality.cpp" "CMakeFiles/sdm.dir/src/trace/locality.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/trace/locality.cpp.o.d"
+  "/root/repo/src/trace/trace_gen.cpp" "CMakeFiles/sdm.dir/src/trace/trace_gen.cpp.o" "gcc" "CMakeFiles/sdm.dir/src/trace/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_test.dir/tests/serving_test.cpp.o"
+  "CMakeFiles/serving_test.dir/tests/serving_test.cpp.o.d"
+  "serving_test"
+  "serving_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
