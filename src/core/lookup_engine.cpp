@@ -48,25 +48,20 @@ struct LookupEngine::RequestState {
   LookupTrace trace;
 };
 
-/// One coalesced device read: a run of same-or-adjacent-block misses served
-/// by a single SQE and scattered to its slots at completion.
-struct LookupEngine::CoalescedRun {
-  uint64_t first_block = 0;
-  uint64_t last_block = 0;
-  Bytes span_begin = 0;  ///< device offset of the first useful byte
-  Bytes span_end = 0;    ///< one past the last useful byte
-  std::vector<uint32_t> slot_indices;
-  /// Bus bytes the per-row path would have moved for these rows.
-  Bytes per_row_bus = 0;
-
-  // ---- Submission context, filled by SubmitCoalescedRuns ----
+/// One planned run plus the submission context this engine needs when its
+/// (possibly shared, possibly retried) device read completes.
+struct LookupEngine::RunContext {
+  PlannedRun run;
   bool sgl = false;
-  Bytes base = 0;  ///< device byte the buffer's first byte corresponds to
+  /// Bus bytes this run would move as its own SQE, and the savings versus
+  /// per-row reads — request-level accounting; the scheduler recomputes
+  /// SQE-level numbers after cross-request merging.
   Bytes bus = 0;
   Bytes bytes_saved = 0;
-  /// Bounce buffer; acquired once throttle admission succeeds and reused
-  /// across retries.
-  std::shared_ptr<BufferArena::Buffer> buf;
+  /// Whether this run owns its blocks' block-cache fill. Single-flight
+  /// joiners ride a read whose owner already inserts those blocks; a
+  /// second insert would only duplicate the copy cost and LRU churn.
+  bool insert_blocks = true;
 };
 
 LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()) {
@@ -80,6 +75,7 @@ LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()
   rows_pruned_ = stats_.GetCounter("rows_pruned");
   rows_deduped_ = stats_.GetCounter("rows_deduped");
   device_reads_ = stats_.GetCounter("device_reads");
+  singleflight_hits_ = stats_.GetCounter("singleflight_hits");
   io_bytes_saved_ = stats_.GetCounter("io_bytes_saved");
   cpu_ns_ = stats_.GetCounter("cpu_ns");
   io_errors_ = stats_.GetCounter("io_errors");
@@ -261,69 +257,25 @@ void LookupEngine::StartIoPhase(std::shared_ptr<RequestState> st) {
   const bool sgl = !block_cache_mode && reader.sub_block();
   const Bytes rb = st->stored_row_bytes;
 
-  // Gather misses in device-offset order so runs form with one pass.
-  struct Miss {
-    uint32_t slot;
-    Bytes offset;
-  };
-  std::vector<Miss> misses;
+  std::vector<IoPlanner::Miss> misses;
   for (uint32_t i = 0; i < st->slots.size(); ++i) {
     if (!st->slots[i].needs_io) continue;
-    misses.push_back(Miss{i, table.offset + st->slots[i].physical_row * rb});
-  }
-  std::sort(misses.begin(), misses.end(),
-            [](const Miss& a, const Miss& b) { return a.offset < b.offset; });
-
-  // Group misses by 4KB block and merge adjacent blocks into multi-block
-  // runs, bounded by max_coalesce_bytes (and, for sub-block spans, by the
-  // dead gap a merge would drag across the bus). Rows that straddle a
-  // block boundary fall back to un-coalesced per-row IO.
-  std::vector<uint32_t> fallback;
-  std::vector<CoalescedRun> runs;
-  for (const Miss& m : misses) {
-    const uint64_t block = m.offset / kBlockSize;
-    if (block != (m.offset + rb - 1) / kBlockSize) {
-      fallback.push_back(m.slot);
-      continue;
-    }
-    const Bytes end = m.offset + rb;
-    const Bytes solo_bus = NvmeDevice::BusBytes(m.offset, rb, sgl);
-    bool merged = false;
-    if (!runs.empty()) {
-      CoalescedRun& r = runs.back();
-      // Block path: whole blocks cross the bus anyway, so same-block rows
-      // always share one read and adjacent blocks merge up to the cap.
-      // Sub-block path: merge only across small dead gaps (request-merging
-      // semantics) so scattered rows don't inflate bus traffic.
-      const bool gap_ok = !sgl || m.offset - r.span_end <= tuning.coalesce_gap_bytes;
-      if (block == r.last_block) {
-        merged = gap_ok;
-      } else if (block == r.last_block + 1 &&
-                 (block - r.first_block + 1) * kBlockSize <= tuning.max_coalesce_bytes) {
-        merged = gap_ok;
-      }
-      if (merged) {
-        r.last_block = block;
-        r.span_end = end;
-        r.slot_indices.push_back(m.slot);
-        r.per_row_bus += solo_bus;
-      }
-    }
-    if (!merged) {
-      CoalescedRun r;
-      r.first_block = block;
-      r.last_block = block;
-      r.span_begin = m.offset;
-      r.span_end = end;
-      r.slot_indices = {m.slot};
-      r.per_row_bus = solo_bus;
-      runs.push_back(std::move(r));
-    }
+    misses.push_back(IoPlanner::Miss{i, table.offset + st->slots[i].physical_row * rb});
   }
 
-  st->outstanding_ios = static_cast<int>(runs.size() + fallback.size());
-  for (const uint32_t i : fallback) SubmitRowIo(st, i);
-  if (!runs.empty()) SubmitCoalescedRuns(st, std::move(runs));
+  // Planning (dedup happened at slot resolution; block grouping and
+  // adjacent-run merging live in the planner) is pure; batching across
+  // concurrent requests is the scheduler's job.
+  PlannerConfig pcfg;
+  pcfg.row_bytes = rb;
+  pcfg.sub_block = sgl;
+  pcfg.max_coalesce_bytes = tuning.max_coalesce_bytes;
+  pcfg.coalesce_gap_bytes = tuning.coalesce_gap_bytes;
+  IoPlan plan = IoPlanner::Plan(std::move(misses), pcfg);
+
+  st->outstanding_ios = static_cast<int>(plan.TotalIos());
+  for (const uint32_t i : plan.fallback_slots) SubmitRowIo(st, i);
+  if (!plan.runs.empty()) SubmitPlannedRuns(st, std::move(plan.runs));
 }
 
 void LookupEngine::SubmitRowIo(const std::shared_ptr<RequestState>& st,
@@ -415,77 +367,89 @@ void LookupEngine::BlockRowReadAttempt(const std::shared_ptr<RequestState>& st, 
       });
 }
 
-void LookupEngine::SubmitCoalescedRuns(const std::shared_ptr<RequestState>& st,
-                                       std::vector<CoalescedRun> runs) {
+void LookupEngine::SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
+                                     std::vector<PlannedRun> runs) {
   const TableRuntime& table = store_->table(st->request.table);
-  IoEngine& engine = store_->io_engine(table.sm_device);
   DirectIoReader& reader = store_->reader(table.sm_device);
   TableThrottle& throttle = store_->throttle();
   const bool block_cache_mode = store_->block_cache() != nullptr && table.cache_enabled;
   const bool sgl = !block_cache_mode && reader.sub_block();
   const int max_retries = reader.max_retries();
 
-  // Runs whose throttle slot is free right now are submitted as ONE ring
-  // doorbell (SubmitBatch); throttled runs ring their own bell later when
-  // a slot frees up — by then the batch window has passed.
-  auto batch = std::make_shared<std::vector<IoEngine::ReadOp>>();
+  // Bypass ablation = PR 1 semantics: runs admitted during this call share
+  // one request-private doorbell; throttled stragglers (admitted after
+  // `collecting` drops) ring their own bell the moment they enqueue, so a
+  // straggler never shares a flush with another request's batch.
+  const bool bypass = !store_->tuning().cross_request_batching;
   auto collecting = std::make_shared<bool>(true);
 
-  for (CoalescedRun& planned : runs) {
-    auto run = std::make_shared<CoalescedRun>(std::move(planned));
-    // The device lands data at its alignment base: the first byte of the
-    // first block (block path) or the DWORD floor of the span (sub-block).
+  for (PlannedRun& planned : runs) {
+    auto run = std::make_shared<RunContext>();
+    run->run = std::move(planned);
     run->sgl = sgl;
-    run->base =
-        sgl ? (run->span_begin & ~(kDwordBytes - 1)) : run->first_block * kBlockSize;
-    run->bus = NvmeDevice::BusBytes(run->span_begin, run->span_end - run->span_begin, sgl);
-    run->bytes_saved = run->per_row_bus > run->bus ? run->per_row_bus - run->bus : 0;
+    run->bus = NvmeDevice::BusBytes(run->run.span_begin,
+                                    run->run.span_end - run->run.span_begin, sgl);
+    run->bytes_saved = run->run.per_row_bus > run->bus ? run->run.per_row_bus - run->bus : 0;
 
-    ++st->trace.device_reads;
-    device_reads_->Add(1);
-    st->trace.io_bytes_saved += run->bytes_saved;
-    io_bytes_saved_->Add(run->bytes_saved);
-
+    // Admission first, batching second: the scheduler only sees runs that
+    // hold a throttle slot, so its flush deadline never outruns the
+    // per-table outstanding-IO budget.
     throttle.Acquire(st->request.table, [this, st, run, block_cache_mode, max_retries,
-                                         batch, collecting, &engine] {
-      // Acquire the bounce buffer only once admitted, so runs waiting in
-      // the throttle queue don't pin arena memory.
-      run->buf = store_->buffer_arena().Acquire(run->bus);
-      IoEngine::ReadOp op = BuildRunOp(
-          run, /*first_attempt=*/true,
-          MakeRunCompletion(st, run, block_cache_mode, max_retries));
-      if (*collecting) {
-        batch->push_back(std::move(op));
-      } else {
-        engine.SubmitBatch(std::span<IoEngine::ReadOp>(&op, 1));
+                                         bypass, collecting] {
+      EnqueueRun(st, run, block_cache_mode, max_retries, /*first_attempt=*/true);
+      if (bypass && !*collecting) {
+        store_->scheduler(store_->table(st->request.table).sm_device).Flush();
       }
     });
   }
 
   *collecting = false;
-  if (!batch->empty()) engine.SubmitBatch(*batch);
+  if (bypass) store_->scheduler(table.sm_device).Flush();
 }
 
-IoEngine::ReadOp LookupEngine::BuildRunOp(const std::shared_ptr<CoalescedRun>& run,
-                                          bool first_attempt, IoEngine::Callback cb) {
-  IoEngine::ReadOp op;
-  op.offset = run->span_begin;
-  op.length = run->span_end - run->span_begin;
-  op.sub_block = run->sgl;
-  op.dest = std::span<uint8_t>(run->buf->data(), run->buf->size());
+void LookupEngine::EnqueueRun(const std::shared_ptr<RequestState>& st,
+                              const std::shared_ptr<RunContext>& run,
+                              bool block_cache_mode, int attempts_left,
+                              bool first_attempt) {
+  BatchScheduler& scheduler = store_->scheduler(store_->table(st->request.table).sm_device);
+
+  BatchScheduler::ReadRequest req;
+  req.span_begin = run->run.span_begin;
+  req.span_end = run->run.span_end;
+  req.first_block = run->run.first_block;
+  req.last_block = run->run.last_block;
+  req.sub_block = run->sgl;
   // Coalescing counters only on the first attempt; a retry is the same
   // logical read and must not double-count.
-  op.merged_reads = first_attempt ? static_cast<uint32_t>(run->slot_indices.size()) : 1;
-  op.bytes_saved = first_attempt ? run->bytes_saved : 0;
-  op.cb = std::move(cb);
-  return op;
+  req.rows = first_attempt ? static_cast<uint32_t>(run->run.slot_indices.size()) : 0;
+  req.per_row_bus = first_attempt ? run->run.per_row_bus : 0;
+  req.cb = MakeRunCompletion(st, run, block_cache_mode, attempts_left);
+
+  const BatchScheduler::Admission admission = scheduler.Enqueue(std::move(req));
+  if (!first_attempt) return;
+  if (admission == BatchScheduler::Admission::kJoinedPending ||
+      admission == BatchScheduler::Admission::kJoinedInFlight) {
+    // Another request's read carries these rows: no IO of our own, every
+    // per-row bus byte saved — and the read's owner fills the block layer.
+    run->insert_blocks = false;
+    ++st->trace.singleflight_hits;
+    singleflight_hits_->Add(1);
+    st->trace.io_bytes_saved += run->run.per_row_bus;
+    io_bytes_saved_->Add(run->run.per_row_bus);
+  } else {
+    ++st->trace.device_reads;
+    device_reads_->Add(1);
+    st->trace.io_bytes_saved += run->bytes_saved;
+    io_bytes_saved_->Add(run->bytes_saved);
+  }
 }
 
-IoEngine::Callback LookupEngine::MakeRunCompletion(
-    const std::shared_ptr<RequestState>& st, const std::shared_ptr<CoalescedRun>& run,
+BatchScheduler::Completion LookupEngine::MakeRunCompletion(
+    const std::shared_ptr<RequestState>& st, const std::shared_ptr<RunContext>& run,
     bool block_cache_mode, int attempts_left) {
   return [this, st, run, block_cache_mode, attempts_left](Status status,
-                                                          SimDuration /*lat*/) {
+                                                          const uint8_t* data,
+                                                          Bytes base) {
     TableThrottle& throttle = store_->throttle();
     throttle.Release(st->request.table);
     if (!status.ok()) {
@@ -493,15 +457,11 @@ IoEngine::Callback LookupEngine::MakeRunCompletion(
       // per-row reads; invalid requests surface immediately.
       if (status.code() == StatusCode::kUnavailable && attempts_left > 0) {
         io_retries_->Add(1);
-        throttle.Acquire(st->request.table, [this, st, run, block_cache_mode,
-                                             attempts_left] {
-          IoEngine& engine =
-              store_->io_engine(store_->table(st->request.table).sm_device);
-          IoEngine::ReadOp op =
-              BuildRunOp(run, /*first_attempt=*/false,
-                         MakeRunCompletion(st, run, block_cache_mode, attempts_left - 1));
-          engine.SubmitBatch(std::span<IoEngine::ReadOp>(&op, 1));
-        });
+        throttle.Acquire(st->request.table,
+                         [this, st, run, block_cache_mode, attempts_left] {
+                           EnqueueRun(st, run, block_cache_mode, attempts_left - 1,
+                                      /*first_attempt=*/false);
+                         });
         return;
       }
       // One failed device read fails every row it carried; only io_errors
@@ -512,12 +472,12 @@ IoEngine::Callback LookupEngine::MakeRunCompletion(
       const TableRuntime& t = store_->table(st->request.table);
       DualRowCache* cache = store_->row_cache();
       Bytes copied = 0;
-      for (const uint32_t i : run->slot_indices) {
+      for (const uint32_t i : run->run.slot_indices) {
         auto& slot = st->slots[i];
         const Bytes off = t.offset + slot.physical_row * st->stored_row_bytes;
         std::span<uint8_t> dest(st->row_bytes.data() + i * st->stored_row_bytes,
                                 st->stored_row_bytes);
-        std::memcpy(dest.data(), run->buf->data() + (off - run->base), dest.size());
+        std::memcpy(dest.data(), data + (off - base), dest.size());
         copied += dest.size();
         slot.source = RequestState::Slot::Source::kSm;
         rows_sm_read_->Add(1);
@@ -528,15 +488,18 @@ IoEngine::Callback LookupEngine::MakeRunCompletion(
         }
       }
       st->cpu_post += CopyCost(copied);
-      if (block_cache_mode) {
-        // The buffer holds whole blocks: fill the block layer too.
+      if (block_cache_mode && run->insert_blocks) {
+        // The shared buffer holds whole blocks: fill the block layer with
+        // this run's slice of them (joiners skip this; the owner inserts).
+        const uint64_t blocks =
+            run->run.last_block - run->run.first_block + 1;
         store_->block_cache()->InsertBlocks(
-            static_cast<uint32_t>(t.sm_device), run->first_block,
-            std::span<const uint8_t>(*run->buf));
-        st->cpu_post += CopyCost(run->buf->size());
+            static_cast<uint32_t>(t.sm_device), run->run.first_block,
+            std::span<const uint8_t>(data + (run->run.first_block * kBlockSize - base),
+                                     blocks * kBlockSize));
+        st->cpu_post += CopyCost(blocks * kBlockSize);
       }
     }
-    run->buf.reset();  // return the bounce buffer to the arena promptly
     if (--st->outstanding_ios == 0) FinishRequest(st);
   };
 }

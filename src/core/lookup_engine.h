@@ -8,6 +8,13 @@
 //   when every row is in FM: fused dequantize+pool; insert rows and the
 //   pooled output into their caches
 //
+// The engine orchestrates; the IO policy lives in src/sched. Misses are
+// planned into coalesced runs by IoPlanner (pure, per request) and handed
+// to the device's BatchScheduler, which merges and single-flights reads
+// across every concurrent lookup before ringing the IoEngine doorbell.
+// This engine's completions then scatter rows out of the (possibly
+// shared) read buffers and fill the caches.
+//
 // Timing: CPU phases run in virtual time before (probe/hash/map) and after
 // (dequant/pool/insert) the IO phase; IOs from one request proceed
 // concurrently, so request latency = cpu_pre + max(io latencies) + cpu_post
@@ -21,6 +28,8 @@
 #include "common/histogram.h"
 #include "core/sdm_store.h"
 #include "embedding/pooling.h"
+#include "sched/batch_scheduler.h"
+#include "sched/io_planner.h"
 
 namespace sdm {
 
@@ -44,10 +53,14 @@ struct LookupTrace {
   /// Duplicate-index slots served by a sibling slot's fetch instead of
   /// their own (counted on top of the category counters above).
   uint32_t rows_deduped = 0;
-  /// SM device IOs issued for this request. With coalescing, N missing
-  /// rows in one block (or an adjacent-block run) cost one device read, so
-  /// device_reads <= rows_from_sm.
+  /// SM device IOs issued (or merged into a shared SQE) for this request.
+  /// With coalescing, N missing rows in one block (or an adjacent-block
+  /// run) cost one device read, so device_reads <= rows_from_sm.
   uint32_t device_reads = 0;
+  /// Runs of this request served by another in-flight request's device
+  /// read (cross-request single-flight in the BatchScheduler); these issue
+  /// no IO of their own and are not part of device_reads.
+  uint32_t singleflight_hits = 0;
   /// Bus bytes avoided versus issuing every missing row as its own read.
   Bytes io_bytes_saved = 0;
 
@@ -83,7 +96,7 @@ class LookupEngine {
 
  private:
   struct RequestState;
-  struct CoalescedRun;
+  struct RunContext;
 
   void StartIoPhase(std::shared_ptr<RequestState> st);
   /// Submits one missing row as its own throttled device IO (the per-row
@@ -94,18 +107,23 @@ class LookupEngine {
   void BlockRowReadAttempt(const std::shared_ptr<RequestState>& st, Bytes off,
                            Bytes block_start, std::span<uint8_t> dest, uint32_t device,
                            int attempts_left, std::function<void(Status)> done);
-  void SubmitCoalescedRuns(const std::shared_ptr<RequestState>& st,
-                           std::vector<CoalescedRun> runs);
-  /// Builds the batchable read op for a planned run; accounting fields are
-  /// only populated on the first attempt (retries must not double-count).
-  IoEngine::ReadOp BuildRunOp(const std::shared_ptr<CoalescedRun>& run,
-                              bool first_attempt, IoEngine::Callback cb);
-  /// Completion for one coalesced run: scatter rows, fill caches, and —
-  /// like DirectIoReader — retry transient device errors `attempts_left`
-  /// more times before surfacing the failure.
-  IoEngine::Callback MakeRunCompletion(const std::shared_ptr<RequestState>& st,
-                                       const std::shared_ptr<CoalescedRun>& run,
-                                       bool block_cache_mode, int attempts_left);
+  /// Acquires a throttle slot per planned run and hands each run to the
+  /// device's BatchScheduler (which owns batching and cross-request
+  /// merging; the planning itself already happened in IoPlanner).
+  void SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
+                         std::vector<PlannedRun> runs);
+  /// Enqueues one admitted run with the scheduler. Trace/counter accounting
+  /// happens only on the first attempt (retries must not double-count).
+  void EnqueueRun(const std::shared_ptr<RequestState>& st,
+                  const std::shared_ptr<RunContext>& run, bool block_cache_mode,
+                  int attempts_left, bool first_attempt);
+  /// Completion for one planned run: scatter rows out of the (possibly
+  /// shared) read buffer, fill caches, and — like DirectIoReader — retry
+  /// transient device errors `attempts_left` more times before surfacing
+  /// the failure.
+  BatchScheduler::Completion MakeRunCompletion(const std::shared_ptr<RequestState>& st,
+                                               const std::shared_ptr<RunContext>& run,
+                                               bool block_cache_mode, int attempts_left);
   void FinishRequest(const std::shared_ptr<RequestState>& st);
   /// Modeled CPU time of copying `bytes` (shared with DirectIoReader's
   /// memcpy_bytes_per_sec so the two paths charge the same throughput).
@@ -126,6 +144,7 @@ class LookupEngine {
   Counter* rows_pruned_ = nullptr;
   Counter* rows_deduped_ = nullptr;
   Counter* device_reads_ = nullptr;
+  Counter* singleflight_hits_ = nullptr;
   Counter* io_bytes_saved_ = nullptr;
   Counter* cpu_ns_ = nullptr;
   Counter* io_errors_ = nullptr;

@@ -31,8 +31,29 @@ SdmStore::SdmStore(SdmStoreConfig config, EventLoop* loop)
     rcfg.sub_block = config_.tuning.sub_block_reads;
     readers_.push_back(
         std::make_unique<DirectIoReader>(engines_.back().get(), rcfg, &buffer_arena_));
+    BatchSchedulerConfig bcfg;
+    bcfg.cross_request = config_.tuning.cross_request_batching;
+    bcfg.max_batch_sqes = config_.tuning.max_batch_sqes;
+    bcfg.max_batch_delay = config_.tuning.max_batch_delay;
+    bcfg.max_coalesce_bytes = config_.tuning.max_coalesce_bytes;
+    bcfg.coalesce_gap_bytes = config_.tuning.coalesce_gap_bytes;
+    schedulers_.push_back(std::make_unique<BatchScheduler>(engines_.back().get(),
+                                                           &buffer_arena_, loop_, bcfg));
   }
   sm_used_.assign(sm_.size(), 0);
+}
+
+CrossRequestIoStats SdmStore::cross_request_io_stats() const {
+  CrossRequestIoStats agg;
+  for (const auto& s : schedulers_) {
+    const CrossRequestIoStats one = s->Snapshot();
+    agg.device_reads += one.device_reads;
+    agg.cross_request_merges += one.cross_request_merges;
+    agg.singleflight_hits += one.singleflight_hits;
+    agg.singleflight_bytes_saved += one.singleflight_bytes_saved;
+    agg.flushes += one.flushes;
+  }
+  return agg;
 }
 
 Result<TableId> SdmStore::LoadTable(const EmbeddingTableImage& image,

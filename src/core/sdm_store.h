@@ -33,6 +33,7 @@
 #include "io/direct_reader.h"
 #include "io/io_engine.h"
 #include "io/throttle.h"
+#include "sched/batch_scheduler.h"
 
 namespace sdm {
 
@@ -103,6 +104,11 @@ class SdmStore {
   [[nodiscard]] NvmeDevice& sm_device(size_t i) { return *sm_[i]; }
   [[nodiscard]] IoEngine& io_engine(size_t i) { return *engines_[i]; }
   [[nodiscard]] DirectIoReader& reader(size_t i) { return *readers_[i]; }
+  /// Per-device cross-request batch scheduler (src/sched). All concurrent
+  /// lookups on the host funnel their planned reads through these.
+  [[nodiscard]] BatchScheduler& scheduler(size_t i) { return *schedulers_[i]; }
+  /// Host-wide scheduler effectiveness, aggregated over every SM device.
+  [[nodiscard]] CrossRequestIoStats cross_request_io_stats() const;
   /// Shared pool of device-read bounce buffers (coalesced IO path).
   [[nodiscard]] BufferArena& buffer_arena() { return buffer_arena_; }
   [[nodiscard]] EventLoop* loop() { return loop_; }
@@ -143,6 +149,7 @@ class SdmStore {
   std::vector<std::unique_ptr<NvmeDevice>> sm_;
   std::vector<std::unique_ptr<IoEngine>> engines_;
   std::vector<std::unique_ptr<DirectIoReader>> readers_;
+  std::vector<std::unique_ptr<BatchScheduler>> schedulers_;
   TableThrottle throttle_;
   std::unique_ptr<DualRowCache> row_cache_;
   std::unique_ptr<PooledEmbeddingCache> pooled_cache_;

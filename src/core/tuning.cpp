@@ -18,6 +18,12 @@ Status TuningConfig::Validate() const {
   if (coalesce_io && max_coalesce_bytes < kBlockSize) {
     return InvalidArgumentError("max_coalesce_bytes must be >= one 4KB block");
   }
+  if (max_batch_sqes < 1) {
+    return InvalidArgumentError("max_batch_sqes must be >= 1");
+  }
+  if (max_batch_delay < SimDuration(0)) {
+    return InvalidArgumentError("max_batch_delay must be >= 0");
+  }
   if (row_cache.memory_optimized_fraction < 0 || row_cache.memory_optimized_fraction > 1) {
     return InvalidArgumentError("memory_optimized_fraction must be in [0,1]");
   }

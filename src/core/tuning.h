@@ -59,6 +59,21 @@ struct TuningConfig {
   /// either way, so same-block rows always share one read.
   Bytes coalesce_gap_bytes = 512;
 
+  // ---- Cross-request batch scheduling (src/sched) ----
+  /// Combine planned device reads across concurrent lookups in the
+  /// per-device BatchScheduler: N requests missing the same block share one
+  /// device read (single-flight), overlapping/adjacent spans from different
+  /// requests fuse into one SQE, and batches flush as one host-wide ring
+  /// doorbell. `false` restores PR 1's per-request batches (ablation).
+  bool cross_request_batching = true;
+  /// Flush the accumulating batch once it holds this many SQEs.
+  int max_batch_sqes = 64;
+  /// Flush deadline, armed by the first run of a batch. Zero adds no
+  /// latency (runs submitted at the same virtual instant still share a
+  /// doorbell); raising it widens the cross-request merge window at the
+  /// cost of up to that much added IO latency.
+  SimDuration max_batch_delay{0};
+
   // ---- Cache organization (§4.3) ----
   bool enable_row_cache = true;
   /// capacity == 0 (the default) auto-sizes the cache to whatever FM the

@@ -1,0 +1,253 @@
+#include "sched/batch_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "device/nvme_device.h"
+
+namespace sdm {
+
+BatchScheduler::BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* loop,
+                               BatchSchedulerConfig config)
+    : engine_(engine), arena_(arena), loop_(loop), config_(config) {
+  assert(engine != nullptr);
+  assert(arena != nullptr);
+  assert(loop != nullptr);
+  assert(config.max_batch_sqes >= 1);
+  enqueued_ = stats_.GetCounter("enqueued");
+  device_reads_ = stats_.GetCounter("device_reads");
+  cross_request_merges_ = stats_.GetCounter("cross_request_merges");
+  singleflight_hits_ = stats_.GetCounter("singleflight_hits");
+  singleflight_bytes_saved_ = stats_.GetCounter("singleflight_bytes_saved");
+  flushes_ = stats_.GetCounter("flushes");
+  flush_deadline_ = stats_.GetCounter("flush_deadline");
+  flush_size_ = stats_.GetCounter("flush_size");
+}
+
+CrossRequestIoStats BatchScheduler::Snapshot() const {
+  CrossRequestIoStats s;
+  s.device_reads = device_reads_->value();
+  s.cross_request_merges = cross_request_merges_->value();
+  s.singleflight_hits = singleflight_hits_->value();
+  s.singleflight_bytes_saved = singleflight_bytes_saved_->value();
+  s.flushes = flushes_->value();
+  return s;
+}
+
+BatchScheduler::Admission BatchScheduler::Enqueue(ReadRequest req) {
+  enqueued_->Add(1);
+  if (config_.cross_request) {
+    if (TryJoinInFlight(req)) return Admission::kJoinedInFlight;
+    Admission admission{};
+    if (TryAbsorbIntoPending(req, &admission)) return admission;
+  }
+
+  PendingRead p;
+  p.span_begin = req.span_begin;
+  p.span_end = req.span_end;
+  p.first_block = req.first_block;
+  p.last_block = req.last_block;
+  p.sub_block = req.sub_block;
+  p.rows = req.rows;
+  p.per_row_bus = req.per_row_bus;
+  p.subscribers.push_back(std::move(req.cb));
+  pending_.push_back(std::move(p));
+
+  if (static_cast<int>(pending_.size()) >= config_.max_batch_sqes) {
+    flush_size_->Add(1);
+    Flush();
+  } else {
+    ArmFlush();
+  }
+  return Admission::kNewRead;
+}
+
+bool BatchScheduler::TryJoinInFlight(ReadRequest& req) {
+  for (const auto& read : in_flight_) {
+    // The buffer covers [base, base + size): whole blocks in block mode,
+    // the DWORD-rounded span in sub-block mode. Any run inside that window
+    // can be served by this read's completion.
+    if (read->sub_block != req.sub_block) continue;
+    if (req.span_begin < read->base ||
+        req.span_end > read->base + read->buf->size()) {
+      continue;
+    }
+    singleflight_hits_->Add(1);
+    singleflight_bytes_saved_->Add(
+        NvmeDevice::BusBytes(req.span_begin, req.span_end - req.span_begin, req.sub_block));
+    read->subscribers.push_back(std::move(req.cb));
+    return true;
+  }
+  return false;
+}
+
+bool BatchScheduler::Compatible(const PendingRead& p, Bytes begin, Bytes end,
+                                uint64_t first_block, uint64_t last_block,
+                                bool sub_block, bool* covered) const {
+  if (p.sub_block != sub_block) return false;
+
+  // Coverage bounds of the eventual read: whole blocks cross the bus in
+  // block mode, so any row inside the block range rides along for free.
+  const Bytes cover_begin = p.sub_block ? p.span_begin : p.first_block * kBlockSize;
+  const Bytes cover_end = p.sub_block ? p.span_end : (p.last_block + 1) * kBlockSize;
+  if (begin >= cover_begin && end <= cover_end) {
+    *covered = true;
+    return true;
+  }
+  *covered = false;
+
+  const uint64_t merged_first = std::min(p.first_block, first_block);
+  const uint64_t merged_last = std::max(p.last_block, last_block);
+  if ((merged_last - merged_first + 1) * kBlockSize > config_.max_coalesce_bytes) {
+    return false;
+  }
+  if (p.sub_block) {
+    // Gap-bounded span merging, like the planner's sub-block rule.
+    const Bytes gap = begin > p.span_end      ? begin - p.span_end
+                      : p.span_begin > end    ? p.span_begin - end
+                                              : 0;
+    return gap <= config_.coalesce_gap_bytes;
+  }
+  // Overlapping or adjacent block ranges fuse into one read.
+  return first_block <= p.last_block + 1 && p.first_block <= last_block + 1;
+}
+
+bool BatchScheduler::TryAbsorbIntoPending(ReadRequest& req, Admission* admission) {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    PendingRead& p = pending_[i];
+    bool covered = false;
+    if (!Compatible(p, req.span_begin, req.span_end, req.first_block, req.last_block,
+                    req.sub_block, &covered)) {
+      continue;
+    }
+    p.span_begin = std::min(p.span_begin, req.span_begin);
+    p.span_end = std::max(p.span_end, req.span_end);
+    p.first_block = std::min(p.first_block, req.first_block);
+    p.last_block = std::max(p.last_block, req.last_block);
+    p.rows += req.rows;
+    p.per_row_bus += req.per_row_bus;
+    p.subscribers.push_back(std::move(req.cb));
+    if (covered) {
+      singleflight_hits_->Add(1);
+      singleflight_bytes_saved_->Add(NvmeDevice::BusBytes(
+          req.span_begin, req.span_end - req.span_begin, req.sub_block));
+      *admission = Admission::kJoinedPending;
+    } else {
+      cross_request_merges_->Add(1);
+      *admission = Admission::kMergedPending;
+      FuseOverlappingPending(i);
+    }
+    return true;
+  }
+  return false;
+}
+
+void BatchScheduler::FuseOverlappingPending(size_t i) {
+  // A merge can bridge two previously-independent pending reads (e.g. a
+  // run landing between blocks [0] and [2] grows the first SQE to [0,1]
+  // while [2,2] still sits in the batch). Fuse everything the grown read
+  // now covers or abuts; each fusion can grow it further, so rescan until
+  // a pass makes no change.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t j = 0; j < pending_.size(); ++j) {
+      if (j == i) continue;
+      PendingRead& p = pending_[i];
+      PendingRead& q = pending_[j];
+      bool covered = false;
+      if (!Compatible(p, q.span_begin, q.span_end, q.first_block, q.last_block,
+                      q.sub_block, &covered)) {
+        continue;
+      }
+      p.span_begin = std::min(p.span_begin, q.span_begin);
+      p.span_end = std::max(p.span_end, q.span_end);
+      p.first_block = std::min(p.first_block, q.first_block);
+      p.last_block = std::max(p.last_block, q.last_block);
+      p.rows += q.rows;
+      p.per_row_bus += q.per_row_bus;
+      for (Completion& cb : q.subscribers) p.subscribers.push_back(std::move(cb));
+      cross_request_merges_->Add(1);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(j));
+      if (j < i) --i;
+      changed = true;
+      break;  // indices shifted; rescan
+    }
+  }
+}
+
+void BatchScheduler::ArmFlush() {
+  if (flush_armed_) return;
+  flush_armed_ = true;
+  // Bypass mode: the caller flushes at request boundaries; the delay-0
+  // timer only backstops runs enqueued outside one (throttle stragglers).
+  // Cross-request mode waits out the batching window so runs from other
+  // lookups can pile in.
+  const SimDuration delay =
+      config_.cross_request ? config_.max_batch_delay : SimDuration(0);
+  const uint64_t generation = flush_generation_;
+  loop_->ScheduleAfter(delay, [this, generation] {
+    if (generation != flush_generation_) return;  // batch already flushed
+    if (config_.cross_request) flush_deadline_->Add(1);
+    Flush();
+  });
+}
+
+void BatchScheduler::Flush() {
+  ++flush_generation_;
+  flush_armed_ = false;
+  if (pending_.empty()) return;
+  flushes_->Add(1);
+
+  // Swap the batch out first: completion callbacks scheduled below may
+  // re-enter Enqueue (retries) and must see a clean pending list.
+  std::vector<PendingRead> batch;
+  batch.swap(pending_);
+
+  std::vector<IoEngine::ReadOp> ops;
+  ops.reserve(batch.size());
+  for (PendingRead& p : batch) {
+    auto read = std::make_shared<InFlightRead>();
+    read->span_begin = p.span_begin;
+    read->span_end = p.span_end;
+    read->sub_block = p.sub_block;
+    // The device lands data at its alignment base: the first byte of the
+    // first block (block mode) or the DWORD floor of the span (sub-block).
+    read->base = p.sub_block ? (p.span_begin & ~(kDwordBytes - 1))
+                             : p.first_block * kBlockSize;
+    const Bytes length = p.span_end - p.span_begin;
+    const Bytes bus = NvmeDevice::BusBytes(p.span_begin, length, p.sub_block);
+    read->buf = arena_->Acquire(bus);
+    read->subscribers = std::move(p.subscribers);
+    in_flight_.push_back(read);
+    device_reads_->Add(1);
+
+    IoEngine::ReadOp op;
+    op.offset = p.span_begin;
+    op.length = length;
+    op.sub_block = p.sub_block;
+    op.dest = std::span<uint8_t>(read->buf->data(), read->buf->size());
+    op.merged_reads = std::max<uint32_t>(1, p.rows);
+    op.bytes_saved = p.per_row_bus > bus ? p.per_row_bus - bus : 0;
+    op.cb = [this, read](Status status, SimDuration /*lat*/) {
+      CompleteRead(read, std::move(status));
+    };
+    ops.push_back(std::move(op));
+  }
+  engine_->SubmitBatch(ops);
+}
+
+void BatchScheduler::CompleteRead(const std::shared_ptr<InFlightRead>& read,
+                                  Status status) {
+  // Unregister before delivering: a subscriber may re-enqueue (retry) and
+  // must not join a read that has already completed.
+  in_flight_.erase(std::find(in_flight_.begin(), in_flight_.end(), read));
+  const uint8_t* data = status.ok() ? read->buf->data() : nullptr;
+  for (Completion& cb : read->subscribers) {
+    cb(status, data, read->base);
+  }
+  read->subscribers.clear();
+  read->buf.reset();  // return the bounce buffer to the arena promptly
+}
+
+}  // namespace sdm

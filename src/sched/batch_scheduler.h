@@ -1,0 +1,192 @@
+// BatchScheduler — cross-request IO batching for one SM device.
+//
+// The IoPlanner decides *what* to read for one lookup; the scheduler
+// decides *when* and *how often*. It accumulates planned runs from every
+// concurrent lookup on the host and:
+//
+//  - single-flights duplicate work: a run whose span is already covered by
+//    a pending or in-flight read subscribes to that read instead of issuing
+//    its own (N requests missing the same hot block share one device read);
+//  - merges overlapping/adjacent spans across requests into one SQE, the
+//    same policy the planner applies within a request;
+//  - flushes the accumulated batch as ONE ring doorbell
+//    (IoEngine::SubmitBatch) when it reaches `max_batch_sqes`, or at the
+//    `max_batch_delay` deadline armed by the first run of the batch — so a
+//    lone run is never starved waiting for co-travellers.
+//
+// With `cross_request = false` the scheduler never merges or single-flights
+// across enqueues; the caller delimits each batch with Flush() (LookupEngine
+// flushes after submitting a request's runs), so every request rings its own
+// doorbell — the per-request behavior, kept as the ablation baseline. A
+// delay-0 timer still backstops runs enqueued outside a caller flush (e.g.
+// throttle stragglers).
+//
+// Buffers: a read's bounce buffer is acquired from the shared BufferArena
+// at flush time (pending spans may still grow) and is released when the
+// last subscriber callback returns. Subscribers receive a borrowed pointer
+// into the buffer plus the device byte its first byte corresponds to; they
+// must copy what they need during the callback.
+//
+// Single-threaded by design: all scheduling happens on the EventLoop
+// thread, like the rest of the IO path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/event_loop.h"
+#include "common/stats.h"
+#include "io/buffer_arena.h"
+#include "io/io_engine.h"
+
+namespace sdm {
+
+/// Effectiveness counters of one scheduler (or, aggregated by SdmStore,
+/// of every scheduler on a host) — the single home of the occupancy math.
+struct CrossRequestIoStats {
+  uint64_t device_reads = 0;          ///< SQEs actually issued
+  uint64_t cross_request_merges = 0;  ///< spans fused across requests
+  uint64_t singleflight_hits = 0;     ///< runs served by another request's read
+  uint64_t singleflight_bytes_saved = 0;
+  uint64_t flushes = 0;  ///< ring doorbells
+  /// Mean SQEs per ring doorbell (0 when no doorbell rang yet).
+  [[nodiscard]] double BatchOccupancy() const {
+    return flushes == 0 ? 0
+                        : static_cast<double>(device_reads) / static_cast<double>(flushes);
+  }
+};
+
+struct BatchSchedulerConfig {
+  /// Combine reads across concurrent requests. false = bypass (per-request
+  /// batches, no sharing) for ablation.
+  bool cross_request = true;
+  /// Flush when this many SQEs have accumulated.
+  int max_batch_sqes = 64;
+  /// Flush deadline, armed when the first run enters an empty batch. Zero
+  /// means "the end of the current virtual instant": runs submitted at the
+  /// same timestamp still share a doorbell, but no latency is added.
+  SimDuration max_batch_delay{0};
+  /// Span cap for cross-request merging (same knob the planner uses).
+  Bytes max_coalesce_bytes = 64 * kKiB;
+  /// Largest dead gap a sub-block (SGL) merge may bridge across requests.
+  Bytes coalesce_gap_bytes = 512;
+};
+
+class BatchScheduler {
+ public:
+  /// Read completion. On success `data` points at the shared bounce buffer
+  /// and `base` is the device byte offset of data[0]; the row at device
+  /// offset `o` lives at data + (o - base). Both are valid only for the
+  /// duration of the callback. On error `data` is nullptr.
+  using Completion = std::function<void(Status, const uint8_t* data, Bytes base)>;
+
+  /// One planned run, as produced by the IoPlanner (plus its completion).
+  struct ReadRequest {
+    Bytes span_begin = 0;
+    Bytes span_end = 0;
+    uint64_t first_block = 0;
+    uint64_t last_block = 0;
+    bool sub_block = false;
+    /// Logical per-row reads this run coalesces (engine counter fodder);
+    /// retries pass 0 so the same rows are not counted twice.
+    uint32_t rows = 0;
+    /// Bus bytes the per-row path would have moved for those rows.
+    Bytes per_row_bus = 0;
+    Completion cb;
+  };
+
+  /// How a run was admitted — returned synchronously so the caller can keep
+  /// per-request accounting (a shared read is not a new device read).
+  enum class Admission : uint8_t {
+    kNewRead,         ///< became a new SQE in the accumulating batch
+    kMergedPending,   ///< extended a not-yet-flushed SQE from another request
+    kJoinedPending,   ///< fully covered by a not-yet-flushed SQE
+    kJoinedInFlight,  ///< fully covered by a read already at the device
+  };
+
+  BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* loop,
+                 BatchSchedulerConfig config);
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  Admission Enqueue(ReadRequest req);
+
+  /// Flushes the accumulating batch immediately (tests; drain paths).
+  void Flush();
+
+  [[nodiscard]] size_t pending_sqes() const { return pending_.size(); }
+  [[nodiscard]] size_t in_flight_reads() const { return in_flight_.size(); }
+  [[nodiscard]] const BatchSchedulerConfig& config() const { return config_; }
+  [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
+
+  [[nodiscard]] CrossRequestIoStats Snapshot() const;
+
+  /// Mean SQEs per ring doorbell — the amortization the paper's io_uring
+  /// deployment lives on (§4).
+  [[nodiscard]] double BatchOccupancy() const { return Snapshot().BatchOccupancy(); }
+
+ private:
+  /// An SQE accumulating in the unflushed batch.
+  struct PendingRead {
+    Bytes span_begin = 0;
+    Bytes span_end = 0;
+    uint64_t first_block = 0;
+    uint64_t last_block = 0;
+    bool sub_block = false;
+    uint32_t rows = 0;
+    Bytes per_row_bus = 0;
+    std::vector<Completion> subscribers;
+  };
+
+  /// A read submitted to the engine and not yet completed. Late arrivals
+  /// whose span it covers subscribe here (single-flight on in-flight IO).
+  struct InFlightRead {
+    Bytes span_begin = 0;
+    Bytes span_end = 0;
+    Bytes base = 0;
+    bool sub_block = false;
+    std::shared_ptr<BufferArena::Buffer> buf;
+    std::vector<Completion> subscribers;
+  };
+
+  /// Whether [begin, end) (blocks [first_block, last_block]) can ride on
+  /// pending read `p`: fully covered by what `p` will pull across the bus
+  /// (`*covered` = true), or fusable under the cap/gap merge rules.
+  [[nodiscard]] bool Compatible(const PendingRead& p, Bytes begin, Bytes end,
+                                uint64_t first_block, uint64_t last_block,
+                                bool sub_block, bool* covered) const;
+  [[nodiscard]] bool TryAbsorbIntoPending(ReadRequest& req, Admission* admission);
+  [[nodiscard]] bool TryJoinInFlight(ReadRequest& req);
+  /// After pending_[i] grew, fuses any other pending reads it now covers
+  /// or abuts, so one block never crosses the bus twice in one flush.
+  void FuseOverlappingPending(size_t i);
+  void ArmFlush();
+  void CompleteRead(const std::shared_ptr<InFlightRead>& read, Status status);
+
+  IoEngine* engine_;
+  BufferArena* arena_;
+  EventLoop* loop_;
+  BatchSchedulerConfig config_;
+
+  std::vector<PendingRead> pending_;
+  std::vector<std::shared_ptr<InFlightRead>> in_flight_;
+  /// Invalidates armed flush timers when the batch they were armed for has
+  /// already been flushed by the size trigger.
+  uint64_t flush_generation_ = 0;
+  bool flush_armed_ = false;
+
+  StatsRegistry stats_;
+  Counter* enqueued_ = nullptr;
+  Counter* device_reads_ = nullptr;
+  Counter* cross_request_merges_ = nullptr;
+  Counter* singleflight_hits_ = nullptr;
+  Counter* singleflight_bytes_saved_ = nullptr;
+  Counter* flushes_ = nullptr;
+  Counter* flush_deadline_ = nullptr;
+  Counter* flush_size_ = nullptr;
+};
+
+}  // namespace sdm

@@ -1,0 +1,59 @@
+#include "sched/io_planner.h"
+
+#include <algorithm>
+
+#include "device/nvme_device.h"
+
+namespace sdm {
+
+IoPlan IoPlanner::Plan(std::vector<Miss> misses, const PlannerConfig& config) {
+  std::sort(misses.begin(), misses.end(),
+            [](const Miss& a, const Miss& b) { return a.offset < b.offset; });
+
+  const Bytes rb = config.row_bytes;
+  IoPlan plan;
+  for (const Miss& m : misses) {
+    const uint64_t block = m.offset / kBlockSize;
+    if (block != (m.offset + rb - 1) / kBlockSize) {
+      plan.fallback_slots.push_back(m.slot);
+      continue;
+    }
+    const Bytes end = m.offset + rb;
+    const Bytes solo_bus = NvmeDevice::BusBytes(m.offset, rb, config.sub_block);
+    bool merged = false;
+    if (!plan.runs.empty()) {
+      PlannedRun& r = plan.runs.back();
+      // Block path: whole blocks cross the bus anyway, so same-block rows
+      // always share one read and adjacent blocks merge up to the cap.
+      // Sub-block path: merge only across small dead gaps (request-merging
+      // semantics) so scattered rows don't inflate bus traffic.
+      const bool gap_ok =
+          !config.sub_block || m.offset - r.span_end <= config.coalesce_gap_bytes;
+      if (block == r.last_block) {
+        merged = gap_ok;
+      } else if (block == r.last_block + 1 &&
+                 (block - r.first_block + 1) * kBlockSize <= config.max_coalesce_bytes) {
+        merged = gap_ok;
+      }
+      if (merged) {
+        r.last_block = block;
+        r.span_end = end;
+        r.slot_indices.push_back(m.slot);
+        r.per_row_bus += solo_bus;
+      }
+    }
+    if (!merged) {
+      PlannedRun r;
+      r.first_block = block;
+      r.last_block = block;
+      r.span_begin = m.offset;
+      r.span_end = end;
+      r.slot_indices = {m.slot};
+      r.per_row_bus = solo_bus;
+      plan.runs.push_back(std::move(r));
+    }
+  }
+  return plan;
+}
+
+}  // namespace sdm

@@ -1,0 +1,73 @@
+// IoPlanner — pure, device-free planning of coalesced embedding reads.
+//
+// Extracted from LookupEngine::StartIoPhase so the dedup/grouping policy is
+// unit-testable without an event loop and reusable by any component that
+// turns row misses into device reads (lookups today; prefetchers and model
+// updaters tomorrow). The planner answers one question: given a set of
+// missing rows on one device, which byte spans should be read?
+//
+//  - misses are sorted by device offset and grouped by 4KB block: N rows in
+//    one block cost one read;
+//  - adjacent blocks merge into multi-block runs up to `max_coalesce_bytes`;
+//  - in sub-block (SGL) mode a merge may only bridge a dead gap of
+//    `coalesce_gap_bytes` between consecutive rows, so scattered rows don't
+//    inflate bus traffic (block-layer request-merging semantics);
+//  - rows straddling a block boundary are returned as fallbacks for the
+//    caller's per-row path.
+//
+// Planning is per-request; cross-request combining of the planned runs is
+// the BatchScheduler's job.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sdm {
+
+/// One planned device read: a run of same-or-adjacent-block rows served by
+/// a single SQE and scattered back to its slots at completion.
+struct PlannedRun {
+  uint64_t first_block = 0;
+  uint64_t last_block = 0;
+  Bytes span_begin = 0;  ///< device offset of the first useful byte
+  Bytes span_end = 0;    ///< one past the last useful byte
+  /// Caller-defined handles (LookupEngine: request slot indices) of the
+  /// rows this run carries, in device-offset order.
+  std::vector<uint32_t> slot_indices;
+  /// Bus bytes the per-row path would have moved for these rows.
+  Bytes per_row_bus = 0;
+};
+
+struct IoPlan {
+  std::vector<PlannedRun> runs;
+  /// Rows that straddle a 4KB block boundary; the caller must issue these
+  /// through its un-coalesced per-row path.
+  std::vector<uint32_t> fallback_slots;
+
+  [[nodiscard]] size_t TotalIos() const { return runs.size() + fallback_slots.size(); }
+};
+
+struct PlannerConfig {
+  Bytes row_bytes = 0;
+  /// SGL bit-bucket mode: spans are DWORD- instead of block-rounded on the
+  /// bus, and merges are gap-bounded.
+  bool sub_block = false;
+  Bytes max_coalesce_bytes = 64 * kKiB;
+  Bytes coalesce_gap_bytes = 512;
+};
+
+class IoPlanner {
+ public:
+  /// One missing row: an opaque caller handle plus its device byte offset.
+  struct Miss {
+    uint32_t slot = 0;
+    Bytes offset = 0;
+  };
+
+  /// Pure function of (misses, config); `misses` may arrive in any order.
+  [[nodiscard]] static IoPlan Plan(std::vector<Miss> misses, const PlannerConfig& config);
+};
+
+}  // namespace sdm

@@ -20,7 +20,7 @@ StickyRouter::StickyRouter(size_t num_hosts, RoutingPolicy policy, uint64_t seed
   assert(num_hosts >= 1);
 }
 
-size_t StickyRouter::Route(UserId user) {
+size_t StickyRouter::Route(UserId user) const {
   if (policy_ == RoutingPolicy::kUserSticky) {
     return static_cast<size_t>(Mix64(user) % num_hosts_);
   }
@@ -29,7 +29,7 @@ size_t StickyRouter::Route(UserId user) {
 
 ClusterSimulation::ClusterSimulation(size_t num_hosts, const HostSimConfig& host_config,
                                      RoutingPolicy policy)
-    : router_(num_hosts, policy, host_config.seed ^ 0xc1u), seed_(host_config.seed) {
+    : router_(num_hosts, policy, host_config.seed ^ 0xc1u) {
   assert(num_hosts >= 1);
   hosts_.reserve(num_hosts);
   for (size_t i = 0; i < num_hosts; ++i) {

@@ -25,14 +25,17 @@ class StickyRouter {
  public:
   StickyRouter(size_t num_hosts, RoutingPolicy policy, uint64_t seed);
 
-  [[nodiscard]] size_t Route(UserId user);
+  /// Sticky routing is a pure hash of the user id, so routing a query does
+  /// not mutate observable router state; only the kRandom baseline draws
+  /// from the (mutable) RNG.
+  [[nodiscard]] size_t Route(UserId user) const;
 
   [[nodiscard]] RoutingPolicy policy() const { return policy_; }
 
  private:
   size_t num_hosts_;
   RoutingPolicy policy_;
-  Rng rng_;
+  mutable Rng rng_;  ///< used by kRandom only; never drawn on the hash path
 };
 
 struct ClusterRunReport {
@@ -61,7 +64,6 @@ class ClusterSimulation {
  private:
   std::vector<std::unique_ptr<HostSimulation>> hosts_;
   StickyRouter router_;
-  uint64_t seed_;
 };
 
 // ---------------------------------------------------------------------------

@@ -152,6 +152,7 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
           ? store_->pooled_cache()->stats().hits + store_->pooled_cache()->stats().misses +
                 store_->pooled_cache()->stats().uncacheable
           : 0;
+  const CrossRequestIoStats xreq0 = store_->cross_request_io_stats();
   // CPU accounting is cumulative across runs; snapshot for per-run deltas.
   uint64_t cpu0 = static_cast<uint64_t>(engine_->lookups().cpu_time().nanos()) +
                   engine_->stats().CounterValue("cpu_ns");
@@ -213,6 +214,17 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
   }
   r.sm_iops = span_s > 0 ? static_cast<double>(sm_reads1 - sm_reads0) / span_s : 0;
   r.sm_read_amplification = amp_den > 0 ? amp_num / amp_den : 1.0;
+  const CrossRequestIoStats xreq1 = store_->cross_request_io_stats();
+  CrossRequestIoStats xreq;  // this run's delta
+  xreq.device_reads = xreq1.device_reads - xreq0.device_reads;
+  xreq.cross_request_merges = xreq1.cross_request_merges - xreq0.cross_request_merges;
+  xreq.singleflight_hits = xreq1.singleflight_hits - xreq0.singleflight_hits;
+  xreq.singleflight_bytes_saved =
+      xreq1.singleflight_bytes_saved - xreq0.singleflight_bytes_saved;
+  xreq.flushes = xreq1.flushes - xreq0.flushes;
+  r.cross_request_merges = xreq.cross_request_merges;
+  r.singleflight_hits = xreq.singleflight_hits;
+  r.batch_occupancy = xreq.BatchOccupancy();
   // Per-run CPU: operator-side (lookup engine + dense) plus IO-engine CPU.
   uint64_t cpu1 = static_cast<uint64_t>(engine_->lookups().cpu_time().nanos()) +
                   engine_->stats().CounterValue("cpu_ns");
@@ -258,10 +270,12 @@ std::string HostRunReport::Summary() const {
   char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "qps=%.0f/%.0f p50=%.2fms p95=%.2fms p99=%.2fms hit=%.1f%% pooled=%.1f%% "
-                "iops=%.0f amp=%.2f cpu/q=%.0fus",
+                "iops=%.0f amp=%.2f cpu/q=%.0fus sf=%llu xmerge=%llu occ=%.1f",
                 achieved_qps, offered_qps, p50.millis(), p95.millis(), p99.millis(),
                 row_cache_hit_rate * 100, pooled_hit_rate * 100, sm_iops,
-                sm_read_amplification, avg_cpu_per_query.micros());
+                sm_read_amplification, avg_cpu_per_query.micros(),
+                static_cast<unsigned long long>(singleflight_hits),
+                static_cast<unsigned long long>(cross_request_merges), batch_occupancy);
   return buf;
 }
 

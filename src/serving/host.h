@@ -73,6 +73,10 @@ struct HostRunReport {
   double pooled_hit_rate = 0;
   double sm_iops = 0;               ///< sustained IOs/sec against SM
   double sm_read_amplification = 1;
+  // ---- Cross-request batch scheduling (src/sched), this run only ----
+  uint64_t cross_request_merges = 0;  ///< spans fused across concurrent queries
+  uint64_t singleflight_hits = 0;     ///< runs served by another query's read
+  double batch_occupancy = 0;         ///< mean SQEs per ring doorbell
   SimDuration avg_cpu_per_query;
   /// Max QPS one host CPU-second supports (1 / cpu_per_query); the compute
   /// term of Eq. 5.

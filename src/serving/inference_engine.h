@@ -77,6 +77,12 @@ class InferenceEngine {
   [[nodiscard]] const Histogram& item_path_latency() const { return item_path_; }
   [[nodiscard]] LookupEngine& lookups() { return *lookup_engine_; }
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
+  /// Host-wide cross-request IO batching effectiveness (src/sched): how
+  /// often concurrent operators shared device reads and how full each ring
+  /// doorbell ran. Cumulative across runs, like the engine counters.
+  [[nodiscard]] CrossRequestIoStats cross_request_io() const {
+    return store_->cross_request_io_stats();
+  }
   [[nodiscard]] const InferenceConfig& config() const { return config_; }
   [[nodiscard]] const ModelConfig& model() const { return model_; }
 

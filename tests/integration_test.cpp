@@ -263,7 +263,7 @@ TEST(EndToEnd, PooledCacheReducesRowTraffic) {
   ASSERT_TRUE(on.LoadModel(model).ok());
   off.Warmup(2000);
   on.Warmup(2000);
-  const HostRunReport r_off = off.Run(300, 1500);
+  (void)off.Run(300, 1500);
   const HostRunReport r_on = on.Run(300, 1500);
   EXPECT_GT(r_on.pooled_hit_rate, 0.0);
   // Pooled hits skip row-cache probes entirely.
