@@ -1,0 +1,290 @@
+// Speculative prefetch through the BatchScheduler's low-priority lane:
+// locality-driven readahead vs the demand-only baseline.
+//
+// The paper's Fig. 4 shows user-table accesses concentrate in few rows
+// (temporal locality) — exactly the regime where a hot-set predictor can
+// convert demand SM latency into background bandwidth: re-populate hot
+// rows after eviction BEFORE the next demand miss pays device latency for
+// them. This bench sweeps Zipf alpha (the Fig. 4 skew axis) x prefetch
+// strategy x depth against a row cache deliberately smaller than the hot
+// working set, and reports p95 latency, cache/prefetch hit rates, and
+// wasted speculative bytes. A final section replays a sequential scan —
+// the regime where the kNextBlock stride predictor (classic block-layer
+// readahead) wins and kHotSet has nothing to learn.
+//
+// `--json` emits the perf-trajectory metrics; the headline pair is
+// `prefetch_hit_rate` and `p95_reduction_pct` at alpha = 1.0 (the
+// high-locality end of Fig. 4's user tables). CI gates the hit rate
+// against bench/baselines/prefetch.json.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "core/lookup_engine.h"
+#include "core/model_loader.h"
+#include "core/sdm_store.h"
+#include "trace/trace_gen.h"
+
+using namespace sdm;
+
+namespace {
+
+constexpr int kConcurrency = 8;
+constexpr int kBagLen = 16;
+constexpr int kWarmupWaves = 60;
+constexpr int kMeasuredWaves = 400;
+constexpr uint64_t kNumRows = 32768;
+constexpr uint32_t kDim = 32;  // fp32: 128B rows, 32 per 4KB block
+
+TableConfig MakeTable(double alpha) {
+  TableConfig t;
+  t.name = "pf.user";
+  t.role = TableRole::kUser;
+  t.num_rows = kNumRows;
+  t.dim = kDim;
+  t.dtype = DataType::kFp32;
+  t.avg_pooling_factor = kBagLen;
+  t.zipf_alpha = alpha;
+  return t;
+}
+
+struct RunResult {
+  double p95_us = 0;
+  double mean_us = 0;
+  double row_hit_rate = 0;
+  double reads_per_query = 0;
+  uint64_t pf_issued = 0;
+  double pf_hit_rate = 0;
+  uint64_t pf_wasted_kib = 0;
+  uint64_t pf_dropped = 0;
+};
+
+struct PrefetchMode {
+  PrefetchStrategy strategy = PrefetchStrategy::kHotSet;
+  int depth = 8;
+};
+
+/// Replays `waves` against a fresh store; measurement starts after the
+/// warmup waves (caches and predictor at steady state).
+RunResult RunWorkload(const TableConfig& table,
+                      const std::vector<std::vector<std::vector<RowIndex>>>& waves,
+                      std::optional<PrefetchMode> prefetch) {
+  EventLoop loop;
+  SdmStoreConfig cfg;
+  cfg.fm_capacity = 32 * kMiB;
+  cfg.sm_specs = {MakeOptaneSsdSpec()};
+  cfg.sm_backing_bytes = {table.total_bytes() + kMiB};
+  cfg.tuning.coalesce_io = true;
+  cfg.tuning.cross_request_batching = true;
+  cfg.tuning.max_batch_delay = Micros(10);
+  // The row cache holds a fraction of the hot set, so steady-state demand
+  // misses exist for speculation to beat (capacity >> hot set would hide
+  // the effect behind a ~100% demand hit rate).
+  cfg.tuning.row_cache.capacity = 256 * kKiB;
+  // Tight §4.1 outstanding-IO budget: with more misses than slots, queries
+  // queue for throttle rounds and the latency tail tracks the demand-miss
+  // count — the quantity prefetching reduces. (Prefetch reads hold no
+  // slots; they are budgeted by prefetch_max_inflight_bytes instead.)
+  cfg.tuning.throttle.max_outstanding_per_table = 8;
+  cfg.tuning.user_tables_only_on_sm = false;
+  if (prefetch.has_value()) {
+    cfg.tuning.enable_prefetch = true;
+    cfg.tuning.prefetch_strategy = prefetch->strategy;
+    cfg.tuning.prefetch_depth = prefetch->depth;
+  }
+  SdmStore store(cfg, &loop);
+
+  ModelConfig model;
+  model.name = "prefetch";
+  model.tables = {table};
+  if (!ModelLoader::Load(model, {}, &store).ok()) {
+    std::fprintf(stderr, "model load failed\n");
+    std::abort();
+  }
+  LookupEngine engine(&store);
+
+  Histogram measured;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t queries = 0;
+  uint64_t reads0 = 0;
+  PrefetchStats pf0;
+  for (size_t w = 0; w < waves.size(); ++w) {
+    if (w == kWarmupWaves) {
+      reads0 = store.sm_device(0).stats().CounterValue("reads");
+      pf0 = store.prefetch_stats();
+    }
+    const bool count = w >= kWarmupWaves;
+    for (const auto& bag : waves[w]) {
+      LookupRequest req;
+      req.table = MakeTableId(0);
+      req.indices = bag;
+      engine.Lookup(std::move(req),
+                    [&, count](Status s, std::vector<float>, const LookupTrace& t) {
+                      if (!s.ok()) std::abort();
+                      if (!count) return;
+                      measured.Record(t.latency);
+                      hits += t.rows_from_cache;
+                      misses += t.rows_from_sm;
+                      ++queries;
+                    });
+    }
+    loop.RunUntilIdle();
+  }
+
+  RunResult r;
+  r.p95_us = static_cast<double>(measured.P95()) / 1e3;
+  r.mean_us = measured.mean() / 1e3;
+  r.row_hit_rate = hits + misses == 0
+                       ? 0
+                       : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  const uint64_t reads1 = store.sm_device(0).stats().CounterValue("reads");
+  r.reads_per_query =
+      queries == 0 ? 0 : static_cast<double>(reads1 - reads0) / static_cast<double>(queries);
+  // Hit rate and waste use whole-run totals (claims are bounded by issues
+  // cumulatively; measured-window deltas could claim warmup-issued rows).
+  const PrefetchStats pf1 = store.prefetch_stats();
+  r.pf_issued = pf1.rows_issued - pf0.rows_issued;
+  r.pf_hit_rate = pf1.HitRate();
+  r.pf_wasted_kib = pf1.WastedBytes() / kKiB;
+  r.pf_dropped = pf1.dropped_rows - pf0.dropped_rows;
+  return r;
+}
+
+std::vector<std::vector<std::vector<RowIndex>>> ZipfWaves(const TableConfig& table,
+                                                          uint64_t seed) {
+  TableAccessStream stream(table, seed);
+  Rng rng(seed ^ 0x51a3c7b9ULL);
+  std::vector<std::vector<std::vector<RowIndex>>> out(kWarmupWaves + kMeasuredWaves);
+  for (auto& wave : out) {
+    wave.resize(kConcurrency);
+    for (auto& bag : wave) {
+      bag.reserve(kBagLen);
+      for (int k = 0; k < kBagLen; ++k) bag.push_back(stream.Next(rng));
+    }
+  }
+  return out;
+}
+
+/// Sequential scan: one reader walking the table in row order (table-dump
+/// / model-refresh shape; no row is ever revisited). Single stream so the
+/// stride detector sees a clean miss sequence, as block-layer readahead
+/// would per file descriptor.
+std::vector<std::vector<std::vector<RowIndex>>> ScanWaves(int waves) {
+  std::vector<std::vector<std::vector<RowIndex>>> out(waves);
+  uint64_t cursor = 0;
+  for (auto& wave : out) {
+    wave.resize(1);
+    for (int k = 0; k < kBagLen; ++k) {
+      wave[0].push_back(cursor++ % kNumRows);
+    }
+  }
+  return out;
+}
+
+const char* ModeName(const std::optional<PrefetchMode>& m) {
+  if (!m.has_value()) return "off";
+  return ToString(m->strategy);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::QuietLogs quiet;
+  bench::JsonReporter json(argc, argv, "prefetch");
+
+  bench::Section(bench::Fmt(
+      "speculative prefetch — %llu rows x %uB, bag %d, C=%d, cache 256KiB",
+      static_cast<unsigned long long>(kNumRows), kDim * 4, kBagLen, kConcurrency));
+
+  // ---- Zipf alpha x strategy (Fig. 4's temporal-locality axis) ----
+  bench::Table t({"alpha", "prefetch", "depth", "p95 us", "mean us", "row hit %",
+                  "reads/query", "pf issued", "pf hit %", "waste KiB"});
+  double hit_rate_a10 = 0;
+  double p95_reduction_a10 = 0;
+  for (const double alpha : {0.6, 0.8, 1.0, 1.2}) {
+    const TableConfig table = MakeTable(alpha);
+    const auto waves = ZipfWaves(table, /*seed=*/1234);
+    const RunResult off = RunWorkload(table, waves, std::nullopt);
+    t.Row(alpha, "off", 0, off.p95_us, off.mean_us, off.row_hit_rate * 100,
+          off.reads_per_query, uint64_t{0}, 0.0, uint64_t{0});
+    for (const PrefetchStrategy strategy :
+         {PrefetchStrategy::kHotSet, PrefetchStrategy::kNextBlock}) {
+      const PrefetchMode mode{strategy, 8};
+      const RunResult on = RunWorkload(table, waves, mode);
+      t.Row(alpha, ToString(strategy), mode.depth, on.p95_us, on.mean_us,
+            on.row_hit_rate * 100, on.reads_per_query, on.pf_issued,
+            on.pf_hit_rate * 100, on.pf_wasted_kib);
+      const double reduction =
+          off.p95_us == 0 ? 0 : (off.p95_us - on.p95_us) / off.p95_us * 100;
+      if (strategy == PrefetchStrategy::kHotSet) {
+        const std::string a = bench::Fmt("a%.1f", alpha);
+        json.Metric(a + "_hot_set_hit_rate", on.pf_hit_rate);
+        json.Metric(a + "_p95_off_us", off.p95_us);
+        json.Metric(a + "_p95_hot_set_us", on.p95_us);
+        json.Metric(a + "_p95_reduction_pct", reduction);
+        if (alpha == 1.0) {
+          hit_rate_a10 = on.pf_hit_rate;
+          p95_reduction_a10 = reduction;
+        }
+      }
+    }
+  }
+  t.Print();
+  bench::Note(bench::Fmt(
+      "alpha=1.0 hot-set: prefetch hit rate %.1f%%, p95 %.1f%% lower than no-prefetch",
+      hit_rate_a10 * 100, p95_reduction_a10));
+
+  // ---- Depth sweep at the Fig. 4 high-locality point ----
+  bench::Section("depth sweep — alpha 1.0, hot_set");
+  bench::Table d({"depth", "p95 us", "row hit %", "pf issued", "pf hit %", "waste KiB",
+                  "dropped rows"});
+  {
+    const TableConfig table = MakeTable(1.0);
+    const auto waves = ZipfWaves(table, /*seed=*/1234);
+    for (const int depth : {4, 8, 16, 64}) {
+      const RunResult on = RunWorkload(table, waves, PrefetchMode{PrefetchStrategy::kHotSet, depth});
+      d.Row(depth, on.p95_us, on.row_hit_rate * 100, on.pf_issued, on.pf_hit_rate * 100,
+            on.pf_wasted_kib, on.pf_dropped);
+      json.Metric(bench::Fmt("depth%d_hit_rate", depth), on.pf_hit_rate);
+    }
+  }
+  d.Print();
+
+  // ---- Sequential scan: the stride predictor's regime ----
+  bench::Section("sequential scan — one stream in row order (no reuse, pure stride)");
+  bench::Table s({"prefetch", "p95 us", "mean us", "row hit %", "pf issued", "pf hit %"});
+  {
+    const TableConfig table = MakeTable(0.0);
+    const auto waves = ScanWaves(kWarmupWaves + kMeasuredWaves);
+    for (const auto& mode : std::vector<std::optional<PrefetchMode>>{
+             std::nullopt, PrefetchMode{PrefetchStrategy::kHotSet, 8},
+             PrefetchMode{PrefetchStrategy::kNextBlock, 8}}) {
+      const RunResult r = RunWorkload(table, waves, mode);
+      s.Row(ModeName(mode), r.p95_us, r.mean_us, r.row_hit_rate * 100, r.pf_issued,
+            r.pf_hit_rate * 100);
+      if (mode.has_value() && mode->strategy == PrefetchStrategy::kNextBlock) {
+        json.Metric("scan_next_block_hit_rate", r.pf_hit_rate);
+        json.Metric("scan_next_block_row_hit_rate", r.row_hit_rate);
+      }
+    }
+  }
+  s.Print();
+
+  // Headline pair for the CI gate and the perf trajectory.
+  json.Metric("prefetch_hit_rate", hit_rate_a10);
+  json.Metric("p95_reduction_pct", p95_reduction_a10);
+
+  bench::Note("");
+  bench::Note("paper tie-in: Fig. 4's temporal skew is what makes hot-set readahead pay —");
+  bench::Note("the decayed top-K re-fills evicted hot rows from background bandwidth, so");
+  bench::Note("demand finds them in FM. Fig. 5's low spatial locality is why next_block");
+  bench::Note("readahead only wins on scan-shaped workloads. Speculation rides the");
+  bench::Note("BatchScheduler's low-priority lane: byte-budgeted, dropped under pressure,");
+  bench::Note("promoted to demand on overlap (TuningConfig::enable_prefetch).");
+  return 0;
+}

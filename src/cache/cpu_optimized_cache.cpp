@@ -59,6 +59,11 @@ void CpuOptimizedCache::Insert(const RowKey& key, std::span<const uint8_t> value
   EvictFrom(shard, config_.capacity / shards_.size());
 }
 
+bool CpuOptimizedCache::Contains(const RowKey& key) const {
+  const Shard& shard = shards_[HashRowKey(key) % shards_.size()];
+  return shard.map.find(key) != shard.map.end();
+}
+
 void CpuOptimizedCache::EvictFrom(Shard& shard, Bytes shard_capacity) {
   while (shard.used > shard_capacity && !shard.lru.empty()) {
     const RowKey victim = shard.lru.back();

@@ -31,6 +31,7 @@ class CpuOptimizedCache final : public RowCache {
   bool Lookup(const RowKey& key, std::span<uint8_t> out, size_t* out_len) override;
   void Insert(const RowKey& key, std::span<const uint8_t> value) override;
   bool Erase(const RowKey& key) override;
+  [[nodiscard]] bool Contains(const RowKey& key) const override;
 
   [[nodiscard]] const RowCacheStats& stats() const override { return stats_; }
   [[nodiscard]] size_t entry_count() const override;

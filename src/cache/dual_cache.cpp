@@ -50,6 +50,10 @@ void DualRowCache::Insert(const RowKey& key, std::span<const uint8_t> value) {
 
 bool DualRowCache::Erase(const RowKey& key) { return Route(key.table)->Erase(key); }
 
+bool DualRowCache::Contains(const RowKey& key) const {
+  return Route(key.table)->Contains(key);
+}
+
 const RowCacheStats& DualRowCache::stats() const {
   combined_ = RowCacheStats{};
   const auto& m = mem_->stats();

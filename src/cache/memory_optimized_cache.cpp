@@ -121,6 +121,14 @@ bool MemoryOptimizedCache::Erase(const RowKey& key) {
   return false;
 }
 
+bool MemoryOptimizedCache::Contains(const RowKey& key) const {
+  const Bucket& bucket = buckets_[HashRowKey(key) % buckets_.size()];
+  for (const Entry& e : bucket.entries) {
+    if (e.key == key) return true;
+  }
+  return false;
+}
+
 void MemoryOptimizedCache::Clear() {
   for (auto& b : buckets_) {
     b.entries.clear();

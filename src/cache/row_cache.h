@@ -61,6 +61,11 @@ class RowCache {
   /// it was present.
   virtual bool Erase(const RowKey& key) = 0;
 
+  /// Residency probe with no side effects: no hit/miss accounting, no
+  /// recency update. The prefetcher uses this to skip rows already cached
+  /// without perturbing the demand path's eviction order or stats.
+  [[nodiscard]] virtual bool Contains(const RowKey& key) const = 0;
+
   [[nodiscard]] virtual const RowCacheStats& stats() const = 0;
   [[nodiscard]] virtual size_t entry_count() const = 0;
   /// Bytes used including the design's per-entry metadata overhead.

@@ -62,6 +62,11 @@ struct LookupEngine::RunContext {
   /// joiners ride a read whose owner already inserts those blocks; a
   /// second insert would only duplicate the copy cost and LRU churn.
   bool insert_blocks = true;
+  /// Scheduler-aware throttling: only runs that became their own SQE
+  /// (Admission::kNewRead) keep holding a throttle slot until completion —
+  /// admission budgets *device reads after merging*. Shared runs release
+  /// their slot at enqueue and this stays false.
+  bool holds_slot = true;
 };
 
 LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()) {
@@ -74,6 +79,7 @@ LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()
   rows_fm_read_ = stats_.GetCounter("rows_fm_read");
   rows_pruned_ = stats_.GetCounter("rows_pruned");
   rows_deduped_ = stats_.GetCounter("rows_deduped");
+  prefetch_hits_ = stats_.GetCounter("prefetch_hits");
   device_reads_ = stats_.GetCounter("device_reads");
   singleflight_hits_ = stats_.GetCounter("singleflight_hits");
   io_bytes_saved_ = stats_.GetCounter("io_bytes_saved");
@@ -200,6 +206,13 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
         rows_cache_hit_->Add(1);
         ++st->trace.rows_from_cache;
         slot.source = RequestState::Slot::Source::kCache;
+        // Credit the prefetcher when it put this row here (first demand
+        // touch claims it; the row then counts as an ordinary cache line).
+        if (Prefetcher* pf = store_->prefetcher();
+            pf != nullptr && pf->ClaimHit(st->request.table, slot.physical_row)) {
+          prefetch_hits_->Add(1);
+          ++st->trace.rows_prefetch_hit;
+        }
         continue;
       }
       // Second level (multi-level ablation): a block hit avoids device IO
@@ -217,6 +230,11 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
           rows_block_hit_->Add(1);
           ++st->trace.rows_from_block_cache;
           slot.source = RequestState::Slot::Source::kBlockCache;
+          if (Prefetcher* pf = store_->prefetcher();
+              pf != nullptr && pf->ClaimHit(st->request.table, slot.physical_row)) {
+            prefetch_hits_->Add(1);
+            ++st->trace.rows_prefetch_hit;
+          }
           cache->Insert(RowKey{st->request.table, slot.physical_row}, dest);
           st->cpu_pre += cache->RouteCpuCost(st->request.table);
           continue;
@@ -225,6 +243,21 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
     }
     slot.needs_io = true;
     ++misses;
+  }
+
+  // ---- Predictor feed (speculative prefetch) ----
+  // The prefetcher learns from the post-dedup demand stream: one access per
+  // distinct SM-tier row, plus which of them are about to pay device IO.
+  // Prediction/issue happens in StartIoPhase, after the demand runs are
+  // enqueued, so speculation rides the demand doorbell. Bookkeeping only —
+  // no CPU is charged to the query (background work in a real deployment).
+  if (Prefetcher* pf = store_->prefetcher();
+      pf != nullptr && table.tier == MemoryTier::kSm) {
+    for (const auto& slot : st->slots) {
+      if (slot.pruned || slot.dup_of >= 0) continue;
+      pf->RecordAccess(st->request.table, slot.physical_row);
+      if (slot.needs_io) pf->RecordMiss(st->request.table, slot.physical_row);
+    }
   }
 
   // ---- IO phase (or straight to pooling) ----
@@ -248,6 +281,9 @@ void LookupEngine::StartIoPhase(std::shared_ptr<RequestState> st) {
     st->outstanding_ios = ios;
     for (uint32_t i = 0; i < st->slots.size(); ++i) {
       if (st->slots[i].needs_io) SubmitRowIo(st, i);
+    }
+    if (Prefetcher* pf = store_->prefetcher(); pf != nullptr) {
+      pf->MaybeIssue(st->request.table);
     }
     return;
   }
@@ -276,6 +312,13 @@ void LookupEngine::StartIoPhase(std::shared_ptr<RequestState> st) {
   st->outstanding_ios = static_cast<int>(plan.TotalIos());
   for (const uint32_t i : plan.fallback_slots) SubmitRowIo(st, i);
   if (!plan.runs.empty()) SubmitPlannedRuns(st, std::move(plan.runs));
+
+  // Demand runs are enqueued (holding whatever batch is forming); now let
+  // the prefetcher speculate into the scheduler's low-priority lane, where
+  // its reads share this request's doorbell but never force one.
+  if (Prefetcher* pf = store_->prefetcher(); pf != nullptr) {
+    pf->MaybeIssue(st->request.table);
+  }
 }
 
 void LookupEngine::SubmitRowIo(const std::shared_ptr<RequestState>& st,
@@ -391,12 +434,24 @@ void LookupEngine::SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
                                     run->run.span_end - run->run.span_begin, sgl);
     run->bytes_saved = run->run.per_row_bus > run->bus ? run->run.per_row_bus - run->bus : 0;
 
-    // Admission first, batching second: the scheduler only sees runs that
-    // hold a throttle slot, so its flush deadline never outruns the
-    // per-table outstanding-IO budget.
+    // Scheduler-aware throttle admission: the per-table budget (§4.1)
+    // counts device reads *after* merging. A run the scheduler will join
+    // or merge adds no device read, so it enqueues immediately without a
+    // slot — queueing it would let the read it shares retire first and
+    // force a duplicate read. Only runs that need their own SQE go
+    // through Acquire (and if merging happens by dispatch time anyway,
+    // EnqueueRun releases the slot on the spot).
+    BatchScheduler& scheduler = store_->scheduler(table.sm_device);
+    if (scheduler.WouldShare(run->run.span_begin, run->run.span_end,
+                             run->run.first_block, run->run.last_block, sgl)) {
+      EnqueueRun(st, run, block_cache_mode, max_retries, /*first_attempt=*/true,
+                 /*acquired_slot=*/false);
+      continue;
+    }
     throttle.Acquire(st->request.table, [this, st, run, block_cache_mode, max_retries,
                                          bypass, collecting] {
-      EnqueueRun(st, run, block_cache_mode, max_retries, /*first_attempt=*/true);
+      EnqueueRun(st, run, block_cache_mode, max_retries, /*first_attempt=*/true,
+                 /*acquired_slot=*/true);
       if (bypass && !*collecting) {
         store_->scheduler(store_->table(st->request.table).sm_device).Flush();
       }
@@ -410,7 +465,7 @@ void LookupEngine::SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
 void LookupEngine::EnqueueRun(const std::shared_ptr<RequestState>& st,
                               const std::shared_ptr<RunContext>& run,
                               bool block_cache_mode, int attempts_left,
-                              bool first_attempt) {
+                              bool first_attempt, bool acquired_slot) {
   BatchScheduler& scheduler = store_->scheduler(store_->table(st->request.table).sm_device);
 
   BatchScheduler::ReadRequest req;
@@ -426,6 +481,18 @@ void LookupEngine::EnqueueRun(const std::shared_ptr<RequestState>& st,
   req.cb = MakeRunCompletion(st, run, block_cache_mode, attempts_left);
 
   const BatchScheduler::Admission admission = scheduler.Enqueue(std::move(req));
+  assert(admission != BatchScheduler::Admission::kDropped);  // demand is never dropped
+
+  // Scheduler-aware throttling (§4.1's outstanding-IO budget, counted
+  // *after* merging): a run that merged into or joined another request's
+  // SQE adds no device read. A WouldShare run arrives without a slot; a
+  // run that acquired one but shares by dispatch time releases it on the
+  // spot. Either way only the SQE's owner holds a slot for the read.
+  const bool shared = admission != BatchScheduler::Admission::kNewRead;
+  assert(acquired_slot || shared);  // the WouldShare probe is exact in-turn
+  run->holds_slot = acquired_slot && !shared;
+  if (acquired_slot && shared) store_->throttle().Release(st->request.table);
+
   if (!first_attempt) return;
   if (admission == BatchScheduler::Admission::kJoinedPending ||
       admission == BatchScheduler::Admission::kJoinedInFlight) {
@@ -451,7 +518,7 @@ BatchScheduler::Completion LookupEngine::MakeRunCompletion(
                                                           const uint8_t* data,
                                                           Bytes base) {
     TableThrottle& throttle = store_->throttle();
-    throttle.Release(st->request.table);
+    if (run->holds_slot) throttle.Release(st->request.table);
     if (!status.ok()) {
       // Transient (device-side) errors are retried like DirectIoReader's
       // per-row reads; invalid requests surface immediately.
@@ -460,7 +527,7 @@ BatchScheduler::Completion LookupEngine::MakeRunCompletion(
         throttle.Acquire(st->request.table,
                          [this, st, run, block_cache_mode, attempts_left] {
                            EnqueueRun(st, run, block_cache_mode, attempts_left - 1,
-                                      /*first_attempt=*/false);
+                                      /*first_attempt=*/false, /*acquired_slot=*/true);
                          });
         return;
       }

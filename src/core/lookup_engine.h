@@ -48,6 +48,10 @@ struct LookupTrace {
   uint32_t rows_from_cache = 0;
   uint32_t rows_from_block_cache = 0;  ///< multi-level ablation path
   uint32_t rows_from_sm = 0;
+  /// Of the cache hits above, rows resident because the Prefetcher read
+  /// them ahead of demand (tuning.enable_prefetch) — each prefetched row
+  /// is credited to the first request that demands it.
+  uint32_t rows_prefetch_hit = 0;
 
   // ---- Coalesced-IO effectiveness (tuning.coalesce_io) ----
   /// Duplicate-index slots served by a sibling slot's fetch instead of
@@ -114,9 +118,13 @@ class LookupEngine {
                          std::vector<PlannedRun> runs);
   /// Enqueues one admitted run with the scheduler. Trace/counter accounting
   /// happens only on the first attempt (retries must not double-count).
+  /// `acquired_slot` says whether the caller holds a throttle slot for this
+  /// run — WouldShare runs skip the throttle entirely, and a slot-holding
+  /// run that ends up sharing releases its slot here (admission budgets
+  /// device reads after merging, not logical runs).
   void EnqueueRun(const std::shared_ptr<RequestState>& st,
                   const std::shared_ptr<RunContext>& run, bool block_cache_mode,
-                  int attempts_left, bool first_attempt);
+                  int attempts_left, bool first_attempt, bool acquired_slot);
   /// Completion for one planned run: scatter rows out of the (possibly
   /// shared) read buffer, fill caches, and — like DirectIoReader — retry
   /// transient device errors `attempts_left` more times before surfacing
@@ -143,6 +151,7 @@ class LookupEngine {
   Counter* rows_fm_read_ = nullptr;
   Counter* rows_pruned_ = nullptr;
   Counter* rows_deduped_ = nullptr;
+  Counter* prefetch_hits_ = nullptr;
   Counter* device_reads_ = nullptr;
   Counter* singleflight_hits_ = nullptr;
   Counter* io_bytes_saved_ = nullptr;

@@ -37,6 +37,7 @@ SdmStore::SdmStore(SdmStoreConfig config, EventLoop* loop)
     bcfg.max_batch_delay = config_.tuning.max_batch_delay;
     bcfg.max_coalesce_bytes = config_.tuning.max_coalesce_bytes;
     bcfg.coalesce_gap_bytes = config_.tuning.coalesce_gap_bytes;
+    bcfg.prefetch_max_inflight_bytes = config_.tuning.prefetch_max_inflight_bytes;
     schedulers_.push_back(std::make_unique<BatchScheduler>(engines_.back().get(),
                                                            &buffer_arena_, loop_, bcfg));
   }
@@ -162,6 +163,43 @@ Status SdmStore::FinishLoading() {
     PooledCacheConfig pcfg = tuning.pooled_cache;
     pcfg.capacity = pooled_capacity;
     pooled_cache_ = std::make_unique<PooledEmbeddingCache>(pcfg);
+  }
+
+  // Speculative prefetch rides the cross-request scheduler's low-priority
+  // lane and pays off by filling the row cache ahead of demand — so it is
+  // only built when all three exist. In particular it stays inert in the
+  // cross_request_batching=false ablation (bypass-mode parity: the PR 1
+  // baseline must not gain a speculation side channel).
+  if (tuning.enable_prefetch && tuning.cross_request_batching && !sm_.empty() &&
+      row_cache_ != nullptr) {
+    PrefetchConfig pfcfg;
+    pfcfg.strategy = tuning.prefetch_strategy;
+    pfcfg.depth = tuning.prefetch_depth;
+    pfcfg.min_confidence = tuning.prefetch_min_confidence;
+    pfcfg.max_coalesce_bytes = tuning.max_coalesce_bytes;
+    pfcfg.coalesce_gap_bytes = tuning.coalesce_gap_bytes;
+    std::vector<BatchScheduler*> scheds;
+    scheds.reserve(schedulers_.size());
+    for (const auto& s : schedulers_) scheds.push_back(s.get());
+    prefetcher_ = std::make_unique<Prefetcher>(pfcfg, row_cache_.get(),
+                                               block_cache_.get(), std::move(scheds));
+    for (const TableRuntime& t : tables_) {
+      if (t.tier != MemoryTier::kSm) continue;
+      // A cache-bypassing table (kPerTableCacheEnablement) has nowhere to
+      // put prefetched rows — speculation for it would be pure wasted IO
+      // that also can never be claimed.
+      if (!t.cache_enabled) continue;
+      Prefetcher::TableInfo info;
+      info.id = t.id;
+      info.table_offset = t.offset;
+      info.row_bytes = t.config.row_bytes();
+      info.num_rows = t.config.num_rows;
+      info.device = t.sm_device;
+      info.cache_enabled = t.cache_enabled;
+      info.block_mode = block_cache_ != nullptr && t.cache_enabled;
+      info.sub_block = !info.block_mode && readers_[t.sm_device]->sub_block();
+      prefetcher_->RegisterTable(info);
+    }
   }
 
   finished_ = true;

@@ -33,6 +33,7 @@
 #include "io/direct_reader.h"
 #include "io/io_engine.h"
 #include "io/throttle.h"
+#include "prefetch/prefetcher.h"
 #include "sched/batch_scheduler.h"
 
 namespace sdm {
@@ -109,6 +110,14 @@ class SdmStore {
   [[nodiscard]] BatchScheduler& scheduler(size_t i) { return *schedulers_[i]; }
   /// Host-wide scheduler effectiveness, aggregated over every SM device.
   [[nodiscard]] CrossRequestIoStats cross_request_io_stats() const;
+  /// Speculative readahead through the schedulers' low-priority lane.
+  /// Null unless tuning.enable_prefetch — and inert by construction when
+  /// cross_request_batching is off (the PR 1 ablation baseline) or there is
+  /// no row cache to fill.
+  [[nodiscard]] Prefetcher* prefetcher() { return prefetcher_.get(); }
+  [[nodiscard]] PrefetchStats prefetch_stats() const {
+    return prefetcher_ == nullptr ? PrefetchStats{} : prefetcher_->stats();
+  }
   /// Shared pool of device-read bounce buffers (coalesced IO path).
   [[nodiscard]] BufferArena& buffer_arena() { return buffer_arena_; }
   [[nodiscard]] EventLoop* loop() { return loop_; }
@@ -154,6 +163,8 @@ class SdmStore {
   std::unique_ptr<DualRowCache> row_cache_;
   std::unique_ptr<PooledEmbeddingCache> pooled_cache_;
   std::unique_ptr<BlockCache> block_cache_;
+  // Declared after the caches and schedulers it points into.
+  std::unique_ptr<Prefetcher> prefetcher_;
 
   std::vector<TableRuntime> tables_;
   std::vector<Bytes> sm_used_;  // per-device bump allocator

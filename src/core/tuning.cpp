@@ -24,6 +24,12 @@ Status TuningConfig::Validate() const {
   if (max_batch_delay < SimDuration(0)) {
     return InvalidArgumentError("max_batch_delay must be >= 0");
   }
+  if (enable_prefetch && prefetch_depth < 1) {
+    return InvalidArgumentError("prefetch_depth must be >= 1");
+  }
+  if (prefetch_min_confidence < 0 || prefetch_min_confidence > 1) {
+    return InvalidArgumentError("prefetch_min_confidence must be in [0,1]");
+  }
   if (row_cache.memory_optimized_fraction < 0 || row_cache.memory_optimized_fraction > 1) {
     return InvalidArgumentError("memory_optimized_fraction must be in [0,1]");
   }

@@ -19,6 +19,7 @@
 #include "common/result.h"
 #include "io/io_engine.h"
 #include "io/throttle.h"
+#include "prefetch/prefetch_predictor.h"
 
 namespace sdm {
 
@@ -73,6 +74,33 @@ struct TuningConfig {
   /// doorbell); raising it widens the cross-request merge window at the
   /// cost of up to that much added IO latency.
   SimDuration max_batch_delay{0};
+
+  // ---- Speculative prefetch (src/prefetch; §4.2's locality data) ----
+  /// Predict hot/next rows from the demand stream and read them ahead of
+  /// demand through the BatchScheduler's low-priority lane. Exploits the
+  /// temporal skew of Fig. 4 (most accesses concentrate in few rows) to
+  /// convert demand SM latency into background bandwidth. Off by default:
+  /// the paper's deployment does not prefetch, so every paper-reproduction
+  /// bench keeps its baseline; bench_prefetch sweeps the knobs.
+  bool enable_prefetch = false;
+  /// kHotSet rides Fig. 4's temporal locality (decayed top-K histogram);
+  /// kNextBlock is classic stride readahead on the miss-block stream — it
+  /// needs the spatial locality Fig. 5 says production lacks, and exists
+  /// for scan-shaped workloads and as the ablation partner.
+  PrefetchStrategy prefetch_strategy = PrefetchStrategy::kHotSet;
+  /// Max candidate rows issued per prediction opportunity. Deeper issues
+  /// convert more misses but with falling precision (bench_prefetch's depth
+  /// sweep); 8 balances hit rate against wasted bytes at Fig. 4 skews.
+  int prefetch_depth = 8;
+  /// Byte budget of speculative reads (pending + in-flight bus bytes);
+  /// candidates beyond it are dropped, never queued — speculation must not
+  /// compete with §4.1's outstanding-IO budget for demand.
+  Bytes prefetch_max_inflight_bytes = 256 * kKiB;
+  /// Candidates below this predictor confidence (share of recent traffic
+  /// for kHotSet, stride agreement for kNextBlock) are not issued — the
+  /// floor cuts the ranking's noise tail. Raising it makes speculation
+  /// more conservative (fewer wasted bytes, fewer hits).
+  double prefetch_min_confidence = 1e-5;
 
   // ---- Cache organization (§4.3) ----
   bool enable_row_cache = true;

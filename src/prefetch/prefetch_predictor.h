@@ -1,0 +1,149 @@
+// Per-table prefetch prediction (ROADMAP "Prefetching"; paper §4.2).
+//
+// Two strategies behind one interface, matching the two locality regimes
+// the paper measures:
+//
+//  - kHotSet: an exponentially-decayed access histogram ranks rows by
+//    recent popularity; Predict() returns the current top-K. This exploits
+//    the temporal skew of Fig. 4 (user tables concentrate most accesses in
+//    few rows) — the same signal that justifies the row cache, applied
+//    proactively: re-populate hot rows from background bandwidth before
+//    the next demand miss pays SM latency for them.
+//  - kNextBlock: a stride detector keyed on recent *miss* blocks predicts
+//    the blocks a sequential or strided scan will touch next — classic
+//    block-layer readahead. On the Feistel-permuted Zipf streams of Fig. 5
+//    this rarely fires (production has little spatial locality); it exists
+//    for scan-shaped workloads (model refresh, table dumps) and as the
+//    ablation partner of kHotSet in bench_prefetch.
+//
+// Predictors are pure bookkeeping: they never touch devices or caches.
+// Turning predictions into IO (planning, admission, cache fill) is the
+// Prefetcher's job.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sdm {
+
+enum class PrefetchStrategy : uint8_t {
+  kHotSet,     ///< decayed-histogram top-K (temporal locality, Fig. 4)
+  kNextBlock,  ///< stride/next-block readahead on the miss stream
+};
+
+[[nodiscard]] const char* ToString(PrefetchStrategy s);
+
+/// One predicted row with the predictor's confidence in [0, 1]. The
+/// Prefetcher drops candidates below TuningConfig::prefetch_min_confidence.
+struct PrefetchCandidate {
+  RowIndex row = 0;
+  double confidence = 0;
+};
+
+/// Geometry the predictor needs to map rows to device blocks.
+struct PredictorGeometry {
+  Bytes table_offset = 0;  ///< device byte offset of row 0
+  Bytes row_bytes = 0;
+  uint64_t num_rows = 0;
+};
+
+class PrefetchPredictor {
+ public:
+  virtual ~PrefetchPredictor() = default;
+
+  /// One demand access to `row` (post-dedup: one call per distinct row per
+  /// request), whatever tier served it.
+  virtual void RecordAccess(RowIndex row) = 0;
+
+  /// `row` missed every cache and went to the device.
+  virtual void RecordMiss(RowIndex row) = 0;
+
+  /// Up to `max` candidate rows worth prefetching now, best first.
+  [[nodiscard]] virtual std::vector<PrefetchCandidate> Predict(size_t max) = 0;
+
+  [[nodiscard]] virtual PrefetchStrategy strategy() const = 0;
+};
+
+/// Factory for the strategy selected in TuningConfig.
+[[nodiscard]] std::unique_ptr<PrefetchPredictor> MakePredictor(
+    PrefetchStrategy strategy, const PredictorGeometry& geometry);
+
+/// Exponentially-decayed access histogram. Every `kDecayEvery` recorded
+/// accesses all weights shrink by `kDecayFactor`, so a row's weight is a
+/// geometric sum over its access recency — the hot set tracks workload
+/// drift instead of fossilizing the warmup distribution.
+class HotSetPredictor final : public PrefetchPredictor {
+ public:
+  explicit HotSetPredictor(const PredictorGeometry& geometry);
+
+  void RecordAccess(RowIndex row) override;
+  void RecordMiss(RowIndex /*row*/) override {}  // misses are accesses too; no extra signal
+  [[nodiscard]] std::vector<PrefetchCandidate> Predict(size_t max) override;
+  [[nodiscard]] PrefetchStrategy strategy() const override {
+    return PrefetchStrategy::kHotSet;
+  }
+
+  [[nodiscard]] size_t tracked_rows() const { return weights_.size(); }
+
+ private:
+  static constexpr uint64_t kDecayEvery = 4096;
+  static constexpr double kDecayFactor = 0.5;
+  /// Weights below this after decay are dropped (bounds the map).
+  static constexpr double kPruneBelow = 1.0 / 64.0;
+  /// Hard cap on tracked rows; on overflow the coldest half is pruned.
+  static constexpr size_t kMaxTracked = 1 << 16;
+  /// Ranking rebuild interval (accesses). Predict() is called per request
+  /// with SM misses; re-sorting the whole histogram each time would put an
+  /// O(tracked) scan on the lookup path for a ranking that shifts slowly.
+  static constexpr uint64_t kRebuildEvery = 64;
+
+  void DecayAndPrune();
+  void RebuildRanking(size_t max);
+
+  PredictorGeometry geometry_;
+  std::unordered_map<RowIndex, double> weights_;
+  double total_weight_ = 0;
+  uint64_t accesses_since_decay_ = 0;
+  /// Cached descending ranking served between rebuilds (bounded staleness).
+  std::vector<PrefetchCandidate> ranking_;
+  size_t ranking_max_ = 0;
+  uint64_t accesses_since_rebuild_ = 0;
+  bool ranking_valid_ = false;
+};
+
+/// Next-block / stride readahead keyed on recent miss blocks. Detects the
+/// dominant block delta among consecutive misses and predicts the rows of
+/// the blocks that delta reaches from the most recent miss blocks;
+/// confidence is the dominant delta's share of the recent delta window.
+class NextBlockPredictor final : public PrefetchPredictor {
+ public:
+  explicit NextBlockPredictor(const PredictorGeometry& geometry);
+
+  void RecordAccess(RowIndex /*row*/) override {}  // only the miss stream carries strides
+  void RecordMiss(RowIndex row) override;
+  [[nodiscard]] std::vector<PrefetchCandidate> Predict(size_t max) override;
+  [[nodiscard]] PrefetchStrategy strategy() const override {
+    return PrefetchStrategy::kNextBlock;
+  }
+
+ private:
+  static constexpr size_t kHistory = 32;  ///< recent distinct miss blocks kept
+  /// How many predicted blocks (dominant stride applied repeatedly from the
+  /// latest miss) Predict may expand into rows.
+  static constexpr int kReadaheadBlocks = 4;
+
+  [[nodiscard]] uint64_t BlockOf(RowIndex row) const;
+  /// Appends every row fully contained in `block` to `out`.
+  void AppendBlockRows(uint64_t block, double confidence,
+                       std::vector<PrefetchCandidate>* out) const;
+
+  PredictorGeometry geometry_;
+  std::deque<uint64_t> miss_blocks_;  ///< distinct, most recent last
+};
+
+}  // namespace sdm

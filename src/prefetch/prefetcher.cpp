@@ -1,0 +1,185 @@
+#include "prefetch/prefetcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "device/nvme_device.h"
+
+namespace sdm {
+
+Prefetcher::Prefetcher(PrefetchConfig config, DualRowCache* row_cache,
+                       BlockCache* block_cache, std::vector<BatchScheduler*> schedulers)
+    : config_(config),
+      row_cache_(row_cache),
+      block_cache_(block_cache),
+      schedulers_(std::move(schedulers)) {
+  assert(!schedulers_.empty());
+  assert(config_.depth >= 1);
+}
+
+void Prefetcher::RegisterTable(const TableInfo& info) {
+  assert(info.row_bytes > 0);
+  assert(info.device < schedulers_.size());
+  TableState st;
+  st.info = info;
+  PredictorGeometry geometry;
+  geometry.table_offset = info.table_offset;
+  geometry.row_bytes = info.row_bytes;
+  geometry.num_rows = info.num_rows;
+  st.predictor = MakePredictor(config_.strategy, geometry);
+  tables_.insert_or_assign(info.id, std::move(st));
+}
+
+void Prefetcher::RecordAccess(TableId table, RowIndex row) {
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return;
+  it->second.predictor->RecordAccess(row);
+}
+
+void Prefetcher::RecordMiss(TableId table, RowIndex row) {
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return;
+  it->second.predictor->RecordMiss(row);
+}
+
+bool Prefetcher::ClaimHit(TableId table, RowIndex row) {
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return false;
+  if (it->second.unclaimed.erase(row) == 0) return false;
+  ++stats_.rows_hit;
+  stats_.bytes_hit += it->second.info.row_bytes;
+  return true;
+}
+
+size_t Prefetcher::unclaimed_rows() const {
+  size_t n = 0;
+  for (const auto& [id, st] : tables_) n += st.unclaimed.size();
+  return n;
+}
+
+void Prefetcher::MaybeIssue(TableId table) {
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) return;
+  TableState& st = it->second;
+  if (st.unclaimed.size() >= kMaxUnclaimedRows) return;
+
+  // Ask for a much deeper pool than we intend to issue: the top of the
+  // ranking is (by design) already resident in the row cache, so the
+  // issuable candidates — recently-evicted hot rows, marginal ranks — live
+  // past it. The filters below keep the first `depth` worth fetching.
+  const size_t pool =
+      std::min<size_t>(kMaxCandidatePool, static_cast<size_t>(config_.depth) * 64);
+  const std::vector<PrefetchCandidate> candidates = st.predictor->Predict(pool);
+  stats_.predictions += candidates.size();
+  if (candidates.empty()) return;
+
+  const Bytes rb = st.info.row_bytes;
+  std::vector<IoPlanner::Miss> misses;
+  std::vector<RowIndex> rows;
+  for (const PrefetchCandidate& c : candidates) {
+    if (rows.size() >= static_cast<size_t>(config_.depth)) break;
+    if (c.confidence < config_.min_confidence) continue;
+    if (c.row >= st.info.num_rows) continue;
+    if (st.unclaimed.count(c.row) != 0) continue;  // already speculated
+    const RowKey key{table, c.row};
+    if (row_cache_ != nullptr && st.info.cache_enabled && row_cache_->Contains(key)) {
+      continue;  // already resident; nothing to convert
+    }
+    const Bytes off = st.info.table_offset + c.row * rb;
+    if (st.info.block_mode && block_cache_ != nullptr &&
+        off / kBlockSize == (off + rb - 1) / kBlockSize &&
+        block_cache_->Contains(BlockCache::BlockKey{
+            static_cast<uint32_t>(st.info.device), off / kBlockSize})) {
+      continue;  // the block layer already covers this row
+    }
+    misses.push_back(IoPlanner::Miss{static_cast<uint32_t>(rows.size()), off});
+    rows.push_back(c.row);
+  }
+  if (misses.empty()) return;
+
+  IssueRuns(st, std::move(misses), rows);
+}
+
+void Prefetcher::IssueRuns(TableState& st, std::vector<IoPlanner::Miss> misses,
+                           const std::vector<RowIndex>& rows) {
+  PlannerConfig pcfg;
+  pcfg.row_bytes = st.info.row_bytes;
+  pcfg.sub_block = st.info.sub_block;
+  pcfg.max_coalesce_bytes = config_.max_coalesce_bytes;
+  pcfg.coalesce_gap_bytes = config_.coalesce_gap_bytes;
+  IoPlan plan = IoPlanner::Plan(std::move(misses), pcfg);
+  // plan.fallback_slots (boundary-straddling rows) are dropped on purpose:
+  // speculation never takes the per-row path.
+
+  BatchScheduler& scheduler = *schedulers_[st.info.device];
+  for (PlannedRun& run : plan.runs) {
+    std::vector<RowIndex> run_rows;
+    run_rows.reserve(run.slot_indices.size());
+    for (const uint32_t slot : run.slot_indices) run_rows.push_back(rows[slot]);
+
+    BatchScheduler::ReadRequest req;
+    req.span_begin = run.span_begin;
+    req.span_end = run.span_end;
+    req.first_block = run.first_block;
+    req.last_block = run.last_block;
+    req.sub_block = st.info.sub_block;
+    req.kind = BatchScheduler::ReadRequest::Kind::kPrefetch;
+    req.rows = static_cast<uint32_t>(run_rows.size());
+    req.per_row_bus = run.per_row_bus;
+
+    const TableInfo info = st.info;  // completion outlives the iteration
+    auto* self = this;
+    // insert_blocks is patched after admission: only the SQE owner fills
+    // the block layer (joiners would duplicate the copy + LRU churn).
+    auto insert_blocks = std::make_shared<bool>(false);
+    const uint64_t first_block = run.first_block;
+    const uint64_t last_block = run.last_block;
+    req.cb = [self, info, run_rows, insert_blocks, first_block, last_block](
+                 Status status, const uint8_t* data, Bytes base) {
+      TableState& ts = self->tables_.find(info.id)->second;
+      if (!status.ok()) {
+        // Failed speculation: forget the rows so a later opportunity (or
+        // demand itself) can fetch them.
+        ++self->stats_.errors;
+        for (const RowIndex r : run_rows) ts.unclaimed.erase(r);
+        return;
+      }
+      for (const RowIndex r : run_rows) {
+        const Bytes off = info.table_offset + r * info.row_bytes;
+        if (self->row_cache_ != nullptr && info.cache_enabled) {
+          self->row_cache_->Insert(RowKey{info.id, r},
+                                   std::span<const uint8_t>(data + (off - base),
+                                                            info.row_bytes));
+        }
+      }
+      if (*insert_blocks && info.block_mode && self->block_cache_ != nullptr) {
+        const uint64_t blocks = last_block - first_block + 1;
+        self->block_cache_->InsertBlocks(
+            static_cast<uint32_t>(info.device), first_block,
+            std::span<const uint8_t>(data + (first_block * kBlockSize - base),
+                                     blocks * kBlockSize));
+      }
+    };
+
+    const Bytes bus = NvmeDevice::BusBytes(
+        run.span_begin, run.span_end - run.span_begin, st.info.sub_block);
+    const BatchScheduler::Admission admission = scheduler.Enqueue(std::move(req));
+    if (admission == BatchScheduler::Admission::kDropped) {
+      ++stats_.dropped_runs;
+      stats_.dropped_rows += run_rows.size();
+      continue;
+    }
+    for (const RowIndex r : run_rows) st.unclaimed.insert(r);
+    stats_.rows_issued += run_rows.size();
+    if (admission == BatchScheduler::Admission::kNewRead) {
+      *insert_blocks = true;
+      ++stats_.reads_issued;
+      stats_.bytes_issued += bus;
+    } else {
+      ++stats_.runs_shared;
+    }
+  }
+}
+
+}  // namespace sdm

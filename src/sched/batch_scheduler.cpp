@@ -22,6 +22,12 @@ BatchScheduler::BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* 
   flushes_ = stats_.GetCounter("flushes");
   flush_deadline_ = stats_.GetCounter("flush_deadline");
   flush_size_ = stats_.GetCounter("flush_size");
+  flush_prefetch_ = stats_.GetCounter("flush_prefetch");
+  prefetch_enqueued_ = stats_.GetCounter("prefetch_enqueued");
+  prefetch_reads_ = stats_.GetCounter("prefetch_reads");
+  prefetch_dropped_ = stats_.GetCounter("prefetch_dropped");
+  prefetch_promoted_ = stats_.GetCounter("prefetch_promoted");
+  prefetch_singleflight_ = stats_.GetCounter("prefetch_singleflight");
 }
 
 CrossRequestIoStats BatchScheduler::Snapshot() const {
@@ -31,15 +37,60 @@ CrossRequestIoStats BatchScheduler::Snapshot() const {
   s.singleflight_hits = singleflight_hits_->value();
   s.singleflight_bytes_saved = singleflight_bytes_saved_->value();
   s.flushes = flushes_->value();
+  s.prefetch_reads = prefetch_reads_->value();
+  s.prefetch_dropped = prefetch_dropped_->value();
+  s.prefetch_promoted = prefetch_promoted_->value();
   return s;
 }
 
+Bytes BatchScheduler::BusOf(const PendingRead& p) const {
+  return NvmeDevice::BusBytes(p.span_begin, p.span_end - p.span_begin, p.sub_block);
+}
+
+bool BatchScheduler::WouldShare(Bytes span_begin, Bytes span_end, uint64_t first_block,
+                                uint64_t last_block, bool sub_block) const {
+  if (!config_.cross_request) return false;
+  for (const auto& read : in_flight_) {
+    if (read->sub_block != sub_block) continue;
+    if (span_begin >= read->base && span_end <= read->base + read->buf->size()) {
+      return true;
+    }
+  }
+  // Only full coverage counts as sharing here. A span-GROWING merge still
+  // adds media occupancy (service time scales with bus bytes), so it must
+  // queue for an outstanding-IO slot like any other device work — letting
+  // growth skip the throttle snowballs pending SQEs into cap-sized reads
+  // that serialize one device channel.
+  bool covered = false;
+  for (const PendingRead& p : pending_) {
+    if (Compatible(p, span_begin, span_end, first_block, last_block, sub_block,
+                   &covered) &&
+        covered) {
+      return true;
+    }
+  }
+  for (const PendingRead& p : prefetch_pending_) {
+    if (Compatible(p, span_begin, span_end, first_block, last_block, sub_block,
+                   &covered) &&
+        covered) {
+      return true;  // demand would promote (and fully ride) this speculative SQE
+    }
+  }
+  return false;
+}
+
 BatchScheduler::Admission BatchScheduler::Enqueue(ReadRequest req) {
+  if (req.kind == ReadRequest::Kind::kPrefetch) return EnqueuePrefetch(req);
+  return EnqueueDemand(req);
+}
+
+BatchScheduler::Admission BatchScheduler::EnqueueDemand(ReadRequest& req) {
   enqueued_->Add(1);
   if (config_.cross_request) {
     if (TryJoinInFlight(req)) return Admission::kJoinedInFlight;
     Admission admission{};
     if (TryAbsorbIntoPending(req, &admission)) return admission;
+    if (TryPromotePrefetch(req, &admission)) return admission;
   }
 
   PendingRead p;
@@ -53,12 +104,109 @@ BatchScheduler::Admission BatchScheduler::Enqueue(ReadRequest req) {
   p.subscribers.push_back(std::move(req.cb));
   pending_.push_back(std::move(p));
 
-  if (static_cast<int>(pending_.size()) >= config_.max_batch_sqes) {
-    flush_size_->Add(1);
-    Flush();
-  } else {
-    ArmFlush();
+  MaybeFlushOrArm();
+  return Admission::kNewRead;
+}
+
+BatchScheduler::Admission BatchScheduler::EnqueuePrefetch(ReadRequest& req) {
+  // Bypass-mode parity: the PR 1 ablation baseline must stay byte-identical,
+  // so the prefetch lane is inert without cross-request batching (the
+  // Prefetcher is not even constructed then; this is the backstop).
+  assert(config_.cross_request && "prefetch lane requires cross_request batching");
+  if (!config_.cross_request) {
+    prefetch_dropped_->Add(1);
+    return Admission::kDropped;
   }
+  prefetch_enqueued_->Add(1);
+
+  // Free rides first: an in-flight or pending read that already covers the
+  // span serves the prefetch for nothing (and keeps demand counters clean —
+  // prefetch sharing is tracked separately).
+  for (const auto& read : in_flight_) {
+    if (read->sub_block != req.sub_block) continue;
+    if (req.span_begin < read->base || req.span_end > read->base + read->buf->size()) {
+      continue;
+    }
+    prefetch_singleflight_->Add(1);
+    read->subscribers.push_back(std::move(req.cb));
+    return Admission::kJoinedInFlight;
+  }
+  for (PendingRead& p : pending_) {
+    bool covered = false;
+    if (Compatible(p, req.span_begin, req.span_end, req.first_block, req.last_block,
+                   req.sub_block, &covered) &&
+        covered) {
+      // Pure subscription: a prefetch may ride a demand SQE but never grow
+      // one (that would inflate a demand read for speculative bytes).
+      prefetch_singleflight_->Add(1);
+      p.subscribers.push_back(std::move(req.cb));
+      return Admission::kJoinedPending;
+    }
+  }
+  // Merge within the lane (same cap/gap rules as demand merging). Growth
+  // is charged to the byte budget up front — an over-budget merge drops
+  // like an over-budget new SQE would.
+  for (size_t i = 0; i < prefetch_pending_.size(); ++i) {
+    PendingRead& p = prefetch_pending_[i];
+    bool covered = false;
+    if (!Compatible(p, req.span_begin, req.span_end, req.first_block, req.last_block,
+                    req.sub_block, &covered)) {
+      continue;
+    }
+    if (covered) {
+      prefetch_singleflight_->Add(1);
+      p.subscribers.push_back(std::move(req.cb));
+      return Admission::kJoinedPending;
+    }
+    PendingRead grown = p;
+    grown.span_begin = std::min(p.span_begin, req.span_begin);
+    grown.span_end = std::max(p.span_end, req.span_end);
+    const Bytes delta = BusOf(grown) - BusOf(p);
+    if (prefetch_pending_bytes_ + prefetch_inflight_bytes_ + delta >
+        config_.prefetch_max_inflight_bytes) {
+      prefetch_dropped_->Add(1);
+      return Admission::kDropped;
+    }
+    p.span_begin = grown.span_begin;
+    p.span_end = grown.span_end;
+    p.first_block = std::min(p.first_block, req.first_block);
+    p.last_block = std::max(p.last_block, req.last_block);
+    p.rows += req.rows;
+    p.per_row_bus += req.per_row_bus;
+    p.subscribers.push_back(std::move(req.cb));
+    p.prefetch_budget_bytes += delta;
+    prefetch_pending_bytes_ += delta;
+    return Admission::kMergedPending;
+  }
+
+  // Admission against the lane's byte budget — speculation is dropped, not
+  // queued, under pressure, so it can never starve demand.
+  const Bytes bus =
+      NvmeDevice::BusBytes(req.span_begin, req.span_end - req.span_begin, req.sub_block);
+  if (prefetch_pending_bytes_ + prefetch_inflight_bytes_ + bus >
+          config_.prefetch_max_inflight_bytes ||
+      prefetch_pending_.size() >= kMaxLaneSqes) {
+    prefetch_dropped_->Add(1);
+    return Admission::kDropped;
+  }
+
+  PendingRead p;
+  p.span_begin = req.span_begin;
+  p.span_end = req.span_end;
+  p.first_block = req.first_block;
+  p.last_block = req.last_block;
+  p.sub_block = req.sub_block;
+  p.prefetch = true;
+  p.prefetch_budget_bytes = bus;
+  p.rows = req.rows;
+  p.per_row_bus = req.per_row_bus;
+  p.subscribers.push_back(std::move(req.cb));
+  prefetch_pending_bytes_ += bus;
+  prefetch_pending_.push_back(std::move(p));
+
+  // No flush rights: ride the next demand doorbell, or the lane's own
+  // unhurried drain timer when nothing demand-side is coming.
+  ArmPrefetchFlush();
   return Admission::kNewRead;
 }
 
@@ -75,6 +223,9 @@ bool BatchScheduler::TryJoinInFlight(ReadRequest& req) {
     singleflight_hits_->Add(1);
     singleflight_bytes_saved_->Add(
         NvmeDevice::BusBytes(req.span_begin, req.span_end - req.span_begin, req.sub_block));
+    // Demand catching up with speculation: the prefetch read proved useful
+    // before it even completed.
+    if (read->prefetch) prefetch_promoted_->Add(1);
     read->subscribers.push_back(std::move(req.cb));
     return true;
   }
@@ -142,6 +293,52 @@ bool BatchScheduler::TryAbsorbIntoPending(ReadRequest& req, Admission* admission
   return false;
 }
 
+bool BatchScheduler::TryPromotePrefetch(ReadRequest& req, Admission* admission) {
+  for (size_t i = 0; i < prefetch_pending_.size(); ++i) {
+    PendingRead& q = prefetch_pending_[i];
+    bool covered = false;
+    if (!Compatible(q, req.span_begin, req.span_end, req.first_block, req.last_block,
+                    req.sub_block, &covered)) {
+      continue;
+    }
+    // Merged-read admission: the speculative SQE moves to the demand batch
+    // (demand priority, demand flush triggers) instead of the demand run
+    // issuing a second read for overlapping bytes. Admission-domain
+    // handoff: a covered promotion stays charged to the prefetch byte
+    // budget (the demand run arrived slot-free via WouldShare and there is
+    // no other holder); a span-growing promotion is re-admitted under the
+    // demand run's throttle slot — it returns kNewRead so the caller keeps
+    // that slot — and its budget bytes are released.
+    PendingRead p = std::move(q);
+    prefetch_pending_.erase(prefetch_pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    p.prefetch = false;
+    p.span_begin = std::min(p.span_begin, req.span_begin);
+    p.span_end = std::max(p.span_end, req.span_end);
+    p.first_block = std::min(p.first_block, req.first_block);
+    p.last_block = std::max(p.last_block, req.last_block);
+    p.rows += req.rows;
+    p.per_row_bus += req.per_row_bus;
+    p.subscribers.push_back(std::move(req.cb));
+    prefetch_promoted_->Add(1);
+    if (covered) {
+      singleflight_hits_->Add(1);
+      singleflight_bytes_saved_->Add(NvmeDevice::BusBytes(
+          req.span_begin, req.span_end - req.span_begin, req.sub_block));
+      *admission = Admission::kJoinedPending;
+    } else {
+      prefetch_pending_bytes_ -= p.prefetch_budget_bytes;
+      p.prefetch_budget_bytes = 0;
+      cross_request_merges_->Add(1);
+      *admission = Admission::kNewRead;
+    }
+    pending_.push_back(std::move(p));
+    FuseOverlappingPending(pending_.size() - 1);
+    MaybeFlushOrArm();
+    return true;
+  }
+  return false;
+}
+
 void BatchScheduler::FuseOverlappingPending(size_t i) {
   // A merge can bridge two previously-independent pending reads (e.g. a
   // run landing between blocks [0] and [2] grows the first SQE to [0,1]
@@ -166,6 +363,7 @@ void BatchScheduler::FuseOverlappingPending(size_t i) {
       p.last_block = std::max(p.last_block, q.last_block);
       p.rows += q.rows;
       p.per_row_bus += q.per_row_bus;
+      p.prefetch_budget_bytes += q.prefetch_budget_bytes;  // budget carries over
       for (Completion& cb : q.subscribers) p.subscribers.push_back(std::move(cb));
       cross_request_merges_->Add(1);
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(j));
@@ -173,6 +371,15 @@ void BatchScheduler::FuseOverlappingPending(size_t i) {
       changed = true;
       break;  // indices shifted; rescan
     }
+  }
+}
+
+void BatchScheduler::MaybeFlushOrArm() {
+  if (static_cast<int>(pending_.size()) >= config_.max_batch_sqes) {
+    flush_size_->Add(1);
+    Flush();
+  } else {
+    ArmFlush();
   }
 }
 
@@ -193,16 +400,46 @@ void BatchScheduler::ArmFlush() {
   });
 }
 
+void BatchScheduler::ArmPrefetchFlush() {
+  // A demand flush is already due and will carry the lane; and in bypass
+  // mode the lane is never populated.
+  if (flush_armed_ || prefetch_flush_armed_) return;
+  prefetch_flush_armed_ = true;
+  const uint64_t generation = flush_generation_;
+  loop_->ScheduleAfter(config_.prefetch_flush_delay, [this, generation] {
+    prefetch_flush_armed_ = false;
+    if (prefetch_pending_.empty()) return;
+    // Demand arrived meanwhile: its own flush (armed or size-triggered)
+    // drains the lane; a prefetch timer must never ring the doorbell early
+    // for demand SQEs.
+    if (!pending_.empty()) return;
+    if (generation != flush_generation_) {
+      // A flush rang since arming and still left lane entries (doorbell was
+      // full); wait out another window.
+      ArmPrefetchFlush();
+      return;
+    }
+    flush_prefetch_->Add(1);
+    Flush();
+  });
+}
+
 void BatchScheduler::Flush() {
   ++flush_generation_;
   flush_armed_ = false;
-  if (pending_.empty()) return;
-  flushes_->Add(1);
 
   // Swap the batch out first: completion callbacks scheduled below may
-  // re-enter Enqueue (retries) and must see a clean pending list.
+  // re-enter Enqueue (retries) and must see a clean pending list. The
+  // low-priority lane fills whatever doorbell room demand left.
   std::vector<PendingRead> batch;
   batch.swap(pending_);
+  while (!prefetch_pending_.empty() &&
+         static_cast<int>(batch.size()) < config_.max_batch_sqes) {
+    batch.push_back(std::move(prefetch_pending_.front()));
+    prefetch_pending_.pop_front();
+  }
+  if (batch.empty()) return;
+  flushes_->Add(1);
 
   std::vector<IoEngine::ReadOp> ops;
   ops.reserve(batch.size());
@@ -211,16 +448,26 @@ void BatchScheduler::Flush() {
     read->span_begin = p.span_begin;
     read->span_end = p.span_end;
     read->sub_block = p.sub_block;
+    read->prefetch = p.prefetch;
     // The device lands data at its alignment base: the first byte of the
     // first block (block mode) or the DWORD floor of the span (sub-block).
     read->base = p.sub_block ? (p.span_begin & ~(kDwordBytes - 1))
                              : p.first_block * kBlockSize;
     const Bytes length = p.span_end - p.span_begin;
     const Bytes bus = NvmeDevice::BusBytes(p.span_begin, length, p.sub_block);
+    // Budget bytes (possibly carried by a promoted/fused SQE) move from
+    // pending to in-flight and are released at completion.
+    read->prefetch_budget_bytes = p.prefetch_budget_bytes;
+    prefetch_pending_bytes_ -= p.prefetch_budget_bytes;
+    prefetch_inflight_bytes_ += p.prefetch_budget_bytes;
     read->buf = arena_->Acquire(bus);
     read->subscribers = std::move(p.subscribers);
     in_flight_.push_back(read);
-    device_reads_->Add(1);
+    if (p.prefetch) {
+      prefetch_reads_->Add(1);
+    } else {
+      device_reads_->Add(1);
+    }
 
     IoEngine::ReadOp op;
     op.offset = p.span_begin;
@@ -235,6 +482,9 @@ void BatchScheduler::Flush() {
     ops.push_back(std::move(op));
   }
   engine_->SubmitBatch(ops);
+
+  // Lane overflow (doorbell was full): drain on the background timer.
+  if (!prefetch_pending_.empty()) ArmPrefetchFlush();
 }
 
 void BatchScheduler::CompleteRead(const std::shared_ptr<InFlightRead>& read,
@@ -242,6 +492,7 @@ void BatchScheduler::CompleteRead(const std::shared_ptr<InFlightRead>& read,
   // Unregister before delivering: a subscriber may re-enqueue (retry) and
   // must not join a read that has already completed.
   in_flight_.erase(std::find(in_flight_.begin(), in_flight_.end(), read));
+  prefetch_inflight_bytes_ -= read->prefetch_budget_bytes;
   const uint8_t* data = status.ok() ? read->buf->data() : nullptr;
   for (Completion& cb : read->subscribers) {
     cb(status, data, read->base);

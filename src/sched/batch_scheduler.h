@@ -14,10 +14,28 @@
 //    `max_batch_delay` deadline armed by the first run of the batch — so a
 //    lone run is never starved waiting for co-travellers.
 //
+// Priority lanes: every ReadRequest carries a Kind. kDemand runs behave as
+// above. kPrefetch runs (speculative readahead from src/prefetch) form a
+// LOW-PRIORITY lane with strictly weaker rights:
+//
+//  - they never trigger a size or deadline flush of the demand batch; they
+//    ride whatever doorbell room a demand flush leaves (up to
+//    max_batch_sqes total), and a prefetch-only lane drains on its own
+//    unhurried `prefetch_flush_delay` timer only when no demand is pending;
+//  - they are admitted against a byte budget (`prefetch_max_inflight_bytes`
+//    across pending + in-flight prefetch reads) and are DROPPED — not
+//    queued — when it is exhausted, so speculation can never starve demand
+//    of ring slots or arena buffers;
+//  - a demand run that overlaps a pending prefetch SQE PROMOTES it into the
+//    demand batch (merged-read admission): the speculative read upgrades to
+//    demand priority instead of issuing twice, and joining an in-flight
+//    prefetch read is an ordinary single-flight hit.
+//
 // With `cross_request = false` the scheduler never merges or single-flights
-// across enqueues; the caller delimits each batch with Flush() (LookupEngine
-// flushes after submitting a request's runs), so every request rings its own
-// doorbell — the per-request behavior, kept as the ablation baseline. A
+// across enqueues, and the prefetch lane is INERT (prefetch enqueues
+// assert/drop) so the per-request ablation baseline stays byte-identical;
+// the caller delimits each batch with Flush() (LookupEngine flushes after
+// submitting a request's runs), so every request rings its own doorbell. A
 // delay-0 timer still backstops runs enqueued outside a caller flush (e.g.
 // throttle stragglers).
 //
@@ -32,6 +50,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -46,21 +65,26 @@ namespace sdm {
 /// Effectiveness counters of one scheduler (or, aggregated by SdmStore,
 /// of every scheduler on a host) — the single home of the occupancy math.
 struct CrossRequestIoStats {
-  uint64_t device_reads = 0;          ///< SQEs actually issued
+  uint64_t device_reads = 0;          ///< demand SQEs actually issued
   uint64_t cross_request_merges = 0;  ///< spans fused across requests
   uint64_t singleflight_hits = 0;     ///< runs served by another request's read
   uint64_t singleflight_bytes_saved = 0;
   uint64_t flushes = 0;  ///< ring doorbells
-  /// Mean SQEs per ring doorbell (0 when no doorbell rang yet).
+  // ---- Prefetch lane ----
+  uint64_t prefetch_reads = 0;     ///< prefetch SQEs issued to the device
+  uint64_t prefetch_dropped = 0;   ///< prefetch runs rejected at admission
+  uint64_t prefetch_promoted = 0;  ///< prefetch reads upgraded/joined by demand
+  /// Mean SQEs (both lanes) per ring doorbell (0 when no doorbell rang yet).
   [[nodiscard]] double BatchOccupancy() const {
     return flushes == 0 ? 0
-                        : static_cast<double>(device_reads) / static_cast<double>(flushes);
+                        : static_cast<double>(device_reads + prefetch_reads) /
+                              static_cast<double>(flushes);
   }
 };
 
 struct BatchSchedulerConfig {
   /// Combine reads across concurrent requests. false = bypass (per-request
-  /// batches, no sharing) for ablation.
+  /// batches, no sharing, prefetch lane inert) for ablation.
   bool cross_request = true;
   /// Flush when this many SQEs have accumulated.
   int max_batch_sqes = 64;
@@ -72,6 +96,12 @@ struct BatchSchedulerConfig {
   Bytes max_coalesce_bytes = 64 * kKiB;
   /// Largest dead gap a sub-block (SGL) merge may bridge across requests.
   Bytes coalesce_gap_bytes = 512;
+  /// Byte budget of the prefetch lane: pending + in-flight prefetch reads
+  /// (bus bytes) above this are dropped at admission.
+  Bytes prefetch_max_inflight_bytes = 256 * kKiB;
+  /// Drain timer for a prefetch-only lane (no demand pending to ride).
+  /// Deliberately longer than typical demand deadlines: background work.
+  SimDuration prefetch_flush_delay = Micros(5);
 };
 
 class BatchScheduler {
@@ -79,16 +109,22 @@ class BatchScheduler {
   /// Read completion. On success `data` points at the shared bounce buffer
   /// and `base` is the device byte offset of data[0]; the row at device
   /// offset `o` lives at data + (o - base). Both are valid only for the
-  /// duration of the callback. On error `data` is nullptr.
+  /// duration of the callback. On error `data` is nullptr. Dropped prefetch
+  /// runs never invoke their callback (Enqueue returns kDropped instead).
   using Completion = std::function<void(Status, const uint8_t* data, Bytes base)>;
 
   /// One planned run, as produced by the IoPlanner (plus its completion).
   struct ReadRequest {
+    /// Scheduling lane (see file header). Prefetch is strictly lower
+    /// priority: no flush rights, byte-budgeted, dropped under pressure.
+    enum class Kind : uint8_t { kDemand, kPrefetch };
+
     Bytes span_begin = 0;
     Bytes span_end = 0;
     uint64_t first_block = 0;
     uint64_t last_block = 0;
     bool sub_block = false;
+    Kind kind = Kind::kDemand;
     /// Logical per-row reads this run coalesces (engine counter fodder);
     /// retries pass 0 so the same rows are not counted twice.
     uint32_t rows = 0;
@@ -104,6 +140,7 @@ class BatchScheduler {
     kMergedPending,   ///< extended a not-yet-flushed SQE from another request
     kJoinedPending,   ///< fully covered by a not-yet-flushed SQE
     kJoinedInFlight,  ///< fully covered by a read already at the device
+    kDropped,         ///< prefetch lane over budget (never demand); cb discarded
   };
 
   BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* loop,
@@ -114,11 +151,26 @@ class BatchScheduler {
 
   Admission Enqueue(ReadRequest req);
 
+  /// Whether a demand run with this shape would be admitted WITHOUT a new
+  /// device read (joined or merged into existing pending/in-flight work).
+  /// Callers use this for scheduler-aware throttle admission: a run that
+  /// will share needs no outstanding-IO slot, so it must not queue for one
+  /// — by the time a slot frees, the read it would have joined may have
+  /// retired. Exact (not heuristic) when the Enqueue follows on the same
+  /// event-loop turn, since scheduler state only changes on this thread.
+  [[nodiscard]] bool WouldShare(Bytes span_begin, Bytes span_end, uint64_t first_block,
+                                uint64_t last_block, bool sub_block) const;
+
   /// Flushes the accumulating batch immediately (tests; drain paths).
+  /// Pending prefetch SQEs ride along up to the doorbell's free room.
   void Flush();
 
   [[nodiscard]] size_t pending_sqes() const { return pending_.size(); }
+  [[nodiscard]] size_t prefetch_pending_sqes() const { return prefetch_pending_.size(); }
   [[nodiscard]] size_t in_flight_reads() const { return in_flight_.size(); }
+  [[nodiscard]] Bytes prefetch_budget_used() const {
+    return prefetch_pending_bytes_ + prefetch_inflight_bytes_;
+  }
   [[nodiscard]] const BatchSchedulerConfig& config() const { return config_; }
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
 
@@ -129,13 +181,20 @@ class BatchScheduler {
   [[nodiscard]] double BatchOccupancy() const { return Snapshot().BatchOccupancy(); }
 
  private:
-  /// An SQE accumulating in the unflushed batch.
+  /// An SQE accumulating in the unflushed batch (either lane).
   struct PendingRead {
     Bytes span_begin = 0;
     Bytes span_end = 0;
     uint64_t first_block = 0;
     uint64_t last_block = 0;
     bool sub_block = false;
+    bool prefetch = false;
+    /// Bus bytes this SQE holds against the prefetch byte budget. Every
+    /// device read is admitted by exactly one domain: a throttle slot on
+    /// the demand side, or these bytes on the speculation side. A
+    /// covered-promotion keeps its budget (no slot ever existed for it);
+    /// a merge-promotion transfers to the demand run's slot and zeroes it.
+    Bytes prefetch_budget_bytes = 0;
     uint32_t rows = 0;
     Bytes per_row_bus = 0;
     std::vector<Completion> subscribers;
@@ -148,9 +207,15 @@ class BatchScheduler {
     Bytes span_end = 0;
     Bytes base = 0;
     bool sub_block = false;
+    bool prefetch = false;
+    Bytes prefetch_budget_bytes = 0;  ///< released when the read completes
     std::shared_ptr<BufferArena::Buffer> buf;
     std::vector<Completion> subscribers;
   };
+
+  /// Memory backstop on the lane's SQE count (the byte budget is the real
+  /// admission control; this only bounds a degenerate many-tiny-spans lane).
+  static constexpr size_t kMaxLaneSqes = 256;
 
   /// Whether [begin, end) (blocks [first_block, last_block]) can ride on
   /// pending read `p`: fully covered by what `p` will pull across the bus
@@ -158,13 +223,22 @@ class BatchScheduler {
   [[nodiscard]] bool Compatible(const PendingRead& p, Bytes begin, Bytes end,
                                 uint64_t first_block, uint64_t last_block,
                                 bool sub_block, bool* covered) const;
+  [[nodiscard]] Admission EnqueueDemand(ReadRequest& req);
+  [[nodiscard]] Admission EnqueuePrefetch(ReadRequest& req);
   [[nodiscard]] bool TryAbsorbIntoPending(ReadRequest& req, Admission* admission);
   [[nodiscard]] bool TryJoinInFlight(ReadRequest& req);
+  /// Demand-side probe of the prefetch lane: a compatible pending prefetch
+  /// SQE is moved into the demand batch (promotion) and the run rides it.
+  [[nodiscard]] bool TryPromotePrefetch(ReadRequest& req, Admission* admission);
   /// After pending_[i] grew, fuses any other pending reads it now covers
   /// or abuts, so one block never crosses the bus twice in one flush.
   void FuseOverlappingPending(size_t i);
+  /// Size-trigger / deadline arming after the demand batch grew.
+  void MaybeFlushOrArm();
   void ArmFlush();
+  void ArmPrefetchFlush();
   void CompleteRead(const std::shared_ptr<InFlightRead>& read, Status status);
+  [[nodiscard]] Bytes BusOf(const PendingRead& p) const;
 
   IoEngine* engine_;
   BufferArena* arena_;
@@ -172,11 +246,17 @@ class BatchScheduler {
   BatchSchedulerConfig config_;
 
   std::vector<PendingRead> pending_;
+  /// Low-priority lane: prefetch SQEs waiting for doorbell room. FIFO —
+  /// oldest predictions flush first.
+  std::deque<PendingRead> prefetch_pending_;
+  Bytes prefetch_pending_bytes_ = 0;
+  Bytes prefetch_inflight_bytes_ = 0;
   std::vector<std::shared_ptr<InFlightRead>> in_flight_;
   /// Invalidates armed flush timers when the batch they were armed for has
   /// already been flushed by the size trigger.
   uint64_t flush_generation_ = 0;
   bool flush_armed_ = false;
+  bool prefetch_flush_armed_ = false;
 
   StatsRegistry stats_;
   Counter* enqueued_ = nullptr;
@@ -187,6 +267,12 @@ class BatchScheduler {
   Counter* flushes_ = nullptr;
   Counter* flush_deadline_ = nullptr;
   Counter* flush_size_ = nullptr;
+  Counter* flush_prefetch_ = nullptr;
+  Counter* prefetch_enqueued_ = nullptr;
+  Counter* prefetch_reads_ = nullptr;
+  Counter* prefetch_dropped_ = nullptr;
+  Counter* prefetch_promoted_ = nullptr;
+  Counter* prefetch_singleflight_ = nullptr;
 };
 
 }  // namespace sdm

@@ -153,6 +153,7 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
                 store_->pooled_cache()->stats().uncacheable
           : 0;
   const CrossRequestIoStats xreq0 = store_->cross_request_io_stats();
+  const PrefetchStats pf0 = store_->prefetch_stats();
   // CPU accounting is cumulative across runs; snapshot for per-run deltas.
   uint64_t cpu0 = static_cast<uint64_t>(engine_->lookups().cpu_time().nanos()) +
                   engine_->stats().CounterValue("cpu_ns");
@@ -225,6 +226,19 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
   r.cross_request_merges = xreq.cross_request_merges;
   r.singleflight_hits = xreq.singleflight_hits;
   r.batch_occupancy = xreq.BatchOccupancy();
+  const PrefetchStats pf1 = store_->prefetch_stats();
+  r.prefetch_issued = pf1.rows_issued - pf0.rows_issued;
+  // Claims can lag issues across runs (rows issued during warmup may be
+  // claimed here), so the per-run ratio is clamped to [0,1].
+  const uint64_t pf_hits = pf1.rows_hit - pf0.rows_hit;
+  r.prefetch_hit_rate =
+      r.prefetch_issued == 0
+          ? 0
+          : std::min(1.0, static_cast<double>(pf_hits) /
+                              static_cast<double>(r.prefetch_issued));
+  const uint64_t pf_bytes = pf1.bytes_issued - pf0.bytes_issued;
+  const uint64_t pf_bytes_hit = pf1.bytes_hit - pf0.bytes_hit;
+  r.prefetch_wasted_bytes = pf_bytes > pf_bytes_hit ? pf_bytes - pf_bytes_hit : 0;
   // Per-run CPU: operator-side (lookup engine + dense) plus IO-engine CPU.
   uint64_t cpu1 = static_cast<uint64_t>(engine_->lookups().cpu_time().nanos()) +
                   engine_->stats().CounterValue("cpu_ns");
@@ -267,15 +281,19 @@ double HostSimulation::FindMaxQps(SimDuration sla, bool use_p99, uint64_t querie
 }
 
 std::string HostRunReport::Summary() const {
-  char buf[320];
+  char buf[400];
   std::snprintf(buf, sizeof(buf),
                 "qps=%.0f/%.0f p50=%.2fms p95=%.2fms p99=%.2fms hit=%.1f%% pooled=%.1f%% "
-                "iops=%.0f amp=%.2f cpu/q=%.0fus sf=%llu xmerge=%llu occ=%.1f",
+                "iops=%.0f amp=%.2f cpu/q=%.0fus sf=%llu xmerge=%llu occ=%.1f "
+                "pf=%llu pfhit=%.1f%% pfwaste=%lluKiB",
                 achieved_qps, offered_qps, p50.millis(), p95.millis(), p99.millis(),
                 row_cache_hit_rate * 100, pooled_hit_rate * 100, sm_iops,
                 sm_read_amplification, avg_cpu_per_query.micros(),
                 static_cast<unsigned long long>(singleflight_hits),
-                static_cast<unsigned long long>(cross_request_merges), batch_occupancy);
+                static_cast<unsigned long long>(cross_request_merges), batch_occupancy,
+                static_cast<unsigned long long>(prefetch_issued),
+                prefetch_hit_rate * 100,
+                static_cast<unsigned long long>(prefetch_wasted_bytes / kKiB));
   return buf;
 }
 

@@ -77,6 +77,10 @@ struct HostRunReport {
   uint64_t cross_request_merges = 0;  ///< spans fused across concurrent queries
   uint64_t singleflight_hits = 0;     ///< runs served by another query's read
   double batch_occupancy = 0;         ///< mean SQEs per ring doorbell
+  // ---- Speculative prefetch (src/prefetch), this run only ----
+  uint64_t prefetch_issued = 0;       ///< rows read ahead of demand
+  double prefetch_hit_rate = 0;       ///< issued rows later claimed by demand
+  uint64_t prefetch_wasted_bytes = 0; ///< speculative bus bytes with no demand hit
   SimDuration avg_cpu_per_query;
   /// Max QPS one host CPU-second supports (1 / cpu_per_query); the compute
   /// term of Eq. 5.

@@ -83,6 +83,12 @@ class InferenceEngine {
   [[nodiscard]] CrossRequestIoStats cross_request_io() const {
     return store_->cross_request_io_stats();
   }
+  /// Speculative-readahead effectiveness (src/prefetch): rows issued ahead
+  /// of demand, how many demand later claimed, and the wasted bus bytes.
+  /// Zeroes when tuning.enable_prefetch is off.
+  [[nodiscard]] PrefetchStats prefetch_stats() const {
+    return store_->prefetch_stats();
+  }
   [[nodiscard]] const InferenceConfig& config() const { return config_; }
   [[nodiscard]] const ModelConfig& model() const { return model_; }
 
