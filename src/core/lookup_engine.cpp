@@ -325,7 +325,6 @@ void LookupEngine::SubmitRowIo(const std::shared_ptr<RequestState>& st,
                                uint32_t slot_index) {
   const TableRuntime& table = store_->table(st->request.table);
   DirectIoReader& reader = store_->reader(table.sm_device);
-  TableThrottle& throttle = store_->throttle();
   const bool block_mode = store_->block_cache() != nullptr && table.cache_enabled;
 
   auto& slot = st->slots[slot_index];
@@ -339,8 +338,8 @@ void LookupEngine::SubmitRowIo(const std::shared_ptr<RequestState>& st,
 
   // Shared completion: cache fills + join bookkeeping. Errored reads count
   // only toward io_errors, not toward rows served from SM.
-  auto on_row_done = [this, st, slot_index, dest, physical, &throttle](Status status) {
-    throttle.Release(st->request.table);
+  auto on_row_done = [this, st, slot_index, dest, physical](Status status) {
+    store_->ReleaseIoSlot(st->request.table);
     if (!status.ok()) {
       io_errors_->Add(1);
       if (st->first_error.ok()) st->first_error = status;
@@ -366,14 +365,14 @@ void LookupEngine::SubmitRowIo(const std::shared_ptr<RequestState>& st,
     const Bytes block_start = off / kBlockSize * kBlockSize;
     const auto device = static_cast<uint32_t>(table.sm_device);
     const int max_retries = reader.max_retries();
-    throttle.Acquire(st->request.table, [this, st, off, dest, block_start, device,
-                                         max_retries, on_row_done] {
+    store_->AcquireIoSlot(st->request.table, [this, st, off, dest, block_start, device,
+                                              max_retries, on_row_done] {
       BlockRowReadAttempt(st, off, block_start, dest, device, max_retries, on_row_done);
     });
     return;
   }
 
-  throttle.Acquire(st->request.table, [off, dest, &reader, on_row_done] {
+  store_->AcquireIoSlot(st->request.table, [off, dest, &reader, on_row_done] {
     reader.ReadRow(off, dest, [on_row_done](Status status, SimDuration /*lat*/) {
       on_row_done(std::move(status));
     });
@@ -414,7 +413,6 @@ void LookupEngine::SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
                                      std::vector<PlannedRun> runs) {
   const TableRuntime& table = store_->table(st->request.table);
   DirectIoReader& reader = store_->reader(table.sm_device);
-  TableThrottle& throttle = store_->throttle();
   const bool block_cache_mode = store_->block_cache() != nullptr && table.cache_enabled;
   const bool sgl = !block_cache_mode && reader.sub_block();
   const int max_retries = reader.max_retries();
@@ -448,8 +446,8 @@ void LookupEngine::SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
                  /*acquired_slot=*/false);
       continue;
     }
-    throttle.Acquire(st->request.table, [this, st, run, block_cache_mode, max_retries,
-                                         bypass, collecting] {
+    store_->AcquireIoSlot(st->request.table, [this, st, run, block_cache_mode,
+                                              max_retries, bypass, collecting] {
       EnqueueRun(st, run, block_cache_mode, max_retries, /*first_attempt=*/true,
                  /*acquired_slot=*/true);
       if (bypass && !*collecting) {
@@ -474,6 +472,10 @@ void LookupEngine::EnqueueRun(const std::shared_ptr<RequestState>& st,
   req.first_block = run->run.first_block;
   req.last_block = run->run.last_block;
   req.sub_block = run->sgl;
+  // QoS lane + fair-share identity: a background-class tenant's demand
+  // rides the scheduler's byte-budgeted background lane (src/tenant).
+  req.kind = store_->demand_kind();
+  req.tenant = store_->tenant_id();
   // Coalescing counters only on the first attempt; a retry is the same
   // logical read and must not double-count.
   req.rows = first_attempt ? static_cast<uint32_t>(run->run.slot_indices.size()) : 0;
@@ -491,7 +493,7 @@ void LookupEngine::EnqueueRun(const std::shared_ptr<RequestState>& st,
   const bool shared = admission != BatchScheduler::Admission::kNewRead;
   assert(acquired_slot || shared);  // the WouldShare probe is exact in-turn
   run->holds_slot = acquired_slot && !shared;
-  if (acquired_slot && shared) store_->throttle().Release(st->request.table);
+  if (acquired_slot && shared) store_->ReleaseIoSlot(st->request.table);
 
   if (!first_attempt) return;
   if (admission == BatchScheduler::Admission::kJoinedPending ||
@@ -517,18 +519,18 @@ BatchScheduler::Completion LookupEngine::MakeRunCompletion(
   return [this, st, run, block_cache_mode, attempts_left](Status status,
                                                           const uint8_t* data,
                                                           Bytes base) {
-    TableThrottle& throttle = store_->throttle();
-    if (run->holds_slot) throttle.Release(st->request.table);
+    if (run->holds_slot) store_->ReleaseIoSlot(st->request.table);
     if (!status.ok()) {
       // Transient (device-side) errors are retried like DirectIoReader's
       // per-row reads; invalid requests surface immediately.
       if (status.code() == StatusCode::kUnavailable && attempts_left > 0) {
         io_retries_->Add(1);
-        throttle.Acquire(st->request.table,
-                         [this, st, run, block_cache_mode, attempts_left] {
-                           EnqueueRun(st, run, block_cache_mode, attempts_left - 1,
-                                      /*first_attempt=*/false, /*acquired_slot=*/true);
-                         });
+        store_->AcquireIoSlot(st->request.table,
+                              [this, st, run, block_cache_mode, attempts_left] {
+                                EnqueueRun(st, run, block_cache_mode, attempts_left - 1,
+                                           /*first_attempt=*/false,
+                                           /*acquired_slot=*/true);
+                              });
         return;
       }
       // One failed device read fails every row it carried; only io_errors

@@ -21,6 +21,15 @@ Result<UpdateReport> ModelUpdater::Update(const UpdateOptions& options) {
   for (size_t t = 0; t < store_->table_count(); ++t) {
     const TableId id = MakeTableId(static_cast<uint32_t>(t));
     const TableRuntime& table = store_->table(id);
+    if (table.shared_extent) {
+      // Shared-device content dedup (src/tenant): these bytes are another
+      // tenant's extent too — an in-place update would corrupt every
+      // co-tenant reading it. Copy-on-write refresh is a ROADMAP item;
+      // until then updating a deduped table is an error, not corruption.
+      return FailedPreconditionError("table " + table.config.name +
+                                     " is served from a shared extent; in-place "
+                                     "updates of deduped tables are not supported");
+    }
     const Bytes row_bytes = table.config.row_bytes();
     const uint64_t rows = table.config.num_rows;
     const auto updates = static_cast<uint64_t>(static_cast<double>(rows) *

@@ -8,53 +8,32 @@
 namespace sdm {
 
 SdmStore::SdmStore(SdmStoreConfig config, EventLoop* loop)
-    : config_(std::move(config)), loop_(loop), throttle_(config_.tuning.throttle) {
+    : config_(std::move(config)), loop_(loop) {
   assert(loop != nullptr);
-  assert(config_.sm_specs.size() == config_.sm_backing_bytes.size());
 
   fm_ = std::make_unique<DramDevice>(config_.fm_capacity);
 
-  Rng rng(config_.seed);
-  for (size_t i = 0; i < config_.sm_specs.size(); ++i) {
-    DeviceSpec spec = config_.sm_specs[i];
-    if (!config_.tuning.sub_block_reads) {
-      // Tuning knob: force the plain block path even on capable devices.
-      spec.supports_sub_block = false;
+  if (config_.shared_device != nullptr) {
+    // Attach mode: the device stack (and its throttle, schedulers, arena)
+    // is shared with co-located tenant stores.
+    assert(config_.sm_specs.empty() &&
+           "attached stores must not configure their own SM devices");
+    device_service_ = config_.shared_device;
+  } else {
+    // Owned mode: a private service, built exactly as the shared one would
+    // be — one code path, so a single-tenant shared-device run is
+    // byte-identical to this store owning its stack outright.
+    SharedDeviceConfig dcfg;
+    dcfg.sm_specs = config_.sm_specs;
+    dcfg.sm_backing_bytes = config_.sm_backing_bytes;
+    dcfg.tuning = config_.tuning;
+    dcfg.seed = config_.seed;
+    owned_service_ = std::make_unique<SharedDeviceService>(std::move(dcfg), loop_);
+    device_service_ = owned_service_.get();
+    if (device_service_->tenant_count() == 0) {
+      (void)device_service_->RegisterTenant("owner", config_.tenant_class);
     }
-    sm_.push_back(std::make_unique<NvmeDevice>(spec, config_.sm_backing_bytes[i], loop_,
-                                               rng.Next()));
-    IoEngineConfig ecfg;
-    ecfg.queue_depth = config_.tuning.io_queue_depth;
-    ecfg.completion_mode = config_.tuning.completion_mode;
-    engines_.push_back(std::make_unique<IoEngine>(sm_.back().get(), loop_, ecfg));
-    DirectReaderConfig rcfg;
-    rcfg.sub_block = config_.tuning.sub_block_reads;
-    readers_.push_back(
-        std::make_unique<DirectIoReader>(engines_.back().get(), rcfg, &buffer_arena_));
-    BatchSchedulerConfig bcfg;
-    bcfg.cross_request = config_.tuning.cross_request_batching;
-    bcfg.max_batch_sqes = config_.tuning.max_batch_sqes;
-    bcfg.max_batch_delay = config_.tuning.max_batch_delay;
-    bcfg.max_coalesce_bytes = config_.tuning.max_coalesce_bytes;
-    bcfg.coalesce_gap_bytes = config_.tuning.coalesce_gap_bytes;
-    bcfg.prefetch_max_inflight_bytes = config_.tuning.prefetch_max_inflight_bytes;
-    schedulers_.push_back(std::make_unique<BatchScheduler>(engines_.back().get(),
-                                                           &buffer_arena_, loop_, bcfg));
   }
-  sm_used_.assign(sm_.size(), 0);
-}
-
-CrossRequestIoStats SdmStore::cross_request_io_stats() const {
-  CrossRequestIoStats agg;
-  for (const auto& s : schedulers_) {
-    const CrossRequestIoStats one = s->Snapshot();
-    agg.device_reads += one.device_reads;
-    agg.cross_request_merges += one.cross_request_merges;
-    agg.singleflight_hits += one.singleflight_hits;
-    agg.singleflight_bytes_saved += one.singleflight_bytes_saved;
-    agg.flushes += one.flushes;
-  }
-  return agg;
 }
 
 Result<TableId> SdmStore::LoadTable(const EmbeddingTableImage& image,
@@ -62,6 +41,12 @@ Result<TableId> SdmStore::LoadTable(const EmbeddingTableImage& image,
                                     std::optional<MappingTensor> mapping,
                                     uint64_t index_domain) {
   if (finished_) return FailedPreconditionError("LoadTable after FinishLoading");
+  if (attached()) {
+    // The seam every tenant/lane knob must hold for: reject inconsistent
+    // configurations here (with a Status) instead of asserting deep in the
+    // IO path at serving time.
+    if (Status s = config_.tuning.ValidateForSharedDevice(); !s.ok()) return s;
+  }
 
   TableRuntime rt;
   rt.id = MakeTableId(static_cast<uint32_t>(tables_.size()));
@@ -80,22 +65,13 @@ Result<TableId> SdmStore::LoadTable(const EmbeddingTableImage& image,
     fm_used_ += size;
     fm_direct_bytes_ += size;
   } else {
-    if (sm_.empty()) return FailedPreconditionError("no SM devices configured");
-    // Least-filled device gets the table (simple balance; tables are the
-    // striping unit, as in the paper's two-SSD hosts).
-    size_t best = 0;
-    for (size_t i = 1; i < sm_.size(); ++i) {
-      if (sm_used_[i] < sm_used_[best]) best = i;
-    }
-    if (sm_used_[best] + size > sm_[best]->backing_size()) {
-      return ResourceExhaustedError("SM device over-committed by table " + rt.config.name);
-    }
-    rt.sm_device = best;
-    rt.offset = sm_used_[best];
-    auto wrote = sm_[best]->Write(rt.offset, image.bytes());
-    if (!wrote.ok()) return wrote.status();
-    load_write_time_ += wrote.value();
-    sm_used_[best] += size;
+    auto placed = device_service_->PlaceTable(config_.tenant_id, rt.config.name,
+                                              image.bytes());
+    if (!placed.ok()) return placed.status();
+    rt.sm_device = placed.value().device;
+    rt.offset = placed.value().offset;
+    rt.shared_extent = placed.value().shared;
+    load_write_time_ += placed.value().write_time;
     sm_used_total_ += size;
   }
 
@@ -170,17 +146,20 @@ Status SdmStore::FinishLoading() {
   // only built when all three exist. In particular it stays inert in the
   // cross_request_batching=false ablation (bypass-mode parity: the PR 1
   // baseline must not gain a speculation side channel).
-  if (tuning.enable_prefetch && tuning.cross_request_batching && !sm_.empty() &&
-      row_cache_ != nullptr) {
+  if (tuning.enable_prefetch && tuning.cross_request_batching &&
+      device_service_->device_count() > 0 && row_cache_ != nullptr) {
     PrefetchConfig pfcfg;
     pfcfg.strategy = tuning.prefetch_strategy;
     pfcfg.depth = tuning.prefetch_depth;
     pfcfg.min_confidence = tuning.prefetch_min_confidence;
     pfcfg.max_coalesce_bytes = tuning.max_coalesce_bytes;
     pfcfg.coalesce_gap_bytes = tuning.coalesce_gap_bytes;
+    pfcfg.tenant = config_.tenant_id;
     std::vector<BatchScheduler*> scheds;
-    scheds.reserve(schedulers_.size());
-    for (const auto& s : schedulers_) scheds.push_back(s.get());
+    scheds.reserve(device_service_->device_count());
+    for (size_t i = 0; i < device_service_->device_count(); ++i) {
+      scheds.push_back(&device_service_->scheduler(i));
+    }
     prefetcher_ = std::make_unique<Prefetcher>(pfcfg, row_cache_.get(),
                                                block_cache_.get(), std::move(scheds));
     for (const TableRuntime& t : tables_) {
@@ -197,7 +176,8 @@ Status SdmStore::FinishLoading() {
       info.device = t.sm_device;
       info.cache_enabled = t.cache_enabled;
       info.block_mode = block_cache_ != nullptr && t.cache_enabled;
-      info.sub_block = !info.block_mode && readers_[t.sm_device]->sub_block();
+      info.sub_block =
+          !info.block_mode && device_service_->reader(t.sm_device).sub_block();
       prefetcher_->RegisterTable(info);
     }
   }
@@ -206,7 +186,8 @@ Status SdmStore::FinishLoading() {
   SDM_LOG_INFO << "SdmStore ready: " << tables_.size() << " tables, FM direct "
                << AsMiB(fm_direct_bytes_) << " MiB, mappings " << AsMiB(fm_mapping_bytes_)
                << " MiB, cache budget " << AsMiB(fm_cache_budget()) << " MiB, SM "
-               << AsMiB(sm_used_total_) << " MiB";
+               << AsMiB(sm_used_total_) << " MiB"
+               << (attached() ? " (shared device)" : "");
   return Status::Ok();
 }
 

@@ -9,6 +9,16 @@
 //         (§4.4), built at FinishLoading() so their FM budget can be
 //         auto-sized to whatever direct tables and mapping tensors left.
 //
+// Device ownership (src/tenant): the SM device stack (devices, IO engines,
+// readers, batch schedulers, buffer arena, throttle) lives in a
+// SharedDeviceService. A standalone store constructs a PRIVATE service
+// from its own sm_specs — today's owned-device path, byte-identical to
+// when the stack was inlined here. A multi-tenant shard instead ATTACHES
+// to an external service (config.shared_device), sharing the device stack
+// with its co-located tenants so their reads single-flight across store
+// boundaries; the store keeps per-tenant FM, caches, and tables, and
+// stamps its TenantId/TenantClass onto every scheduler request.
+//
 // Lifecycle: construct -> LoadTable()* -> FinishLoading() -> lookups via
 // LookupEngine. Model refresh goes through ModelUpdater.
 #pragma once
@@ -35,21 +45,33 @@
 #include "io/throttle.h"
 #include "prefetch/prefetcher.h"
 #include "sched/batch_scheduler.h"
+#include "tenant/shared_device_service.h"
+#include "tenant/tenant.h"
 
 namespace sdm {
 
 struct SdmStoreConfig {
   /// Host FM (DRAM) available to the SDM: direct tables + mapping tensors +
-  /// row/pooled cache storage must fit here.
+  /// row/pooled cache storage must fit here. Per tenant in attach mode.
   Bytes fm_capacity = 256 * kMiB;
 
   /// SM devices on the host (specs define latency/IOPS; backing sizes the
-  /// actual byte store for scaled-down runs).
+  /// actual byte store for scaled-down runs). Owned mode only — must be
+  /// empty when `shared_device` is set.
   std::vector<DeviceSpec> sm_specs;
   std::vector<Bytes> sm_backing_bytes;
 
   TuningConfig tuning;
   uint64_t seed = 42;
+
+  // ---- Multi-tenant attach mode (src/tenant) ----
+  /// Non-null: attach to this shared device stack instead of owning one.
+  /// The service must outlive the store; tuning must pass
+  /// ValidateForSharedDevice() (checked at LoadTable).
+  SharedDeviceService* shared_device = nullptr;
+  /// This shard's identity on the shared device (from RegisterTenant).
+  TenantId tenant_id = 0;
+  TenantClass tenant_class = TenantClass::kForeground;
 };
 
 /// Runtime state of one loaded table.
@@ -60,6 +82,9 @@ struct TableRuntime {
   bool cache_enabled = true;
   size_t sm_device = 0;  ///< valid when tier == kSm
   Bytes offset = 0;      ///< byte offset on its tier's store
+  /// The SM extent holds bytes another tenant placed first (shared-device
+  /// content dedup); read-only by construction.
+  bool shared_extent = false;
   /// Present for pruned tables served with an FM-resident mapping tensor.
   std::optional<MappingTensor> mapping;
   /// Size of the index domain requests use (unpruned row count).
@@ -99,17 +124,44 @@ class SdmStore {
   [[nodiscard]] PooledEmbeddingCache* pooled_cache() { return pooled_cache_.get(); }
   /// Second-level block cache (nullptr unless tuning.enable_block_cache).
   [[nodiscard]] BlockCache* block_cache() { return block_cache_.get(); }
-  [[nodiscard]] TableThrottle& throttle() { return throttle_; }
+  [[nodiscard]] TableThrottle& throttle() { return device_service_->throttle(); }
   [[nodiscard]] DramDevice& fm() { return *fm_; }
-  [[nodiscard]] size_t sm_device_count() const { return sm_.size(); }
-  [[nodiscard]] NvmeDevice& sm_device(size_t i) { return *sm_[i]; }
-  [[nodiscard]] IoEngine& io_engine(size_t i) { return *engines_[i]; }
-  [[nodiscard]] DirectIoReader& reader(size_t i) { return *readers_[i]; }
+  [[nodiscard]] size_t sm_device_count() const { return device_service_->device_count(); }
+  [[nodiscard]] NvmeDevice& sm_device(size_t i) { return device_service_->device(i); }
+  [[nodiscard]] IoEngine& io_engine(size_t i) { return device_service_->io_engine(i); }
+  [[nodiscard]] DirectIoReader& reader(size_t i) { return device_service_->reader(i); }
   /// Per-device cross-request batch scheduler (src/sched). All concurrent
-  /// lookups on the host funnel their planned reads through these.
-  [[nodiscard]] BatchScheduler& scheduler(size_t i) { return *schedulers_[i]; }
-  /// Host-wide scheduler effectiveness, aggregated over every SM device.
-  [[nodiscard]] CrossRequestIoStats cross_request_io_stats() const;
+  /// lookups on the host — every attached tenant's, in shared mode —
+  /// funnel their planned reads through these.
+  [[nodiscard]] BatchScheduler& scheduler(size_t i) { return device_service_->scheduler(i); }
+  /// Device-stack-wide scheduler effectiveness (spans every tenant of a
+  /// shared device; exactly this host's traffic when the stack is owned).
+  [[nodiscard]] CrossRequestIoStats cross_request_io_stats() const {
+    return device_service_->cross_request_io_stats();
+  }
+  /// The device stack this store reads from — private in owned mode,
+  /// shared across tenants in attach mode.
+  [[nodiscard]] SharedDeviceService& device_service() { return *device_service_; }
+  [[nodiscard]] bool attached() const { return owned_service_ == nullptr; }
+
+  // ---- Tenant identity (src/tenant) -----------------------------------------
+
+  [[nodiscard]] TenantId tenant_id() const { return config_.tenant_id; }
+  [[nodiscard]] TenantClass tenant_class() const { return config_.tenant_class; }
+  /// Scheduler lane this store's demand reads ride: foreground tenants use
+  /// the demand lane, background tenants the byte-budgeted background lane.
+  [[nodiscard]] BatchScheduler::ReadRequest::Kind demand_kind() const {
+    return config_.tenant_class == TenantClass::kBackground
+               ? BatchScheduler::ReadRequest::Kind::kBackground
+               : BatchScheduler::ReadRequest::Kind::kDemand;
+  }
+  /// Tenant-scoped throttle admission (§4.1): slots are keyed by
+  /// (tenant, table) so co-located tenants cannot eat each other's budget.
+  void AcquireIoSlot(TableId table, TableThrottle::Runner fn) {
+    throttle().Acquire(config_.tenant_id, table, std::move(fn));
+  }
+  void ReleaseIoSlot(TableId table) { throttle().Release(config_.tenant_id, table); }
+
   /// Speculative readahead through the schedulers' low-priority lane.
   /// Null unless tuning.enable_prefetch — and inert by construction when
   /// cross_request_batching is off (the PR 1 ablation baseline) or there is
@@ -119,7 +171,7 @@ class SdmStore {
     return prefetcher_ == nullptr ? PrefetchStats{} : prefetcher_->stats();
   }
   /// Shared pool of device-read bounce buffers (coalesced IO path).
-  [[nodiscard]] BufferArena& buffer_arena() { return buffer_arena_; }
+  [[nodiscard]] BufferArena& buffer_arena() { return device_service_->buffer_arena(); }
   [[nodiscard]] EventLoop* loop() { return loop_; }
   [[nodiscard]] const TuningConfig& tuning() const { return config_.tuning; }
   [[nodiscard]] const SdmStoreConfig& config() const { return config_; }
@@ -132,7 +184,9 @@ class SdmStore {
   /// FM left for cache storage after direct tables and mapping tensors.
   [[nodiscard]] Bytes fm_cache_budget() const;
 
-  /// Aggregate SM bytes occupied by loaded tables.
+  /// Aggregate SM bytes of this store's loaded tables — the tenant's
+  /// LOGICAL footprint; shared extents are counted here but occupy device
+  /// space only once (see SharedDeviceService::sm_used_bytes()).
   [[nodiscard]] Bytes sm_used_bytes() const { return sm_used_total_; }
 
   /// Virtual time spent writing table images during load (per §A.3 updates
@@ -152,23 +206,18 @@ class SdmStore {
   SdmStoreConfig config_;
   EventLoop* loop_;
   std::unique_ptr<DramDevice> fm_;
-  // Declared before the engines/readers that hold a pointer to it so it
-  // outlives them on destruction.
-  BufferArena buffer_arena_;
-  std::vector<std::unique_ptr<NvmeDevice>> sm_;
-  std::vector<std::unique_ptr<IoEngine>> engines_;
-  std::vector<std::unique_ptr<DirectIoReader>> readers_;
-  std::vector<std::unique_ptr<BatchScheduler>> schedulers_;
-  TableThrottle throttle_;
+  /// The private device stack of an owned-mode store (null when attached).
+  /// Declared before the caches/prefetcher that point into it.
+  std::unique_ptr<SharedDeviceService> owned_service_;
+  SharedDeviceService* device_service_ = nullptr;
   std::unique_ptr<DualRowCache> row_cache_;
   std::unique_ptr<PooledEmbeddingCache> pooled_cache_;
   std::unique_ptr<BlockCache> block_cache_;
-  // Declared after the caches and schedulers it points into.
+  // Declared after the caches and the service whose schedulers it points into.
   std::unique_ptr<Prefetcher> prefetcher_;
 
   std::vector<TableRuntime> tables_;
-  std::vector<Bytes> sm_used_;  // per-device bump allocator
-  Bytes fm_used_ = 0;           // direct-table arena bump allocator
+  Bytes fm_used_ = 0;  // direct-table arena bump allocator
   Bytes fm_direct_bytes_ = 0;
   Bytes fm_mapping_bytes_ = 0;
   Bytes sm_used_total_ = 0;

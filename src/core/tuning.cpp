@@ -30,6 +30,14 @@ Status TuningConfig::Validate() const {
   if (prefetch_min_confidence < 0 || prefetch_min_confidence > 1) {
     return InvalidArgumentError("prefetch_min_confidence must be in [0,1]");
   }
+  if (background_max_inflight_bytes == 0) {
+    return InvalidArgumentError(
+        "background_max_inflight_bytes must be > 0: background-tenant demand "
+        "is parked, not dropped, so a zero budget would never admit it");
+  }
+  if (background_flush_delay < SimDuration(0)) {
+    return InvalidArgumentError("background_flush_delay must be >= 0");
+  }
   if (row_cache.memory_optimized_fraction < 0 || row_cache.memory_optimized_fraction > 1) {
     return InvalidArgumentError("memory_optimized_fraction must be in [0,1]");
   }
@@ -38,6 +46,22 @@ Status TuningConfig::Validate() const {
   }
   if (placement == PlacementPolicy::kFixedFmSmWithCache && placement_dram_budget == 0) {
     return InvalidArgumentError("kFixedFmSmWithCache requires a placement_dram_budget");
+  }
+  return Status::Ok();
+}
+
+Status TuningConfig::ValidateForSharedDevice() const {
+  if (Status s = Validate(); !s.ok()) return s;
+  if (!cross_request_batching) {
+    return InvalidArgumentError(
+        "shared device requires cross_request_batching: without the batch "
+        "scheduler, tenants cannot single-flight each other's reads and the "
+        "QoS lanes are inert");
+  }
+  if (!coalesce_io) {
+    return InvalidArgumentError(
+        "shared device requires coalesce_io: the per-row ablation path "
+        "bypasses the scheduler that shared-device tenants must go through");
   }
   return Status::Ok();
 }

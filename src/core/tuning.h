@@ -102,6 +102,17 @@ struct TuningConfig {
   /// more conservative (fewer wasted bytes, fewer hits).
   double prefetch_min_confidence = 1e-5;
 
+  // ---- Multi-tenant QoS lanes (src/tenant; §5.3 co-location) ----
+  /// Byte budget of the scheduler's background lane (pending + in-flight
+  /// bus bytes of background-tenant demand reads). Over-budget runs are
+  /// PARKED until budget releases — background demand is never dropped —
+  /// so this caps the device occupancy background tenants hold at once.
+  Bytes background_max_inflight_bytes = 256 * kKiB;
+  /// Starvation bound of the background lane: a background SQE that keeps
+  /// missing doorbell room (foreground batches run full) gets its own
+  /// doorbell after at most this long.
+  SimDuration background_flush_delay = Micros(10);
+
   // ---- Cache organization (§4.3) ----
   bool enable_row_cache = true;
   /// capacity == 0 (the default) auto-sizes the cache to whatever FM the
@@ -145,6 +156,13 @@ struct TuningConfig {
   bool user_tables_only_on_sm = true;
 
   [[nodiscard]] Status Validate() const;
+
+  /// Validation for a store ATTACHED to a SharedDeviceService (src/tenant).
+  /// Cross-store single-flight and the tenant QoS lanes live in the batch
+  /// scheduler and the planned-run path, so knob combinations that bypass
+  /// them (fine for single-tenant ablations) are inconsistent on a shared
+  /// device and are rejected here instead of asserting at runtime.
+  [[nodiscard]] Status ValidateForSharedDevice() const;
 };
 
 }  // namespace sdm

@@ -4,7 +4,8 @@
 
 namespace sdm {
 
-TableThrottle::TableThrottle(ThrottleConfig config) : config_(config) {}
+TableThrottle::TableThrottle(ThrottleConfig config, EventLoop* loop)
+    : config_(config), loop_(loop) {}
 
 bool TableThrottle::CanDispatch(const TableState& st) const {
   if (config_.max_outstanding_per_table > 0 &&
@@ -18,9 +19,9 @@ bool TableThrottle::CanDispatch(const TableState& st) const {
   return true;
 }
 
-void TableThrottle::Acquire(TableId table, Runner fn) {
+void TableThrottle::Acquire(uint32_t tenant, TableId table, Runner fn) {
   assert(fn);
-  TableState& st = tables_[table];
+  TableState& st = tables_[MakeKey(tenant, table)];
   if (CanDispatch(st)) {
     if (st.in_flight == 0) ++active_tables_;
     ++st.in_flight;
@@ -28,11 +29,13 @@ void TableThrottle::Acquire(TableId table, Runner fn) {
     return;
   }
   ++deferred_;
-  st.waiting.push_back(std::move(fn));
+  st.waiting.push_back(
+      Waiter{loop_ != nullptr ? loop_->Now() : SimTime{}, std::move(fn)});
 }
 
-void TableThrottle::Release(TableId table) {
-  auto it = tables_.find(table);
+void TableThrottle::Release(uint32_t tenant, TableId table) {
+  const Key key = MakeKey(tenant, table);
+  auto it = tables_.find(key);
   assert(it != tables_.end());
   TableState& st = it->second;
   assert(st.in_flight > 0);
@@ -42,36 +45,43 @@ void TableThrottle::Release(TableId table) {
   }
   // First serve this table's own queue, then any table blocked on the
   // global slot limit.
-  TryDispatch(table, st);
+  TryDispatch(key, st);
   if (config_.max_concurrent_tables > 0) {
     // Scan for other tables with queued work that can now start.
     for (auto& [id, other] : tables_) {
-      if (id == table) continue;
+      if (id == key) continue;
       if (other.waiting.empty()) continue;
       TryDispatch(id, other);
     }
   }
 }
 
-void TableThrottle::TryDispatch(TableId table, TableState& st) {
-  (void)table;
+void TableThrottle::TryDispatch(Key key, TableState& st) {
   while (!st.waiting.empty() && CanDispatch(st)) {
-    Runner fn = std::move(st.waiting.front());
+    Waiter w = std::move(st.waiting.front());
     st.waiting.pop_front();
+    if (loop_ != nullptr) {
+      queue_ns_[TenantOf(key)] += (loop_->Now() - w.since).nanos();
+    }
     if (st.in_flight == 0) ++active_tables_;
     ++st.in_flight;
-    fn();
+    w.fn();
   }
 }
 
-int TableThrottle::InFlight(TableId table) const {
-  const auto it = tables_.find(table);
+int TableThrottle::InFlight(uint32_t tenant, TableId table) const {
+  const auto it = tables_.find(MakeKey(tenant, table));
   return it == tables_.end() ? 0 : it->second.in_flight;
 }
 
-size_t TableThrottle::QueuedFor(TableId table) const {
-  const auto it = tables_.find(table);
+size_t TableThrottle::QueuedFor(uint32_t tenant, TableId table) const {
+  const auto it = tables_.find(MakeKey(tenant, table));
   return it == tables_.end() ? 0 : it->second.waiting.size();
+}
+
+SimDuration TableThrottle::QueueTime(uint32_t tenant) const {
+  const auto it = queue_ns_.find(tenant);
+  return it == queue_ns_.end() ? SimDuration{} : SimDuration(it->second);
 }
 
 }  // namespace sdm

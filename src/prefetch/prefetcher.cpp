@@ -125,6 +125,7 @@ void Prefetcher::IssueRuns(TableState& st, std::vector<IoPlanner::Miss> misses,
     req.last_block = run.last_block;
     req.sub_block = st.info.sub_block;
     req.kind = BatchScheduler::ReadRequest::Kind::kPrefetch;
+    req.tenant = config_.tenant;
     req.rows = static_cast<uint32_t>(run_rows.size());
     req.per_row_bus = run.per_row_bus;
 

@@ -55,6 +55,9 @@ struct PrefetchConfig {
   /// exactly like demand runs.
   Bytes max_coalesce_bytes = 64 * kKiB;
   Bytes coalesce_gap_bytes = 512;
+  /// Owning tenant stamped on every speculative request (shared-device
+  /// fair-share attribution; 0 for single-tenant stores).
+  uint32_t tenant = 0;
 };
 
 struct PrefetchStats {

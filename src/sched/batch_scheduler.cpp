@@ -14,6 +14,11 @@ BatchScheduler::BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* 
   assert(arena != nullptr);
   assert(loop != nullptr);
   assert(config.max_batch_sqes >= 1);
+  // The background lane's drain timer is a STARVATION bound, not a latency
+  // privilege: it must never give background demand a faster doorbell than
+  // the foreground batching window itself.
+  config_.background_flush_delay =
+      std::max(config_.background_flush_delay, config_.max_batch_delay);
   enqueued_ = stats_.GetCounter("enqueued");
   device_reads_ = stats_.GetCounter("device_reads");
   cross_request_merges_ = stats_.GetCounter("cross_request_merges");
@@ -23,11 +28,18 @@ BatchScheduler::BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* 
   flush_deadline_ = stats_.GetCounter("flush_deadline");
   flush_size_ = stats_.GetCounter("flush_size");
   flush_prefetch_ = stats_.GetCounter("flush_prefetch");
+  flush_background_ = stats_.GetCounter("flush_background");
   prefetch_enqueued_ = stats_.GetCounter("prefetch_enqueued");
   prefetch_reads_ = stats_.GetCounter("prefetch_reads");
   prefetch_dropped_ = stats_.GetCounter("prefetch_dropped");
   prefetch_promoted_ = stats_.GetCounter("prefetch_promoted");
   prefetch_singleflight_ = stats_.GetCounter("prefetch_singleflight");
+  background_enqueued_ = stats_.GetCounter("background_enqueued");
+  background_reads_ = stats_.GetCounter("background_reads");
+  background_parked_ = stats_.GetCounter("background_parked");
+  background_promoted_ = stats_.GetCounter("background_promoted");
+  background_singleflight_ = stats_.GetCounter("background_singleflight");
+  cross_tenant_hits_ = stats_.GetCounter("cross_tenant_hits");
 }
 
 CrossRequestIoStats BatchScheduler::Snapshot() const {
@@ -40,7 +52,52 @@ CrossRequestIoStats BatchScheduler::Snapshot() const {
   s.prefetch_reads = prefetch_reads_->value();
   s.prefetch_dropped = prefetch_dropped_->value();
   s.prefetch_promoted = prefetch_promoted_->value();
+  s.background_reads = background_reads_->value();
+  s.background_parked = background_parked_->value();
+  s.background_promoted = background_promoted_->value();
   return s;
+}
+
+BatchScheduler::LanePolicy BatchScheduler::Policy(size_t lane) const {
+  LanePolicy p;
+  if (lane == kBackgroundLane) {
+    p.max_inflight_bytes = config_.background_max_inflight_bytes;
+    p.drain_delay = config_.background_flush_delay;
+    p.droppable = false;
+    p.drains_despite_demand = true;
+  } else {
+    p.max_inflight_bytes = config_.prefetch_max_inflight_bytes;
+    p.drain_delay = config_.prefetch_flush_delay;
+    p.droppable = true;
+    p.drains_despite_demand = false;
+  }
+  return p;
+}
+
+TenantIoShare& BatchScheduler::Share(uint32_t tenant) {
+  if (tenant >= tenant_shares_.size()) tenant_shares_.resize(tenant + 1);
+  return tenant_shares_[tenant];
+}
+
+TenantIoShare BatchScheduler::tenant_share(uint32_t tenant) const {
+  return tenant < tenant_shares_.size() ? tenant_shares_[tenant] : TenantIoShare{};
+}
+
+void BatchScheduler::RecordJoin(const ReadRequest& req, Kind owner_kind,
+                                uint32_t owner_tenant) {
+  (void)owner_kind;
+  // Speculation riding an existing read saves no tenant any demand bytes;
+  // the ledger tracks demand-side sharing only.
+  if (req.kind == Kind::kPrefetch) return;
+  TenantIoShare& share = Share(req.tenant);
+  share.singleflight_hits += 1;
+  if (owner_tenant != req.tenant) {
+    const Bytes bus =
+        NvmeDevice::BusBytes(req.span_begin, req.span_end - req.span_begin, req.sub_block);
+    share.cross_tenant_hits += 1;
+    share.cross_tenant_bytes_saved += bus;
+    cross_tenant_hits_->Add(1);
+  }
 }
 
 Bytes BatchScheduler::BusOf(const PendingRead& p) const {
@@ -69,19 +126,21 @@ bool BatchScheduler::WouldShare(Bytes span_begin, Bytes span_end, uint64_t first
       return true;
     }
   }
-  for (const PendingRead& p : prefetch_pending_) {
-    if (Compatible(p, span_begin, span_end, first_block, last_block, sub_block,
-                   &covered) &&
-        covered) {
-      return true;  // demand would promote (and fully ride) this speculative SQE
+  for (const Lane& lane : lanes_) {
+    for (const PendingRead& p : lane.pending) {
+      if (Compatible(p, span_begin, span_end, first_block, last_block, sub_block,
+                     &covered) &&
+          covered) {
+        return true;  // demand would promote (and fully ride) this lane SQE
+      }
     }
   }
   return false;
 }
 
 BatchScheduler::Admission BatchScheduler::Enqueue(ReadRequest req) {
-  if (req.kind == ReadRequest::Kind::kPrefetch) return EnqueuePrefetch(req);
-  return EnqueueDemand(req);
+  if (req.kind == Kind::kDemand) return EnqueueDemand(req);
+  return EnqueueLane(req, LaneIndex(req.kind));
 }
 
 BatchScheduler::Admission BatchScheduler::EnqueueDemand(ReadRequest& req) {
@@ -90,7 +149,10 @@ BatchScheduler::Admission BatchScheduler::EnqueueDemand(ReadRequest& req) {
     if (TryJoinInFlight(req)) return Admission::kJoinedInFlight;
     Admission admission{};
     if (TryAbsorbIntoPending(req, &admission)) return admission;
-    if (TryPromotePrefetch(req, &admission)) return admission;
+    // Foreground overlap upgrades low-priority work (merged-read admission):
+    // background-tenant SQEs first (real demand), then speculation.
+    if (TryPromoteLane(req, kBackgroundLane, &admission)) return admission;
+    if (TryPromoteLane(req, kPrefetchLane, &admission)) return admission;
   }
 
   PendingRead p;
@@ -99,6 +161,7 @@ BatchScheduler::Admission BatchScheduler::EnqueueDemand(ReadRequest& req) {
   p.first_block = req.first_block;
   p.last_block = req.last_block;
   p.sub_block = req.sub_block;
+  p.tenant = req.tenant;
   p.rows = req.rows;
   p.per_row_bus = req.per_row_bus;
   p.subscribers.push_back(std::move(req.cb));
@@ -108,26 +171,41 @@ BatchScheduler::Admission BatchScheduler::EnqueueDemand(ReadRequest& req) {
   return Admission::kNewRead;
 }
 
-BatchScheduler::Admission BatchScheduler::EnqueuePrefetch(ReadRequest& req) {
-  // Bypass-mode parity: the PR 1 ablation baseline must stay byte-identical,
-  // so the prefetch lane is inert without cross-request batching (the
-  // Prefetcher is not even constructed then; this is the backstop).
-  assert(config_.cross_request && "prefetch lane requires cross_request batching");
+BatchScheduler::Admission BatchScheduler::EnqueueLane(ReadRequest& req, size_t lane_idx) {
   if (!config_.cross_request) {
+    // Background runs are demand: without cross-request batching (a valid
+    // owned-store ablation config) they degrade to the demand lane rather
+    // than losing the read.
+    if (req.kind == Kind::kBackground) return EnqueueDemand(req);
+    // Bypass-mode parity: the PR 1 ablation baseline must stay
+    // byte-identical, so the prefetch lane is inert without cross-request
+    // batching (the Prefetcher is not even constructed then; a prefetch
+    // enqueue here is a wiring bug, hence the debug assert).
+    assert(false && "prefetch lanes require cross_request batching");
     prefetch_dropped_->Add(1);
     return Admission::kDropped;
   }
-  prefetch_enqueued_->Add(1);
+  Lane& lane = lanes_[lane_idx];
+  const LanePolicy policy = Policy(lane_idx);
+  Counter* lane_singleflight =
+      lane_idx == kPrefetchLane ? prefetch_singleflight_ : background_singleflight_;
+  (lane_idx == kPrefetchLane ? prefetch_enqueued_ : background_enqueued_)->Add(1);
 
   // Free rides first: an in-flight or pending read that already covers the
-  // span serves the prefetch for nothing (and keeps demand counters clean —
-  // prefetch sharing is tracked separately).
+  // span serves the run for nothing (and keeps demand counters clean —
+  // lane sharing is tracked separately).
   for (const auto& read : in_flight_) {
     if (read->sub_block != req.sub_block) continue;
     if (req.span_begin < read->base || req.span_end > read->base + read->buf->size()) {
       continue;
     }
-    prefetch_singleflight_->Add(1);
+    lane_singleflight->Add(1);
+    // Background demand catching up with speculation: the prefetch read
+    // proved useful before it even completed.
+    if (read->kind == Kind::kPrefetch && req.kind != Kind::kPrefetch) {
+      prefetch_promoted_->Add(1);
+    }
+    RecordJoin(req, read->kind, read->tenant);
     read->subscribers.push_back(std::move(req.cb));
     return Admission::kJoinedInFlight;
   }
@@ -136,25 +214,64 @@ BatchScheduler::Admission BatchScheduler::EnqueuePrefetch(ReadRequest& req) {
     if (Compatible(p, req.span_begin, req.span_end, req.first_block, req.last_block,
                    req.sub_block, &covered) &&
         covered) {
-      // Pure subscription: a prefetch may ride a demand SQE but never grow
-      // one (that would inflate a demand read for speculative bytes).
-      prefetch_singleflight_->Add(1);
+      // Pure subscription: a lane run may ride a demand SQE but never grow
+      // one (that would inflate a foreground read for low-priority bytes).
+      lane_singleflight->Add(1);
+      RecordJoin(req, p.kind, p.tenant);
       p.subscribers.push_back(std::move(req.cb));
+      return Admission::kJoinedPending;
+    }
+  }
+  // Cross-lane coverage (keeps WouldShare exact for slot-free callers):
+  //  - background demand covered by a pending PREFETCH SQE promotes it into
+  //    the background lane — demand must not wait out the unhurried
+  //    prefetch drain timer, and the lane's own timer now bounds it. The
+  //    budget charge moves with it (demand is never dropped, so the
+  //    transfer may transiently exceed the background budget).
+  //  - a prefetch run covered by a pending BACKGROUND SQE just subscribes:
+  //    that read flushes no later than the speculation would have.
+  {
+    Lane& other = lanes_[lane_idx == kPrefetchLane ? kBackgroundLane : kPrefetchLane];
+    for (size_t i = 0; i < other.pending.size(); ++i) {
+      PendingRead& q = other.pending[i];
+      bool covered = false;
+      if (!Compatible(q, req.span_begin, req.span_end, req.first_block, req.last_block,
+                      req.sub_block, &covered) ||
+          !covered) {
+        continue;
+      }
+      lane_singleflight->Add(1);
+      RecordJoin(req, q.kind, q.tenant);
+      if (req.kind == Kind::kBackground) {
+        PendingRead promoted = std::move(q);
+        other.pending.erase(other.pending.begin() + static_cast<std::ptrdiff_t>(i));
+        other.pending_bytes -= promoted.budget_bytes;
+        prefetch_promoted_->Add(1);
+        promoted.kind = Kind::kBackground;
+        promoted.budget_kind = Kind::kBackground;
+        lane.pending_bytes += promoted.budget_bytes;
+        promoted.subscribers.push_back(std::move(req.cb));
+        lane.pending.push_back(std::move(promoted));
+        ArmLaneDrain(lane_idx);
+      } else {
+        q.subscribers.push_back(std::move(req.cb));
+      }
       return Admission::kJoinedPending;
     }
   }
   // Merge within the lane (same cap/gap rules as demand merging). Growth
   // is charged to the byte budget up front — an over-budget merge drops
-  // like an over-budget new SQE would.
-  for (size_t i = 0; i < prefetch_pending_.size(); ++i) {
-    PendingRead& p = prefetch_pending_[i];
+  // (prefetch) or parks (background) like an over-budget new SQE would.
+  for (size_t i = 0; i < lane.pending.size(); ++i) {
+    PendingRead& p = lane.pending[i];
     bool covered = false;
     if (!Compatible(p, req.span_begin, req.span_end, req.first_block, req.last_block,
                     req.sub_block, &covered)) {
       continue;
     }
     if (covered) {
-      prefetch_singleflight_->Add(1);
+      lane_singleflight->Add(1);
+      RecordJoin(req, p.kind, p.tenant);
       p.subscribers.push_back(std::move(req.cb));
       return Admission::kJoinedPending;
     }
@@ -162,10 +279,14 @@ BatchScheduler::Admission BatchScheduler::EnqueuePrefetch(ReadRequest& req) {
     grown.span_begin = std::min(p.span_begin, req.span_begin);
     grown.span_end = std::max(p.span_end, req.span_end);
     const Bytes delta = BusOf(grown) - BusOf(p);
-    if (prefetch_pending_bytes_ + prefetch_inflight_bytes_ + delta >
-        config_.prefetch_max_inflight_bytes) {
-      prefetch_dropped_->Add(1);
-      return Admission::kDropped;
+    if (lane.pending_bytes + lane.inflight_bytes + delta > policy.max_inflight_bytes) {
+      if (policy.droppable) {
+        prefetch_dropped_->Add(1);
+        return Admission::kDropped;
+      }
+      background_parked_->Add(1);
+      lane.parked.push_back(std::move(req));
+      return Admission::kNewRead;
     }
     p.span_begin = grown.span_begin;
     p.span_end = grown.span_end;
@@ -174,39 +295,58 @@ BatchScheduler::Admission BatchScheduler::EnqueuePrefetch(ReadRequest& req) {
     p.rows += req.rows;
     p.per_row_bus += req.per_row_bus;
     p.subscribers.push_back(std::move(req.cb));
-    p.prefetch_budget_bytes += delta;
-    prefetch_pending_bytes_ += delta;
+    p.budget_bytes += delta;
+    lane.pending_bytes += delta;
     return Admission::kMergedPending;
   }
 
-  // Admission against the lane's byte budget — speculation is dropped, not
-  // queued, under pressure, so it can never starve demand.
+  // Admission against the lane's byte budget — under pressure speculation
+  // is dropped and background demand parks (FIFO), so neither can starve
+  // foreground demand of ring slots or arena buffers.
   const Bytes bus =
       NvmeDevice::BusBytes(req.span_begin, req.span_end - req.span_begin, req.sub_block);
-  if (prefetch_pending_bytes_ + prefetch_inflight_bytes_ + bus >
-          config_.prefetch_max_inflight_bytes ||
-      prefetch_pending_.size() >= kMaxLaneSqes) {
-    prefetch_dropped_->Add(1);
-    return Admission::kDropped;
+  if (lane.pending_bytes + lane.inflight_bytes + bus > policy.max_inflight_bytes ||
+      lane.pending.size() >= kMaxLaneSqes) {
+    if (policy.droppable) {
+      prefetch_dropped_->Add(1);
+      return Admission::kDropped;
+    }
+    // Same escape hatch as DrainParked: a run larger than the whole budget
+    // must still make progress when the lane is otherwise idle — parking it
+    // would strand it forever (no completion ever calls DrainParked).
+    const bool lane_idle =
+        lane.pending.empty() && lane.inflight_bytes == 0 && lane.parked.empty();
+    if (!lane_idle) {
+      background_parked_->Add(1);
+      lane.parked.push_back(std::move(req));
+      return Admission::kNewRead;
+    }
   }
+  return AdmitToLane(req, lane_idx, bus);
+}
 
+BatchScheduler::Admission BatchScheduler::AdmitToLane(ReadRequest& req, size_t lane_idx,
+                                                      Bytes bus) {
+  Lane& lane = lanes_[lane_idx];
   PendingRead p;
   p.span_begin = req.span_begin;
   p.span_end = req.span_end;
   p.first_block = req.first_block;
   p.last_block = req.last_block;
   p.sub_block = req.sub_block;
-  p.prefetch = true;
-  p.prefetch_budget_bytes = bus;
+  p.kind = req.kind;
+  p.tenant = req.tenant;
+  p.budget_bytes = bus;
+  p.budget_kind = req.kind;
   p.rows = req.rows;
   p.per_row_bus = req.per_row_bus;
   p.subscribers.push_back(std::move(req.cb));
-  prefetch_pending_bytes_ += bus;
-  prefetch_pending_.push_back(std::move(p));
+  lane.pending_bytes += bus;
+  lane.pending.push_back(std::move(p));
 
   // No flush rights: ride the next demand doorbell, or the lane's own
-  // unhurried drain timer when nothing demand-side is coming.
-  ArmPrefetchFlush();
+  // drain timer when no doorbell comes.
+  ArmLaneDrain(lane_idx);
   return Admission::kNewRead;
 }
 
@@ -225,7 +365,8 @@ bool BatchScheduler::TryJoinInFlight(ReadRequest& req) {
         NvmeDevice::BusBytes(req.span_begin, req.span_end - req.span_begin, req.sub_block));
     // Demand catching up with speculation: the prefetch read proved useful
     // before it even completed.
-    if (read->prefetch) prefetch_promoted_->Add(1);
+    if (read->kind == Kind::kPrefetch) prefetch_promoted_->Add(1);
+    RecordJoin(req, read->kind, read->tenant);
     read->subscribers.push_back(std::move(req.cb));
     return true;
   }
@@ -277,60 +418,66 @@ bool BatchScheduler::TryAbsorbIntoPending(ReadRequest& req, Admission* admission
     p.last_block = std::max(p.last_block, req.last_block);
     p.rows += req.rows;
     p.per_row_bus += req.per_row_bus;
-    p.subscribers.push_back(std::move(req.cb));
     if (covered) {
       singleflight_hits_->Add(1);
       singleflight_bytes_saved_->Add(NvmeDevice::BusBytes(
           req.span_begin, req.span_end - req.span_begin, req.sub_block));
+      RecordJoin(req, p.kind, p.tenant);
       *admission = Admission::kJoinedPending;
     } else {
       cross_request_merges_->Add(1);
       *admission = Admission::kMergedPending;
-      FuseOverlappingPending(i);
     }
+    p.subscribers.push_back(std::move(req.cb));
+    if (!covered) FuseOverlappingPending(i);
     return true;
   }
   return false;
 }
 
-bool BatchScheduler::TryPromotePrefetch(ReadRequest& req, Admission* admission) {
-  for (size_t i = 0; i < prefetch_pending_.size(); ++i) {
-    PendingRead& q = prefetch_pending_[i];
+bool BatchScheduler::TryPromoteLane(ReadRequest& req, size_t lane_idx,
+                                    Admission* admission) {
+  Lane& lane = lanes_[lane_idx];
+  for (size_t i = 0; i < lane.pending.size(); ++i) {
+    PendingRead& q = lane.pending[i];
     bool covered = false;
     if (!Compatible(q, req.span_begin, req.span_end, req.first_block, req.last_block,
                     req.sub_block, &covered)) {
       continue;
     }
-    // Merged-read admission: the speculative SQE moves to the demand batch
+    // Merged-read admission: the low-priority SQE moves to the demand batch
     // (demand priority, demand flush triggers) instead of the demand run
     // issuing a second read for overlapping bytes. Admission-domain
-    // handoff: a covered promotion stays charged to the prefetch byte
-    // budget (the demand run arrived slot-free via WouldShare and there is
-    // no other holder); a span-growing promotion is re-admitted under the
+    // handoff: a covered promotion stays charged to the lane byte budget
+    // (the demand run arrived slot-free via WouldShare and there is no
+    // other holder); a span-growing promotion is re-admitted under the
     // demand run's throttle slot — it returns kNewRead so the caller keeps
     // that slot — and its budget bytes are released.
     PendingRead p = std::move(q);
-    prefetch_pending_.erase(prefetch_pending_.begin() + static_cast<std::ptrdiff_t>(i));
-    p.prefetch = false;
+    lane.pending.erase(lane.pending.begin() + static_cast<std::ptrdiff_t>(i));
+    const Kind lane_kind = p.kind;
+    p.kind = Kind::kDemand;
     p.span_begin = std::min(p.span_begin, req.span_begin);
     p.span_end = std::max(p.span_end, req.span_end);
     p.first_block = std::min(p.first_block, req.first_block);
     p.last_block = std::max(p.last_block, req.last_block);
     p.rows += req.rows;
     p.per_row_bus += req.per_row_bus;
-    p.subscribers.push_back(std::move(req.cb));
-    prefetch_promoted_->Add(1);
+    (lane_kind == Kind::kPrefetch ? prefetch_promoted_ : background_promoted_)->Add(1);
     if (covered) {
       singleflight_hits_->Add(1);
       singleflight_bytes_saved_->Add(NvmeDevice::BusBytes(
           req.span_begin, req.span_end - req.span_begin, req.sub_block));
+      RecordJoin(req, lane_kind, p.tenant);
       *admission = Admission::kJoinedPending;
     } else {
-      prefetch_pending_bytes_ -= p.prefetch_budget_bytes;
-      p.prefetch_budget_bytes = 0;
+      lane.pending_bytes -= p.budget_bytes;
+      p.budget_bytes = 0;
+      p.budget_kind = Kind::kDemand;
       cross_request_merges_->Add(1);
       *admission = Admission::kNewRead;
     }
+    p.subscribers.push_back(std::move(req.cb));
     pending_.push_back(std::move(p));
     FuseOverlappingPending(pending_.size() - 1);
     MaybeFlushOrArm();
@@ -363,7 +510,18 @@ void BatchScheduler::FuseOverlappingPending(size_t i) {
       p.last_block = std::max(p.last_block, q.last_block);
       p.rows += q.rows;
       p.per_row_bus += q.per_row_bus;
-      p.prefetch_budget_bytes += q.prefetch_budget_bytes;  // budget carries over
+      if (q.budget_bytes > 0) {
+        if (p.budget_bytes == 0 || p.budget_kind == q.budget_kind) {
+          // Budget carries over to the fused read.
+          p.budget_bytes += q.budget_bytes;
+          p.budget_kind = q.budget_kind;
+        } else {
+          // Fusing two promoted SQEs whose budgets came from different
+          // lanes: release q's charge — the fused read is admitted by p's
+          // domain (its slot or budget) alone.
+          lanes_[LaneIndex(q.budget_kind)].pending_bytes -= q.budget_bytes;
+        }
+      }
       for (Completion& cb : q.subscribers) p.subscribers.push_back(std::move(cb));
       cross_request_merges_->Add(1);
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(j));
@@ -400,28 +558,68 @@ void BatchScheduler::ArmFlush() {
   });
 }
 
-void BatchScheduler::ArmPrefetchFlush() {
-  // A demand flush is already due and will carry the lane; and in bypass
-  // mode the lane is never populated.
-  if (flush_armed_ || prefetch_flush_armed_) return;
-  prefetch_flush_armed_ = true;
-  const uint64_t generation = flush_generation_;
-  loop_->ScheduleAfter(config_.prefetch_flush_delay, [this, generation] {
-    prefetch_flush_armed_ = false;
-    if (prefetch_pending_.empty()) return;
-    // Demand arrived meanwhile: its own flush (armed or size-triggered)
-    // drains the lane; a prefetch timer must never ring the doorbell early
-    // for demand SQEs.
-    if (!pending_.empty()) return;
-    if (generation != flush_generation_) {
-      // A flush rang since arming and still left lane entries (doorbell was
-      // full); wait out another window.
-      ArmPrefetchFlush();
-      return;
-    }
-    flush_prefetch_->Add(1);
+void BatchScheduler::ArmLaneDrain(size_t lane_idx) {
+  Lane& lane = lanes_[lane_idx];
+  const LanePolicy policy = Policy(lane_idx);
+  if (lane.drain_armed) return;
+  if (!policy.drains_despite_demand) {
+    // Prefetch: a demand flush is already due and will carry the lane.
+    if (flush_armed_) return;
+    lane.drain_armed = true;
+    const uint64_t generation = flush_generation_;
+    loop_->ScheduleAfter(policy.drain_delay, [this, lane_idx, generation] {
+      Lane& l = lanes_[lane_idx];
+      l.drain_armed = false;
+      if (l.pending.empty()) return;
+      // Demand arrived meanwhile: its own flush (armed or size-triggered)
+      // drains the lane; a prefetch timer must never ring the doorbell
+      // early for demand SQEs.
+      if (!pending_.empty()) return;
+      if (generation != flush_generation_) {
+        // A flush rang since arming and still left lane entries (doorbell
+        // was full); wait out another window.
+        ArmLaneDrain(lane_idx);
+        return;
+      }
+      flush_prefetch_->Add(1);
+      Flush();
+    });
+    return;
+  }
+  // Background: the timer fires even while foreground keeps the doorbell
+  // busy — this is the lane's starvation bound. Ringing early flushes the
+  // demand batch too, which only helps demand.
+  lane.drain_armed = true;
+  loop_->ScheduleAfter(policy.drain_delay, [this, lane_idx] {
+    Lane& l = lanes_[lane_idx];
+    l.drain_armed = false;
+    if (l.pending.empty()) return;
+    flush_background_->Add(1);
     Flush();
+    if (!l.pending.empty()) ArmLaneDrain(lane_idx);  // doorbell was full
   });
+}
+
+void BatchScheduler::DrainParked(size_t lane_idx) {
+  Lane& lane = lanes_[lane_idx];
+  const LanePolicy policy = Policy(lane_idx);
+  while (!lane.parked.empty()) {
+    ReadRequest& req = lane.parked.front();
+    const Bytes bus = NvmeDevice::BusBytes(req.span_begin, req.span_end - req.span_begin,
+                                           req.sub_block);
+    // Admit when the budget fits — or unconditionally when the lane is
+    // otherwise idle, so a run larger than the whole budget still makes
+    // progress instead of parking forever.
+    const bool fits =
+        lane.pending_bytes + lane.inflight_bytes + bus <= policy.max_inflight_bytes;
+    const bool lane_idle = lane.pending.empty() && lane.inflight_bytes == 0;
+    if ((!fits && !lane_idle) || lane.pending.size() >= kMaxLaneSqes) return;
+    ReadRequest run = std::move(req);
+    lane.parked.pop_front();
+    // Parked runs re-enter as their own SQE (no join rescan): the caller
+    // already accounted them as a new device read when they parked.
+    (void)AdmitToLane(run, lane_idx, bus);
+  }
 }
 
 void BatchScheduler::Flush() {
@@ -430,13 +628,16 @@ void BatchScheduler::Flush() {
 
   // Swap the batch out first: completion callbacks scheduled below may
   // re-enter Enqueue (retries) and must see a clean pending list. The
-  // low-priority lane fills whatever doorbell room demand left.
+  // low-priority lanes fill whatever doorbell room demand left — background
+  // (real demand) before prefetch (speculation).
   std::vector<PendingRead> batch;
   batch.swap(pending_);
-  while (!prefetch_pending_.empty() &&
-         static_cast<int>(batch.size()) < config_.max_batch_sqes) {
-    batch.push_back(std::move(prefetch_pending_.front()));
-    prefetch_pending_.pop_front();
+  for (Lane& lane : lanes_) {
+    while (!lane.pending.empty() &&
+           static_cast<int>(batch.size()) < config_.max_batch_sqes) {
+      batch.push_back(std::move(lane.pending.front()));
+      lane.pending.pop_front();
+    }
   }
   if (batch.empty()) return;
   flushes_->Add(1);
@@ -448,7 +649,8 @@ void BatchScheduler::Flush() {
     read->span_begin = p.span_begin;
     read->span_end = p.span_end;
     read->sub_block = p.sub_block;
-    read->prefetch = p.prefetch;
+    read->kind = p.kind;
+    read->tenant = p.tenant;
     // The device lands data at its alignment base: the first byte of the
     // first block (block mode) or the DWORD floor of the span (sub-block).
     read->base = p.sub_block ? (p.span_begin & ~(kDwordBytes - 1))
@@ -457,16 +659,32 @@ void BatchScheduler::Flush() {
     const Bytes bus = NvmeDevice::BusBytes(p.span_begin, length, p.sub_block);
     // Budget bytes (possibly carried by a promoted/fused SQE) move from
     // pending to in-flight and are released at completion.
-    read->prefetch_budget_bytes = p.prefetch_budget_bytes;
-    prefetch_pending_bytes_ -= p.prefetch_budget_bytes;
-    prefetch_inflight_bytes_ += p.prefetch_budget_bytes;
+    read->budget_bytes = p.budget_bytes;
+    read->budget_kind = p.budget_kind;
+    if (p.budget_bytes > 0) {
+      Lane& budget_lane = lanes_[LaneIndex(p.budget_kind)];
+      budget_lane.pending_bytes -= p.budget_bytes;
+      budget_lane.inflight_bytes += p.budget_bytes;
+    }
     read->buf = arena_->Acquire(bus);
     read->subscribers = std::move(p.subscribers);
     in_flight_.push_back(read);
-    if (p.prefetch) {
-      prefetch_reads_->Add(1);
-    } else {
-      device_reads_->Add(1);
+    TenantIoShare& share = Share(p.tenant);
+    switch (p.kind) {
+      case Kind::kPrefetch:
+        prefetch_reads_->Add(1);
+        share.prefetch_bytes += bus;
+        break;
+      case Kind::kBackground:
+        background_reads_->Add(1);
+        share.background_reads += 1;
+        share.background_bytes += bus;
+        break;
+      case Kind::kDemand:
+        device_reads_->Add(1);
+        share.demand_reads += 1;
+        share.demand_bytes += bus;
+        break;
     }
 
     IoEngine::ReadOp op;
@@ -483,8 +701,10 @@ void BatchScheduler::Flush() {
   }
   engine_->SubmitBatch(ops);
 
-  // Lane overflow (doorbell was full): drain on the background timer.
-  if (!prefetch_pending_.empty()) ArmPrefetchFlush();
+  // Lane overflow (doorbell was full): drain on the background timers.
+  for (size_t lane = 0; lane < kNumLanes; ++lane) {
+    if (!lanes_[lane].pending.empty()) ArmLaneDrain(lane);
+  }
 }
 
 void BatchScheduler::CompleteRead(const std::shared_ptr<InFlightRead>& read,
@@ -492,13 +712,17 @@ void BatchScheduler::CompleteRead(const std::shared_ptr<InFlightRead>& read,
   // Unregister before delivering: a subscriber may re-enqueue (retry) and
   // must not join a read that has already completed.
   in_flight_.erase(std::find(in_flight_.begin(), in_flight_.end(), read));
-  prefetch_inflight_bytes_ -= read->prefetch_budget_bytes;
+  if (read->budget_bytes > 0) {
+    lanes_[LaneIndex(read->budget_kind)].inflight_bytes -= read->budget_bytes;
+  }
   const uint8_t* data = status.ok() ? read->buf->data() : nullptr;
   for (Completion& cb : read->subscribers) {
     cb(status, data, read->base);
   }
   read->subscribers.clear();
   read->buf.reset();  // return the bounce buffer to the arena promptly
+  // Released budget may admit parked background demand.
+  DrainParked(kBackgroundLane);
 }
 
 }  // namespace sdm

@@ -14,30 +14,44 @@
 //    `max_batch_delay` deadline armed by the first run of the batch — so a
 //    lone run is never starved waiting for co-travellers.
 //
-// Priority lanes: every ReadRequest carries a Kind. kDemand runs behave as
-// above. kPrefetch runs (speculative readahead from src/prefetch) form a
-// LOW-PRIORITY lane with strictly weaker rights:
+// Priority lanes: every ReadRequest carries a Kind, and each Kind maps to a
+// row of a small lane-policy table (LanePolicy). kDemand runs behave as
+// above: full flush rights, never parked or dropped. The two LOW-PRIORITY
+// lanes have strictly weaker rights — they never trigger a size or deadline
+// flush of the demand batch, they ride whatever doorbell room a demand
+// flush leaves (up to max_batch_sqes total), and they are admitted against
+// a per-lane byte budget (pending + in-flight bus bytes) — but they differ
+// in what happens under pressure, because one carries speculation and the
+// other carries real demand:
 //
-//  - they never trigger a size or deadline flush of the demand batch; they
-//    ride whatever doorbell room a demand flush leaves (up to
-//    max_batch_sqes total), and a prefetch-only lane drains on its own
+//  - kPrefetch (speculative readahead from src/prefetch) is DROPPED — not
+//    queued — when over budget, so speculation can never starve demand of
+//    ring slots or arena buffers; a prefetch-only lane drains on its own
 //    unhurried `prefetch_flush_delay` timer only when no demand is pending;
-//  - they are admitted against a byte budget (`prefetch_max_inflight_bytes`
-//    across pending + in-flight prefetch reads) and are DROPPED — not
-//    queued — when it is exhausted, so speculation can never starve demand
-//    of ring slots or arena buffers;
-//  - a demand run that overlaps a pending prefetch SQE PROMOTES it into the
-//    demand batch (merged-read admission): the speculative read upgrades to
-//    demand priority instead of issuing twice, and joining an in-flight
-//    prefetch read is an ordinary single-flight hit.
+//    a demand run that overlaps a pending prefetch SQE PROMOTES it into the
+//    demand batch (merged-read admission).
+//  - kBackground (demand reads of background-class tenants, src/tenant) is
+//    PARKED when over budget: the run waits in FIFO order and is admitted
+//    as budget releases — background demand is correctness-bearing and must
+//    eventually run. Its drain timer (`background_flush_delay`) fires even
+//    while foreground demand keeps the doorbell busy, which bounds how long
+//    sustained foreground pressure can starve a background SQE. Foreground
+//    overlap promotes a pending background SQE exactly like a prefetch one.
 //
 // With `cross_request = false` the scheduler never merges or single-flights
-// across enqueues, and the prefetch lane is INERT (prefetch enqueues
+// across enqueues, and both low-priority lanes are INERT (their enqueues
 // assert/drop) so the per-request ablation baseline stays byte-identical;
 // the caller delimits each batch with Flush() (LookupEngine flushes after
 // submitting a request's runs), so every request rings its own doorbell. A
 // delay-0 timer still backstops runs enqueued outside a caller flush (e.g.
 // throttle stragglers).
+//
+// Multi-tenant attribution: every ReadRequest names its tenant (0 for the
+// single tenant of an owned-device store). The scheduler keeps a per-tenant
+// TenantIoShare ledger — bus bytes issued per lane (the fair-share
+// accounting a shared-device operator bills on) and how often one tenant's
+// runs were served by a read another tenant owns (the §5.3 co-location win
+// at IO granularity).
 //
 // Buffers: a read's bounce buffer is acquired from the shared BufferArena
 // at flush time (pending spans may still grow) and is released when the
@@ -74,17 +88,36 @@ struct CrossRequestIoStats {
   uint64_t prefetch_reads = 0;     ///< prefetch SQEs issued to the device
   uint64_t prefetch_dropped = 0;   ///< prefetch runs rejected at admission
   uint64_t prefetch_promoted = 0;  ///< prefetch reads upgraded/joined by demand
-  /// Mean SQEs (both lanes) per ring doorbell (0 when no doorbell rang yet).
+  // ---- Background lane (background-tenant demand, src/tenant) ----
+  uint64_t background_reads = 0;     ///< background SQEs issued to the device
+  uint64_t background_parked = 0;    ///< runs deferred by the lane byte budget
+  uint64_t background_promoted = 0;  ///< background SQEs upgraded by foreground
+  /// Mean SQEs (all lanes) per ring doorbell (0 when no doorbell rang yet).
   [[nodiscard]] double BatchOccupancy() const {
     return flushes == 0 ? 0
-                        : static_cast<double>(device_reads + prefetch_reads) /
+                        : static_cast<double>(device_reads + background_reads +
+                                              prefetch_reads) /
                               static_cast<double>(flushes);
   }
 };
 
+/// One tenant's slice of a scheduler's device traffic — the fair-share
+/// ledger of a shared device (src/tenant). Bytes are bus bytes of SQEs the
+/// tenant OWNED (first enqueuer); riders pay nothing, which is the point.
+struct TenantIoShare {
+  uint64_t demand_reads = 0;  ///< foreground-lane SQEs owned
+  Bytes demand_bytes = 0;     ///< bus bytes of those SQEs
+  uint64_t background_reads = 0;
+  Bytes background_bytes = 0;
+  Bytes prefetch_bytes = 0;
+  uint64_t singleflight_hits = 0;  ///< runs served by an existing read
+  uint64_t cross_tenant_hits = 0;  ///< ...whose read another tenant owns
+  Bytes cross_tenant_bytes_saved = 0;
+};
+
 struct BatchSchedulerConfig {
   /// Combine reads across concurrent requests. false = bypass (per-request
-  /// batches, no sharing, prefetch lane inert) for ablation.
+  /// batches, no sharing, low-priority lanes inert) for ablation.
   bool cross_request = true;
   /// Flush when this many SQEs have accumulated.
   int max_batch_sqes = 64;
@@ -102,6 +135,17 @@ struct BatchSchedulerConfig {
   /// Drain timer for a prefetch-only lane (no demand pending to ride).
   /// Deliberately longer than typical demand deadlines: background work.
   SimDuration prefetch_flush_delay = Micros(5);
+  /// Byte budget of the background lane: pending + in-flight background
+  /// reads above this are PARKED (FIFO) until budget releases — the cap on
+  /// how much device occupancy background tenants can hold at once.
+  Bytes background_max_inflight_bytes = 256 * kKiB;
+  /// Drain timer of the background lane. Unlike the prefetch timer it fires
+  /// even while demand is pending, so this is the starvation bound: a
+  /// background SQE waits at most this long for a doorbell of its own.
+  /// Clamped up to max_batch_delay at construction — a starvation bound
+  /// must never hand background demand a faster doorbell than foreground's
+  /// own batching window.
+  SimDuration background_flush_delay = Micros(10);
 };
 
 class BatchScheduler {
@@ -115,9 +159,11 @@ class BatchScheduler {
 
   /// One planned run, as produced by the IoPlanner (plus its completion).
   struct ReadRequest {
-    /// Scheduling lane (see file header). Prefetch is strictly lower
-    /// priority: no flush rights, byte-budgeted, dropped under pressure.
-    enum class Kind : uint8_t { kDemand, kPrefetch };
+    /// Scheduling lane (see file header). kDemand has full flush rights;
+    /// kBackground is byte-budgeted background-tenant demand (parked under
+    /// pressure); kPrefetch is byte-budgeted speculation (dropped under
+    /// pressure). Order matters: lanes fill doorbell room in Kind order.
+    enum class Kind : uint8_t { kDemand = 0, kBackground = 1, kPrefetch = 2 };
 
     Bytes span_begin = 0;
     Bytes span_end = 0;
@@ -125,6 +171,9 @@ class BatchScheduler {
     uint64_t last_block = 0;
     bool sub_block = false;
     Kind kind = Kind::kDemand;
+    /// Owning tenant for fair-share attribution (0 = single owned-device
+    /// tenant). Purely accounting; scheduling policy keys off `kind`.
+    uint32_t tenant = 0;
     /// Logical per-row reads this run coalesces (engine counter fodder);
     /// retries pass 0 so the same rows are not counted twice.
     uint32_t rows = 0;
@@ -136,7 +185,9 @@ class BatchScheduler {
   /// How a run was admitted — returned synchronously so the caller can keep
   /// per-request accounting (a shared read is not a new device read).
   enum class Admission : uint8_t {
-    kNewRead,         ///< became a new SQE in the accumulating batch
+    kNewRead,         ///< became a new SQE in the accumulating batch (a
+                      ///< parked background run also reports this: it WILL
+                      ///< become its own SQE once the lane budget admits it)
     kMergedPending,   ///< extended a not-yet-flushed SQE from another request
     kJoinedPending,   ///< fully covered by a not-yet-flushed SQE
     kJoinedInFlight,  ///< fully covered by a read already at the device
@@ -162,39 +213,62 @@ class BatchScheduler {
                                 uint64_t last_block, bool sub_block) const;
 
   /// Flushes the accumulating batch immediately (tests; drain paths).
-  /// Pending prefetch SQEs ride along up to the doorbell's free room.
+  /// Pending background and prefetch SQEs ride along, in that order, up to
+  /// the doorbell's free room.
   void Flush();
 
   [[nodiscard]] size_t pending_sqes() const { return pending_.size(); }
-  [[nodiscard]] size_t prefetch_pending_sqes() const { return prefetch_pending_.size(); }
-  [[nodiscard]] size_t in_flight_reads() const { return in_flight_.size(); }
-  [[nodiscard]] Bytes prefetch_budget_used() const {
-    return prefetch_pending_bytes_ + prefetch_inflight_bytes_;
+  [[nodiscard]] size_t background_pending_sqes() const {
+    return lanes_[kBackgroundLane].pending.size();
   }
+  [[nodiscard]] size_t background_parked_runs() const {
+    return lanes_[kBackgroundLane].parked.size();
+  }
+  [[nodiscard]] Bytes background_budget_used() const {
+    return lanes_[kBackgroundLane].pending_bytes + lanes_[kBackgroundLane].inflight_bytes;
+  }
+  [[nodiscard]] size_t prefetch_pending_sqes() const {
+    return lanes_[kPrefetchLane].pending.size();
+  }
+  [[nodiscard]] Bytes prefetch_budget_used() const {
+    return lanes_[kPrefetchLane].pending_bytes + lanes_[kPrefetchLane].inflight_bytes;
+  }
+  [[nodiscard]] size_t in_flight_reads() const { return in_flight_.size(); }
   [[nodiscard]] const BatchSchedulerConfig& config() const { return config_; }
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
 
   [[nodiscard]] CrossRequestIoStats Snapshot() const;
+
+  /// Fair-share ledger of one tenant (zeroes for a tenant this scheduler
+  /// has not seen). `tenant_span` is 1 + the highest tenant id seen.
+  [[nodiscard]] TenantIoShare tenant_share(uint32_t tenant) const;
+  [[nodiscard]] size_t tenant_span() const { return tenant_shares_.size(); }
 
   /// Mean SQEs per ring doorbell — the amortization the paper's io_uring
   /// deployment lives on (§4).
   [[nodiscard]] double BatchOccupancy() const { return Snapshot().BatchOccupancy(); }
 
  private:
-  /// An SQE accumulating in the unflushed batch (either lane).
+  using Kind = ReadRequest::Kind;
+
+  /// An SQE accumulating in the unflushed batch (any lane).
   struct PendingRead {
     Bytes span_begin = 0;
     Bytes span_end = 0;
     uint64_t first_block = 0;
     uint64_t last_block = 0;
     bool sub_block = false;
-    bool prefetch = false;
-    /// Bus bytes this SQE holds against the prefetch byte budget. Every
+    Kind kind = Kind::kDemand;
+    uint32_t tenant = 0;  ///< owner (first enqueuer) for fair-share billing
+    /// Bus bytes this SQE holds against its lane's byte budget. Every
     /// device read is admitted by exactly one domain: a throttle slot on
-    /// the demand side, or these bytes on the speculation side. A
+    /// the demand side, or these bytes on a low-priority lane. A
     /// covered-promotion keeps its budget (no slot ever existed for it);
     /// a merge-promotion transfers to the demand run's slot and zeroes it.
-    Bytes prefetch_budget_bytes = 0;
+    Bytes budget_bytes = 0;
+    /// Lane the budget is charged against (survives promotion to demand;
+    /// kDemand means "no budget held").
+    Kind budget_kind = Kind::kDemand;
     uint32_t rows = 0;
     Bytes per_row_bus = 0;
     std::vector<Completion> subscribers;
@@ -207,15 +281,44 @@ class BatchScheduler {
     Bytes span_end = 0;
     Bytes base = 0;
     bool sub_block = false;
-    bool prefetch = false;
-    Bytes prefetch_budget_bytes = 0;  ///< released when the read completes
+    Kind kind = Kind::kDemand;
+    uint32_t tenant = 0;
+    Bytes budget_bytes = 0;  ///< released to the lane when the read completes
+    Kind budget_kind = Kind::kDemand;
     std::shared_ptr<BufferArena::Buffer> buf;
     std::vector<Completion> subscribers;
   };
 
-  /// Memory backstop on the lane's SQE count (the byte budget is the real
+  /// Scheduling rights of one lane — the priority-lane table rows (demand
+  /// is the implicit full-rights row and needs no entry).
+  struct LanePolicy {
+    Bytes max_inflight_bytes = 0;  ///< pending + in-flight budget
+    SimDuration drain_delay;       ///< self-drain timer period
+    bool droppable = false;        ///< over budget: drop (else park)
+    bool drains_despite_demand = false;  ///< timer fires under demand pressure
+  };
+
+  /// Queued state of one low-priority lane.
+  struct Lane {
+    std::deque<PendingRead> pending;  ///< SQEs waiting for doorbell room (FIFO)
+    std::deque<ReadRequest> parked;   ///< over-budget runs awaiting admission
+    Bytes pending_bytes = 0;
+    Bytes inflight_bytes = 0;
+    bool drain_armed = false;
+  };
+
+  static constexpr size_t kBackgroundLane = 0;
+  static constexpr size_t kPrefetchLane = 1;
+  static constexpr size_t kNumLanes = 2;
+  [[nodiscard]] static size_t LaneIndex(Kind kind) {
+    return static_cast<size_t>(kind) - 1;
+  }
+
+  /// Memory backstop on a lane's SQE count (the byte budget is the real
   /// admission control; this only bounds a degenerate many-tiny-spans lane).
   static constexpr size_t kMaxLaneSqes = 256;
+
+  [[nodiscard]] LanePolicy Policy(size_t lane) const;
 
   /// Whether [begin, end) (blocks [first_block, last_block]) can ride on
   /// pending read `p`: fully covered by what `p` will pull across the bus
@@ -224,39 +327,42 @@ class BatchScheduler {
                                 uint64_t first_block, uint64_t last_block,
                                 bool sub_block, bool* covered) const;
   [[nodiscard]] Admission EnqueueDemand(ReadRequest& req);
-  [[nodiscard]] Admission EnqueuePrefetch(ReadRequest& req);
+  [[nodiscard]] Admission EnqueueLane(ReadRequest& req, size_t lane);
+  /// Appends `req` to `lane` as a new SQE, charging its lane budget.
+  Admission AdmitToLane(ReadRequest& req, size_t lane, Bytes bus);
   [[nodiscard]] bool TryAbsorbIntoPending(ReadRequest& req, Admission* admission);
   [[nodiscard]] bool TryJoinInFlight(ReadRequest& req);
-  /// Demand-side probe of the prefetch lane: a compatible pending prefetch
-  /// SQE is moved into the demand batch (promotion) and the run rides it.
-  [[nodiscard]] bool TryPromotePrefetch(ReadRequest& req, Admission* admission);
+  /// Demand-side probe of a low-priority lane: a compatible pending SQE is
+  /// moved into the demand batch (promotion) and the run rides it.
+  [[nodiscard]] bool TryPromoteLane(ReadRequest& req, size_t lane, Admission* admission);
   /// After pending_[i] grew, fuses any other pending reads it now covers
   /// or abuts, so one block never crosses the bus twice in one flush.
   void FuseOverlappingPending(size_t i);
   /// Size-trigger / deadline arming after the demand batch grew.
   void MaybeFlushOrArm();
   void ArmFlush();
-  void ArmPrefetchFlush();
+  void ArmLaneDrain(size_t lane);
+  /// Re-admits parked background runs that now fit the lane budget.
+  void DrainParked(size_t lane);
   void CompleteRead(const std::shared_ptr<InFlightRead>& read, Status status);
   [[nodiscard]] Bytes BusOf(const PendingRead& p) const;
+  void RecordJoin(const ReadRequest& req, Kind owner_kind, uint32_t owner_tenant);
+  TenantIoShare& Share(uint32_t tenant);
 
   IoEngine* engine_;
   BufferArena* arena_;
   EventLoop* loop_;
   BatchSchedulerConfig config_;
 
-  std::vector<PendingRead> pending_;
-  /// Low-priority lane: prefetch SQEs waiting for doorbell room. FIFO —
-  /// oldest predictions flush first.
-  std::deque<PendingRead> prefetch_pending_;
-  Bytes prefetch_pending_bytes_ = 0;
-  Bytes prefetch_inflight_bytes_ = 0;
+  std::vector<PendingRead> pending_;  ///< demand batch (full flush rights)
+  Lane lanes_[kNumLanes];
   std::vector<std::shared_ptr<InFlightRead>> in_flight_;
   /// Invalidates armed flush timers when the batch they were armed for has
   /// already been flushed by the size trigger.
   uint64_t flush_generation_ = 0;
   bool flush_armed_ = false;
-  bool prefetch_flush_armed_ = false;
+
+  std::vector<TenantIoShare> tenant_shares_;
 
   StatsRegistry stats_;
   Counter* enqueued_ = nullptr;
@@ -268,11 +374,18 @@ class BatchScheduler {
   Counter* flush_deadline_ = nullptr;
   Counter* flush_size_ = nullptr;
   Counter* flush_prefetch_ = nullptr;
+  Counter* flush_background_ = nullptr;
   Counter* prefetch_enqueued_ = nullptr;
   Counter* prefetch_reads_ = nullptr;
   Counter* prefetch_dropped_ = nullptr;
   Counter* prefetch_promoted_ = nullptr;
   Counter* prefetch_singleflight_ = nullptr;
+  Counter* background_enqueued_ = nullptr;
+  Counter* background_reads_ = nullptr;
+  Counter* background_parked_ = nullptr;
+  Counter* background_promoted_ = nullptr;
+  Counter* background_singleflight_ = nullptr;
+  Counter* cross_tenant_hits_ = nullptr;
 };
 
 }  // namespace sdm

@@ -82,41 +82,4 @@ ClusterRunReport ClusterSimulation::Run(double total_qps, uint64_t num_queries) 
   return report;
 }
 
-MultiTenantHost::MultiTenantHost(HostSimConfig base_config, uint64_t seed)
-    : base_config_(std::move(base_config)), seed_(seed) {}
-
-Status MultiTenantHost::AddTenant(const ModelConfig& model, Bytes fm_share) {
-  HostSimConfig cfg = base_config_;
-  cfg.fm_capacity = fm_share;
-  cfg.seed = seed_ ^ Mix64(tenants_.size() + 0x7e0a);
-  Tenant t;
-  t.model = model;
-  t.sim = std::make_unique<HostSimulation>(cfg);
-  if (Status s = t.sim->LoadModel(model); !s.ok()) return s;
-  tenants_.push_back(std::move(t));
-  return Status::Ok();
-}
-
-MultiTenantReport MultiTenantHost::Run(double qps_per_tenant, uint64_t queries_per_tenant) {
-  MultiTenantReport report;
-  report.fm_capacity = base_config_.fm_capacity;
-  for (auto& t : tenants_) {
-    TenantReport tr;
-    tr.model_name = t.model.name;
-    tr.run = t.sim->Run(qps_per_tenant, queries_per_tenant);
-    tr.fm_used = t.sim->store().fm_direct_bytes() + t.sim->store().fm_mapping_bytes() +
-                 (t.sim->store().row_cache() != nullptr
-                      ? t.sim->store().row_cache()->capacity()
-                      : 0);
-    tr.sm_used = t.sim->store().sm_used_bytes();
-    report.fm_total += tr.fm_used;
-    report.tenants.push_back(std::move(tr));
-  }
-  // Without SM every tenant's SM bytes would need FM instead.
-  Bytes fm_needed_without_sm = report.fm_total;
-  for (const auto& tr : report.tenants) fm_needed_without_sm += tr.sm_used;
-  report.fits_in_fm = fm_needed_without_sm <= report.fm_capacity;
-  return report;
-}
-
 }  // namespace sdm

@@ -6,8 +6,10 @@
 //   routing is available as the baseline.
 // - ScaleOutModel: analytic latency/power for the (Lui et al.) sharded
 //   alternative SDM competes against in §5.2.
-// - MultiTenantHost: co-locates several models on one simulated host,
-//   sharing its FM budget, to exercise the §5.3 capacity argument.
+// - MultiTenantHost (src/tenant/multi_tenant_host.h, re-exported here):
+//   co-locates several models on one simulated host — as isolated stores,
+//   or as real shards on a SharedDeviceService — to exercise the §5.3
+//   capacity argument.
 #pragma once
 
 #include <memory>
@@ -15,6 +17,7 @@
 
 #include "serving/host.h"
 #include "serving/power_model.h"
+#include "tenant/multi_tenant_host.h"
 
 namespace sdm {
 
@@ -94,49 +97,6 @@ struct ScaleOutModel {
     s.helper_power = helper_power;
     return s;
   }
-};
-
-// ---------------------------------------------------------------------------
-// Multi-tenancy (§5.3).
-// ---------------------------------------------------------------------------
-
-struct TenantReport {
-  std::string model_name;
-  HostRunReport run;
-  Bytes fm_used = 0;
-  Bytes sm_used = 0;
-};
-
-struct MultiTenantReport {
-  std::vector<TenantReport> tenants;
-  Bytes fm_total = 0;
-  Bytes fm_capacity = 0;
-  bool fits_in_fm = false;  ///< would the tenant set fit without SM?
-};
-
-/// Co-locates several (typically experimental) models on one host spec.
-/// Each tenant gets an SDM sized to its share; the report shows the DRAM
-/// the host would need without SM versus with it.
-class MultiTenantHost {
- public:
-  MultiTenantHost(HostSimConfig base_config, uint64_t seed);
-
-  /// Adds a tenant model; `fm_share` is its slice of the host FM budget.
-  Status AddTenant(const ModelConfig& model, Bytes fm_share);
-
-  /// Runs every tenant at `qps_per_tenant` for `queries_per_tenant`.
-  [[nodiscard]] MultiTenantReport Run(double qps_per_tenant, uint64_t queries_per_tenant);
-
-  [[nodiscard]] size_t tenant_count() const { return tenants_.size(); }
-
- private:
-  HostSimConfig base_config_;
-  uint64_t seed_;
-  struct Tenant {
-    ModelConfig model;
-    std::unique_ptr<HostSimulation> sim;
-  };
-  std::vector<Tenant> tenants_;
 };
 
 }  // namespace sdm

@@ -1,0 +1,293 @@
+#include "tenant/multi_tenant_host.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace sdm {
+
+namespace {
+
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Per-tenant workload seed, derived identically in both modes so an
+/// isolated-vs-shared sweep serves the same per-tenant query streams.
+uint64_t TenantWorkloadSeed(const WorkloadConfig& base, size_t tenant_index) {
+  return base.seed ^ Mix64(0x7e0a + tenant_index);
+}
+
+}  // namespace
+
+MultiTenantHost::MultiTenantHost(HostSimConfig base_config, uint64_t seed,
+                                 bool shared_device)
+    : base_config_(std::move(base_config)), seed_(seed), shared_mode_(shared_device) {}
+
+MultiTenantHost::~MultiTenantHost() = default;
+
+SdmStore& MultiTenantHost::tenant_store(size_t i) {
+  return shared_mode_ ? *shards_[i].store : isolated_[i].sim->store();
+}
+
+Status MultiTenantHost::AddTenant(const ModelConfig& model, Bytes fm_share,
+                                  TenantClass cls) {
+  if (!shared_mode_) {
+    HostSimConfig cfg = base_config_;
+    cfg.fm_capacity = fm_share;
+    cfg.seed = seed_ ^ Mix64(isolated_.size() + 0x7e0a);
+    cfg.workload.seed = TenantWorkloadSeed(base_config_.workload, isolated_.size());
+    IsolatedTenant t;
+    t.model = model;
+    t.cls = cls;
+    t.sim = std::make_unique<HostSimulation>(cfg);
+    if (Status s = t.sim->LoadModel(model); !s.ok()) return s;
+    isolated_.push_back(std::move(t));
+    return Status::Ok();
+  }
+
+  // ---- Shared mode: a real shard on the common device stack ----
+  if (Status s = base_config_.tuning.ValidateForSharedDevice(); !s.ok()) return s;
+  if (service_ == nullptr) {
+    SharedDeviceConfig dcfg;
+    for (const auto& ssd : base_config_.host.ssds) {
+      dcfg.sm_specs.push_back(ssd);
+      dcfg.sm_backing_bytes.push_back(base_config_.sm_backing_per_device);
+    }
+    if (dcfg.sm_specs.empty()) {
+      return FailedPreconditionError("shared-device multi-tenancy needs a host with SSDs");
+    }
+    dcfg.tuning = base_config_.tuning;
+    dcfg.seed = seed_;
+    service_ = std::make_unique<SharedDeviceService>(std::move(dcfg), &loop_);
+  }
+
+  Shard shard;
+  shard.model = model;
+  shard.cls = cls;
+  shard.id = service_->RegisterTenant(model.name, cls);
+
+  SdmStoreConfig scfg;
+  scfg.fm_capacity = fm_share;
+  scfg.tuning = base_config_.tuning;
+  scfg.seed = seed_ ^ Mix64(shards_.size() + 0x7e0a);
+  scfg.shared_device = service_.get();
+  scfg.tenant_id = shard.id;
+  scfg.tenant_class = cls;
+  shard.store = std::make_unique<SdmStore>(scfg, &loop_);
+
+  auto report = ModelLoader::Load(model, base_config_.loader, shard.store.get());
+  if (!report.ok()) return report.status();
+  shard.load_report = std::move(report).value();
+
+  InferenceConfig icfg = base_config_.inference;
+  icfg.accelerator = base_config_.host.accelerator;
+  icfg.dense.flops_per_sec = base_config_.host.dense_flops;
+  if (icfg.max_concurrent_queries <= 0) {
+    icfg.max_concurrent_queries = base_config_.host.cores();
+  }
+  shard.engine = std::make_unique<InferenceEngine>(shard.store.get(), model, icfg);
+
+  WorkloadConfig wcfg = base_config_.workload;
+  wcfg.seed = TenantWorkloadSeed(base_config_.workload, shards_.size());
+  shard.workload = std::make_unique<QueryGenerator>(model, wcfg);
+
+  shards_.push_back(std::move(shard));
+  return Status::Ok();
+}
+
+MultiTenantReport MultiTenantHost::Run(double qps_per_tenant,
+                                       uint64_t queries_per_tenant) {
+  return shared_mode_ ? RunShared(qps_per_tenant, queries_per_tenant)
+                      : RunIsolated(qps_per_tenant, queries_per_tenant);
+}
+
+MultiTenantReport MultiTenantHost::RunIsolated(double qps, uint64_t queries) {
+  MultiTenantReport report;
+  report.fm_capacity = base_config_.fm_capacity;
+  for (auto& t : isolated_) {
+    TenantReport tr;
+    tr.model_name = t.model.name;
+    tr.cls = t.cls;
+    tr.run = t.sim->Run(qps, queries);
+    tr.fm_used = t.sim->store().fm_direct_bytes() + t.sim->store().fm_mapping_bytes() +
+                 (t.sim->store().row_cache() != nullptr
+                      ? t.sim->store().row_cache()->capacity()
+                      : 0);
+    tr.sm_used = t.sim->store().sm_used_bytes();
+    tr.throttle_queue_time = t.sim->store().throttle().QueueTime(0);
+    report.fm_total += tr.fm_used;
+    report.sm_logical_bytes += tr.sm_used;
+    report.tenants.push_back(std::move(tr));
+  }
+  report.sm_unique_bytes = report.sm_logical_bytes;  // isolation: no dedup
+  // Without SM every tenant's SM bytes would need FM instead.
+  const Bytes fm_needed_without_sm = report.fm_total + report.sm_logical_bytes;
+  report.fits_in_fm = fm_needed_without_sm <= report.fm_capacity;
+  return report;
+}
+
+MultiTenantReport MultiTenantHost::RunShared(double qps, uint64_t queries) {
+  assert(qps > 0);
+  MultiTenantReport report;
+  report.shared_device = true;
+  report.fm_capacity = base_config_.fm_capacity;
+  if (shards_.empty()) return report;
+
+  // ---- Per-run snapshots (counters are cumulative across runs) ----
+  struct Snapshot {
+    uint64_t cache_hits0 = 0;
+    uint64_t cache_miss0 = 0;
+    TenantIoShare share0;
+    SimDuration queue_time0;
+  };
+  std::vector<Snapshot> snaps(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (DualRowCache* rc = shards_[i].store->row_cache(); rc != nullptr) {
+      snaps[i].cache_hits0 = rc->stats().hits;
+      snaps[i].cache_miss0 = rc->stats().misses;
+    }
+    snaps[i].share0 = service_->tenant_io_share(shards_[i].id);
+    snaps[i].queue_time0 = service_->throttle_queue_time(shards_[i].id);
+  }
+  uint64_t sm_reads0 = 0;
+  for (size_t d = 0; d < service_->device_count(); ++d) {
+    sm_reads0 += service_->device(d).stats().CounterValue("reads");
+  }
+  const CrossRequestIoStats io0 = service_->cross_request_io_stats();
+
+  // ---- Interleave every tenant's open-loop Poisson arrivals ----
+  struct RunState {
+    Histogram latencies;
+    uint64_t completed = 0;
+  };
+  std::vector<RunState> states(shards_.size());
+  const SimTime t_begin = loop_.Now();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    RunState& state = states[i];
+    Rng arrivals(seed_ ^ Mix64(i + 1) ^ 0xa11e);
+    SimTime next_arrival = loop_.Now();
+    for (uint64_t q = 0; q < queries; ++q) {
+      next_arrival += Seconds(arrivals.NextExponential(1.0 / qps));
+      loop_.ScheduleAt(next_arrival, [&shard, &state] {
+        const Query query = shard.workload->Next();
+        shard.engine->Submit(query, [&state](Status status, const QueryTrace& trace) {
+          if (status.ok()) {
+            state.latencies.Record(trace.total);
+            ++state.completed;
+          }
+        });
+      });
+    }
+  }
+  loop_.RunUntilIdle();
+  const SimTime t_end = loop_.Now();
+  const double span_s = (t_end - t_begin).seconds();
+
+  // ---- Reports ----
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    RunState& state = states[i];
+    TenantReport tr;
+    tr.model_name = shard.model.name;
+    tr.cls = shard.cls;
+    tr.run.queries_completed = state.completed;
+    tr.run.offered_qps = qps;
+    tr.run.achieved_qps =
+        span_s > 0 ? static_cast<double>(state.completed) / span_s : 0;
+    tr.run.p50 = SimDuration(state.latencies.P50());
+    tr.run.p95 = SimDuration(state.latencies.P95());
+    tr.run.p99 = SimDuration(state.latencies.P99());
+    tr.run.mean = SimDuration(static_cast<int64_t>(state.latencies.mean()));
+    if (DualRowCache* rc = shard.store->row_cache(); rc != nullptr) {
+      const uint64_t h = rc->stats().hits - snaps[i].cache_hits0;
+      const uint64_t m = rc->stats().misses - snaps[i].cache_miss0;
+      tr.run.row_cache_hit_rate =
+          (h + m) == 0 ? 0 : static_cast<double>(h) / static_cast<double>(h + m);
+    }
+    const TenantIoShare share1 = service_->tenant_io_share(shard.id);
+    const TenantIoShare& share0 = snaps[i].share0;
+    tr.singleflight_hits = share1.singleflight_hits - share0.singleflight_hits;
+    tr.cross_tenant_hits = share1.cross_tenant_hits - share0.cross_tenant_hits;
+    tr.cross_tenant_bytes_saved =
+        share1.cross_tenant_bytes_saved - share0.cross_tenant_bytes_saved;
+    tr.fg_lane_bytes = share1.demand_bytes - share0.demand_bytes;
+    tr.bg_lane_bytes = share1.background_bytes - share0.background_bytes;
+    tr.run.singleflight_hits = tr.singleflight_hits;
+    tr.throttle_queue_time =
+        service_->throttle_queue_time(shard.id) - snaps[i].queue_time0;
+    tr.fm_used = shard.store->fm_direct_bytes() + shard.store->fm_mapping_bytes() +
+                 (shard.store->row_cache() != nullptr
+                      ? shard.store->row_cache()->capacity()
+                      : 0);
+    tr.sm_used = shard.store->sm_used_bytes();
+    report.fm_total += tr.fm_used;
+    report.sm_logical_bytes += tr.sm_used;
+    report.tenants.push_back(std::move(tr));
+  }
+
+  report.sm_unique_bytes = service_->sm_used_bytes();
+  uint64_t sm_reads1 = 0;
+  for (size_t d = 0; d < service_->device_count(); ++d) {
+    sm_reads1 += service_->device(d).stats().CounterValue("reads");
+  }
+  report.sm_device_reads = sm_reads1 - sm_reads0;
+  const CrossRequestIoStats io1 = service_->cross_request_io_stats();
+  report.io.device_reads = io1.device_reads - io0.device_reads;
+  report.io.cross_request_merges = io1.cross_request_merges - io0.cross_request_merges;
+  report.io.singleflight_hits = io1.singleflight_hits - io0.singleflight_hits;
+  report.io.singleflight_bytes_saved =
+      io1.singleflight_bytes_saved - io0.singleflight_bytes_saved;
+  report.io.flushes = io1.flushes - io0.flushes;
+  report.io.background_reads = io1.background_reads - io0.background_reads;
+  report.io.background_parked = io1.background_parked - io0.background_parked;
+  report.io.background_promoted = io1.background_promoted - io0.background_promoted;
+  report.io.prefetch_reads = io1.prefetch_reads - io0.prefetch_reads;
+  report.io.prefetch_dropped = io1.prefetch_dropped - io0.prefetch_dropped;
+  report.io.prefetch_promoted = io1.prefetch_promoted - io0.prefetch_promoted;
+
+  const Bytes fm_needed_without_sm = report.fm_total + report.sm_logical_bytes;
+  report.fits_in_fm = fm_needed_without_sm <= report.fm_capacity;
+  return report;
+}
+
+std::string TenantReport::Summary() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s [%s] qps=%.0f/%.0f p95=%.2fms p99=%.2fms hit=%.1f%% sf=%llu xsf=%llu "
+      "fg=%lluKiB bg=%lluKiB tq=%.0fus",
+      model_name.c_str(), ToString(cls), run.achieved_qps, run.offered_qps,
+      run.p95.millis(), run.p99.millis(), run.row_cache_hit_rate * 100,
+      static_cast<unsigned long long>(singleflight_hits),
+      static_cast<unsigned long long>(cross_tenant_hits),
+      static_cast<unsigned long long>(fg_lane_bytes / kKiB),
+      static_cast<unsigned long long>(bg_lane_bytes / kKiB),
+      throttle_queue_time.micros());
+  return buf;
+}
+
+std::string MultiTenantReport::Summary() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "tenants=%zu mode=%s reads=%llu sf=%llu xmerge=%llu bg=%llu(parked %llu, "
+      "promoted %llu) sm=%.1f/%.1fMiB dedup=%.1fMiB occ=%.1f",
+      tenants.size(), shared_device ? "shared" : "isolated",
+      static_cast<unsigned long long>(sm_device_reads),
+      static_cast<unsigned long long>(io.singleflight_hits),
+      static_cast<unsigned long long>(io.cross_request_merges),
+      static_cast<unsigned long long>(io.background_reads),
+      static_cast<unsigned long long>(io.background_parked),
+      static_cast<unsigned long long>(io.background_promoted),
+      AsMiB(sm_unique_bytes), AsMiB(sm_logical_bytes),
+      AsMiB(sm_logical_bytes - sm_unique_bytes), io.BatchOccupancy());
+  return buf;
+}
+
+}  // namespace sdm

@@ -1,0 +1,155 @@
+#include "tenant/shared_device_service.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace sdm {
+
+namespace {
+
+/// FNV-1a over the table image — the dedup registry's content fingerprint.
+/// Collisions are guarded by the (name, size) key components; tables here
+/// are deterministic generator output, not adversarial input.
+uint64_t ContentHash(std::span<const uint8_t> bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* loop)
+    : config_(std::move(config)),
+      loop_(loop),
+      throttle_(config_.tuning.throttle, loop) {
+  assert(loop != nullptr);
+  assert(config_.sm_specs.size() == config_.sm_backing_bytes.size());
+
+  Rng rng(config_.seed);
+  for (size_t i = 0; i < config_.sm_specs.size(); ++i) {
+    DeviceSpec spec = config_.sm_specs[i];
+    if (!config_.tuning.sub_block_reads) {
+      // Tuning knob: force the plain block path even on capable devices.
+      spec.supports_sub_block = false;
+    }
+    sm_.push_back(std::make_unique<NvmeDevice>(spec, config_.sm_backing_bytes[i], loop_,
+                                               rng.Next()));
+    IoEngineConfig ecfg;
+    ecfg.queue_depth = config_.tuning.io_queue_depth;
+    ecfg.completion_mode = config_.tuning.completion_mode;
+    engines_.push_back(std::make_unique<IoEngine>(sm_.back().get(), loop_, ecfg));
+    DirectReaderConfig rcfg;
+    rcfg.sub_block = config_.tuning.sub_block_reads;
+    readers_.push_back(
+        std::make_unique<DirectIoReader>(engines_.back().get(), rcfg, &buffer_arena_));
+    BatchSchedulerConfig bcfg;
+    bcfg.cross_request = config_.tuning.cross_request_batching;
+    bcfg.max_batch_sqes = config_.tuning.max_batch_sqes;
+    bcfg.max_batch_delay = config_.tuning.max_batch_delay;
+    bcfg.max_coalesce_bytes = config_.tuning.max_coalesce_bytes;
+    bcfg.coalesce_gap_bytes = config_.tuning.coalesce_gap_bytes;
+    bcfg.prefetch_max_inflight_bytes = config_.tuning.prefetch_max_inflight_bytes;
+    bcfg.background_max_inflight_bytes = config_.tuning.background_max_inflight_bytes;
+    bcfg.background_flush_delay = config_.tuning.background_flush_delay;
+    schedulers_.push_back(std::make_unique<BatchScheduler>(engines_.back().get(),
+                                                           &buffer_arena_, loop_, bcfg));
+  }
+  sm_used_.assign(sm_.size(), 0);
+}
+
+TenantId SharedDeviceService::RegisterTenant(std::string name, TenantClass cls) {
+  tenants_.push_back(Tenant{std::move(name), cls});
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+Result<SharedDeviceService::Extent> SharedDeviceService::PlaceTable(
+    TenantId tenant, const std::string& table_name, std::span<const uint8_t> bytes) {
+  if (sm_.empty()) return FailedPreconditionError("no SM devices configured");
+
+  const ExtentKey key{table_name, bytes.size(), ContentHash(bytes)};
+  if (auto it = extents_.find(key); it != extents_.end()) {
+    // Cross-tenant dedup only: a tenant re-loading identical content (two
+    // copies in one model) gets its own extent, matching what an
+    // owned-device store would do.
+    if (!it->second.owners.contains(tenant)) {
+      it->second.owners.insert(tenant);
+      dedup_saved_ += bytes.size();
+      Extent ext = it->second.extent;
+      ext.shared = true;
+      ext.write_time = SimDuration{};
+      SDM_LOG_INFO << "shared extent: tenant " << tenant << " attached to "
+                   << table_name << " (" << AsMiB(bytes.size()) << " MiB deduped)";
+      return ext;
+    }
+  }
+
+  // Least-filled device gets the table (simple balance; tables are the
+  // striping unit, as in the paper's two-SSD hosts).
+  size_t best = 0;
+  for (size_t i = 1; i < sm_.size(); ++i) {
+    if (sm_used_[i] < sm_used_[best]) best = i;
+  }
+  if (sm_used_[best] + bytes.size() > sm_[best]->backing_size()) {
+    return ResourceExhaustedError("SM device over-committed by table " + table_name);
+  }
+  Extent ext;
+  ext.device = best;
+  ext.offset = sm_used_[best];
+  auto wrote = sm_[best]->Write(ext.offset, bytes);
+  if (!wrote.ok()) return wrote.status();
+  ext.write_time = wrote.value();
+  sm_used_[best] += bytes.size();
+  // A same-tenant duplicate (owner re-placing an identical table) keeps its
+  // fresh extent PRIVATE: the registry entry — and any co-tenants attached
+  // to it — must not be clobbered.
+  extents_.try_emplace(key, ExtentEntry{ext, {tenant}});
+  return ext;
+}
+
+Bytes SharedDeviceService::sm_used_bytes() const {
+  Bytes total = 0;
+  for (const Bytes b : sm_used_) total += b;
+  return total;
+}
+
+CrossRequestIoStats SharedDeviceService::cross_request_io_stats() const {
+  CrossRequestIoStats agg;
+  for (const auto& s : schedulers_) {
+    const CrossRequestIoStats one = s->Snapshot();
+    agg.device_reads += one.device_reads;
+    agg.cross_request_merges += one.cross_request_merges;
+    agg.singleflight_hits += one.singleflight_hits;
+    agg.singleflight_bytes_saved += one.singleflight_bytes_saved;
+    agg.flushes += one.flushes;
+    agg.prefetch_reads += one.prefetch_reads;
+    agg.prefetch_dropped += one.prefetch_dropped;
+    agg.prefetch_promoted += one.prefetch_promoted;
+    agg.background_reads += one.background_reads;
+    agg.background_parked += one.background_parked;
+    agg.background_promoted += one.background_promoted;
+  }
+  return agg;
+}
+
+TenantIoShare SharedDeviceService::tenant_io_share(TenantId id) const {
+  TenantIoShare agg;
+  for (const auto& s : schedulers_) {
+    const TenantIoShare one = s->tenant_share(id);
+    agg.demand_reads += one.demand_reads;
+    agg.demand_bytes += one.demand_bytes;
+    agg.background_reads += one.background_reads;
+    agg.background_bytes += one.background_bytes;
+    agg.prefetch_bytes += one.prefetch_bytes;
+    agg.singleflight_hits += one.singleflight_hits;
+    agg.cross_tenant_hits += one.cross_tenant_hits;
+    agg.cross_tenant_bytes_saved += one.cross_tenant_bytes_saved;
+  }
+  return agg;
+}
+
+}  // namespace sdm

@@ -1,0 +1,166 @@
+// SharedDeviceService — one SM device stack shared by N tenant stores
+// (ROADMAP "Sharded SdmStore"; paper §5.3's capacity argument at IO
+// granularity).
+//
+// The service owns everything that is per-DEVICE rather than per-tenant:
+// the simulated NVMe devices, their IoEngines and DirectIoReaders, the
+// per-device BatchSchedulers, the shared BufferArena, the (tenant, table)
+// scoped TableThrottle, and the device-space allocator. N SdmStore shards
+// (one per tenant, or per NUMA node) attach to it, so concurrent tenants'
+// reads flow through ONE scheduler per device and dedup / merge /
+// single-flight across store boundaries — co-located tenants share each
+// other's hot-block reads instead of issuing N copies.
+//
+// Table extents and content dedup: tenants serving the same model (A/B
+// variants, replicas of a shared base) load byte-identical tables. The
+// extent registry keys on (table name, size, content hash); a tenant
+// loading a table another tenant already placed attaches to the existing
+// extent — no second copy, no second write — which is exactly what makes
+// their hot sets overlap at the device and the cross-tenant single-flight
+// pay off. The same tenant never dedups against itself, so a single-tenant
+// service behaves byte-identically to the owned-device path (SdmStore
+// constructs a private service when not attached to a shared one). Shared
+// extents are read-only: in-place model updates of a deduped table are not
+// supported (refresh loads a new extent instead).
+//
+// QoS: RegisterTenant records each tenant's TenantClass; stores route
+// their demand reads to the scheduler lane the class maps to (foreground =
+// demand lane, background = byte-budgeted background lane). The service is
+// also the aggregation point for per-tenant fair-share accounting: bus
+// bytes per lane, cross-tenant single-flight hits, throttle queue time.
+//
+// Single-threaded on one EventLoop, like every component it owns. The
+// service must outlive every attached store.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/event_loop.h"
+#include "common/result.h"
+#include "core/tuning.h"
+#include "device/nvme_device.h"
+#include "io/buffer_arena.h"
+#include "io/direct_reader.h"
+#include "io/io_engine.h"
+#include "io/throttle.h"
+#include "sched/batch_scheduler.h"
+#include "tenant/tenant.h"
+
+namespace sdm {
+
+struct SharedDeviceConfig {
+  /// SM devices (specs define latency/IOPS; backing sizes the byte store).
+  std::vector<DeviceSpec> sm_specs;
+  std::vector<Bytes> sm_backing_bytes;
+  /// Device-side knobs: queue depth, completion mode, scheduler batching,
+  /// lane budgets, throttle. Tenant stores keep their own cache knobs.
+  TuningConfig tuning;
+  uint64_t seed = 42;
+};
+
+class SharedDeviceService {
+ public:
+  /// One placed table extent on a shared device.
+  struct Extent {
+    size_t device = 0;
+    Bytes offset = 0;
+    /// True when this placement attached to bytes another tenant already
+    /// wrote (no new device space, no write time).
+    bool shared = false;
+    SimDuration write_time;
+  };
+
+  SharedDeviceService(SharedDeviceConfig config, EventLoop* loop);
+
+  SharedDeviceService(const SharedDeviceService&) = delete;
+  SharedDeviceService& operator=(const SharedDeviceService&) = delete;
+
+  // ---- Tenants -------------------------------------------------------------
+
+  /// Registers one tenant shard; the returned id scopes its throttle keys,
+  /// scheduler attribution, and extent-dedup domain.
+  TenantId RegisterTenant(std::string name, TenantClass cls);
+
+  [[nodiscard]] size_t tenant_count() const { return tenants_.size(); }
+  [[nodiscard]] TenantClass tenant_class(TenantId id) const {
+    return tenants_[id].cls;
+  }
+  [[nodiscard]] const std::string& tenant_name(TenantId id) const {
+    return tenants_[id].name;
+  }
+
+  // ---- Table placement -----------------------------------------------------
+
+  /// Places `bytes` for `tenant`: attaches to an existing extent when a
+  /// DIFFERENT tenant already placed identical content under the same table
+  /// name, otherwise allocates on the least-filled device and writes.
+  [[nodiscard]] Result<Extent> PlaceTable(TenantId tenant, const std::string& table_name,
+                                          std::span<const uint8_t> bytes);
+
+  // ---- Device stack --------------------------------------------------------
+
+  [[nodiscard]] size_t device_count() const { return sm_.size(); }
+  [[nodiscard]] NvmeDevice& device(size_t i) { return *sm_[i]; }
+  [[nodiscard]] IoEngine& io_engine(size_t i) { return *engines_[i]; }
+  [[nodiscard]] DirectIoReader& reader(size_t i) { return *readers_[i]; }
+  [[nodiscard]] BatchScheduler& scheduler(size_t i) { return *schedulers_[i]; }
+  [[nodiscard]] TableThrottle& throttle() { return throttle_; }
+  [[nodiscard]] BufferArena& buffer_arena() { return buffer_arena_; }
+  [[nodiscard]] EventLoop* loop() { return loop_; }
+  [[nodiscard]] const SharedDeviceConfig& config() const { return config_; }
+
+  // ---- Accounting ----------------------------------------------------------
+
+  /// Physical bytes occupied on the devices (after extent dedup).
+  [[nodiscard]] Bytes sm_used_bytes() const;
+  /// Bytes tenants did NOT have to place because an extent was shared.
+  [[nodiscard]] Bytes sm_dedup_saved_bytes() const { return dedup_saved_; }
+
+  /// Scheduler effectiveness aggregated over every device.
+  [[nodiscard]] CrossRequestIoStats cross_request_io_stats() const;
+  /// One tenant's fair-share ledger aggregated over every device.
+  [[nodiscard]] TenantIoShare tenant_io_share(TenantId id) const;
+  /// Virtual time `tenant`'s reads spent queued for a throttle slot.
+  [[nodiscard]] SimDuration throttle_queue_time(TenantId id) const {
+    return throttle_.QueueTime(id);
+  }
+
+ private:
+  struct Tenant {
+    std::string name;
+    TenantClass cls = TenantClass::kForeground;
+  };
+  /// Registry key of one placed table's content.
+  struct ExtentKey {
+    std::string name;
+    Bytes size = 0;
+    uint64_t content_hash = 0;
+    auto operator<=>(const ExtentKey&) const = default;
+  };
+  struct ExtentEntry {
+    Extent extent;
+    std::set<TenantId> owners;  ///< tenants attached to these bytes
+  };
+
+  SharedDeviceConfig config_;
+  EventLoop* loop_;
+  // Declared before the engines/readers that hold a pointer to it so it
+  // outlives them on destruction.
+  BufferArena buffer_arena_;
+  std::vector<std::unique_ptr<NvmeDevice>> sm_;
+  std::vector<std::unique_ptr<IoEngine>> engines_;
+  std::vector<std::unique_ptr<DirectIoReader>> readers_;
+  std::vector<std::unique_ptr<BatchScheduler>> schedulers_;
+  TableThrottle throttle_;
+  std::vector<Tenant> tenants_;
+  std::vector<Bytes> sm_used_;  // per-device bump allocator
+  std::map<ExtentKey, ExtentEntry> extents_;
+  Bytes dedup_saved_ = 0;
+};
+
+}  // namespace sdm

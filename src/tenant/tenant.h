@@ -1,0 +1,37 @@
+// Tenant identity and QoS classes for the multi-tenant sharded SdmStore
+// (paper §5.3: many low-QPS experimental models co-locate on one host
+// because cold tables tolerate SM latency).
+//
+// A tenant is one model/shard attached to a SharedDeviceService. Its
+// TenantClass picks the BatchScheduler lane its demand reads ride:
+//
+//   kForeground : latency-sensitive serving. Demand reads use the normal
+//                 demand lane — full flush rights, §4.1 throttle admission.
+//   kBackground : batch scorers, refresh jobs, experiment replays. Demand
+//                 reads ride the scheduler's low-priority background lane:
+//                 they never trigger a size/deadline flush, are
+//                 byte-budgeted (parked, never dropped — this is demand,
+//                 not speculation), and are promoted into the foreground
+//                 batch when a foreground run overlaps them.
+//
+// TenantId 0 is the implicit single tenant of an owned-device SdmStore, so
+// standalone stores need no tenant plumbing at all.
+#pragma once
+
+#include <cstdint>
+
+namespace sdm {
+
+/// Dense per-SharedDeviceService tenant index (assigned by RegisterTenant).
+using TenantId = uint32_t;
+
+enum class TenantClass : uint8_t {
+  kForeground,  ///< latency-sensitive; demand lane
+  kBackground,  ///< throughput-tolerant; low-priority background lane
+};
+
+[[nodiscard]] inline const char* ToString(TenantClass c) {
+  return c == TenantClass::kForeground ? "foreground" : "background";
+}
+
+}  // namespace sdm

@@ -332,7 +332,7 @@ TEST(PrefetchLane, BypassModeLaneIsInert) {
         EXPECT_EQ(admission, BatchScheduler::Admission::kDropped);
         EXPECT_EQ(rig.sched->prefetch_pending_sqes(), 0u);
       },
-      "prefetch lane requires cross_request");
+      "lanes require cross_request");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,620 @@
+// Tests for src/tenant: the BatchScheduler background lane (QoS semantics:
+// starvation bound, byte-budget parking, foreground promotion), the
+// SharedDeviceService (extent dedup, cross-tenant single-flight, fair-share
+// attribution), single-tenant byte-identity of shared vs owned device
+// stacks, shared-device tuning validation, and the reworked MultiTenantHost.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/lookup_engine.h"
+#include "core/model_loader.h"
+#include "core/model_updater.h"
+#include "core/sdm_store.h"
+#include "dlrm/model_zoo.h"
+#include "tenant/multi_tenant_host.h"
+#include "tenant/shared_device_service.h"
+#include "tenant/tenant.h"
+
+namespace sdm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Background lane, driven directly against a known device.
+// ---------------------------------------------------------------------------
+
+struct SchedulerRig {
+  EventLoop loop;
+  std::unique_ptr<NvmeDevice> device;
+  std::unique_ptr<IoEngine> engine;
+  BufferArena arena;
+  std::unique_ptr<BatchScheduler> sched;
+
+  explicit SchedulerRig(BatchSchedulerConfig cfg, Bytes backing = 2 * kMiB) {
+    device = std::make_unique<NvmeDevice>(MakeOptaneSsdSpec(), backing, &loop, 1);
+    std::vector<uint8_t> image(backing);
+    for (size_t i = 0; i < image.size(); ++i) {
+      image[i] = static_cast<uint8_t>((i * 7 + 3) & 0xFF);
+    }
+    EXPECT_TRUE(device->Write(0, image).ok());
+    engine = std::make_unique<IoEngine>(device.get(), &loop, IoEngineConfig{});
+    sched = std::make_unique<BatchScheduler>(engine.get(), &arena, &loop, cfg);
+  }
+
+  BatchScheduler::ReadRequest Request(
+      Bytes begin, Bytes end, int* ok,
+      BatchScheduler::ReadRequest::Kind kind = BatchScheduler::ReadRequest::Kind::kDemand,
+      uint32_t tenant = 0) {
+    BatchScheduler::ReadRequest req;
+    req.span_begin = begin;
+    req.span_end = end;
+    req.first_block = begin / kBlockSize;
+    req.last_block = (end - 1) / kBlockSize;
+    req.sub_block = false;
+    req.kind = kind;
+    req.tenant = tenant;
+    req.rows = 1;
+    req.per_row_bus = kBlockSize;
+    req.cb = [begin, end, ok](Status s, const uint8_t* data, Bytes base) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      ASSERT_NE(data, nullptr);
+      for (Bytes o = begin; o < end; ++o) {
+        ASSERT_EQ(data[o - base], static_cast<uint8_t>((o * 7 + 3) & 0xFF));
+      }
+      ++*ok;
+    };
+    return req;
+  }
+
+  [[nodiscard]] uint64_t DeviceReads() const {
+    return device->stats().CounterValue("reads");
+  }
+  [[nodiscard]] uint64_t Counter(const char* name) const {
+    return sched->stats().CounterValue(name);
+  }
+};
+
+constexpr auto kBg = BatchScheduler::ReadRequest::Kind::kBackground;
+
+TEST(BackgroundLane, RidesDemandDoorbellWithLeftoverRoom) {
+  BatchSchedulerConfig cfg;
+  cfg.max_batch_delay = Micros(5);
+  cfg.background_flush_delay = Micros(100);
+  SchedulerRig rig(cfg);
+  int ok = 0;
+  SimTime bg_done;
+  auto bg = rig.Request(8 * kBlockSize, 8 * kBlockSize + 64, &ok, kBg);
+  auto inner = std::move(bg.cb);
+  bg.cb = [&rig, &bg_done, inner = std::move(inner)](Status s, const uint8_t* d, Bytes b) {
+    bg_done = rig.loop.Now();
+    inner(s, d, b);
+  };
+  EXPECT_EQ(rig.sched->Enqueue(std::move(bg)), BatchScheduler::Admission::kNewRead);
+  EXPECT_EQ(rig.sched->pending_sqes(), 0u);  // not in the demand batch
+  EXPECT_EQ(rig.sched->background_pending_sqes(), 1u);
+  // A demand run arrives; its deadline flush carries the background SQE
+  // long before the lane's own (100us) drain timer.
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(100, 200, &ok)),
+            BatchScheduler::Admission::kNewRead);
+  rig.loop.RunUntilIdle();
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(rig.DeviceReads(), 2u);
+  EXPECT_EQ(rig.Counter("flushes"), 1u);  // one doorbell for both lanes
+  EXPECT_EQ(rig.Counter("background_reads"), 1u);
+  EXPECT_EQ(rig.Counter("device_reads"), 1u);
+  EXPECT_EQ(rig.Counter("flush_background"), 0u);  // never needed its own timer
+  // Doorbell at the 5us demand deadline + ~80us of 4KiB media service —
+  // well before the lane timer (100us) could even have rung the doorbell.
+  EXPECT_LE(bg_done.nanos(), Micros(95).nanos());
+}
+
+TEST(BackgroundLane, StarvationBoundedUnderSustainedForegroundPressure) {
+  BatchSchedulerConfig cfg;
+  cfg.max_batch_sqes = 2;  // every demand flush runs with a FULL doorbell
+  cfg.max_batch_delay = Micros(5);
+  cfg.background_flush_delay = Micros(50);
+  SchedulerRig rig(cfg);
+
+  int bg_ok = 0;
+  SimTime bg_done;
+  auto bg = rig.Request(4 * kBlockSize, 4 * kBlockSize + 64, &bg_ok, kBg);
+  auto inner = std::move(bg.cb);
+  bg.cb = [&rig, &bg_done, inner = std::move(inner)](Status s, const uint8_t* d, Bytes b) {
+    bg_done = rig.loop.Now();
+    inner(s, d, b);
+  };
+  EXPECT_EQ(rig.sched->Enqueue(std::move(bg)), BatchScheduler::Admission::kNewRead);
+
+  // Sustained foreground pressure: a fresh FULL-doorbell demand batch every
+  // 5us for 300us (0.4M IOPS of 4KiB reads — heavy but under the device's
+  // 0.5M capacity, so queueing stays bounded and the measurement isolates
+  // doorbell starvation), spread over non-adjacent far-away blocks so
+  // nothing merges with (or covers) the background run.
+  int fg_ok = 0;
+  int next_block = 16;
+  for (int t = 0; t < 60; ++t) {
+    rig.loop.ScheduleAt(SimTime(Micros(5 * t).nanos()), [&rig, &fg_ok, &next_block] {
+      for (int i = 0; i < 2; ++i) {
+        const Bytes begin = static_cast<Bytes>(next_block) * kBlockSize;
+        next_block += 3;
+        if (next_block > 480) next_block = 16;
+        (void)rig.sched->Enqueue(rig.Request(begin, begin + 64, &fg_ok));
+      }
+    });
+  }
+  rig.loop.RunUntilIdle();
+
+  EXPECT_EQ(bg_ok, 1);
+  EXPECT_GT(fg_ok, 0);
+  EXPECT_GE(rig.Counter("flush_background"), 1u);
+  // The lane drain timer fired despite the doorbell never having room: the
+  // run reached the device by the 50us bound and completed after ~80us of
+  // 4KiB media service plus modest queueing — far earlier than the 300us+
+  // a doorbell-room-only policy would strand it for.
+  EXPECT_LE(bg_done.nanos(), Micros(170).nanos())
+      << "background run starved: completed at " << bg_done.nanos() << "ns";
+}
+
+TEST(BackgroundLane, OverBudgetRunsParkAndDrainInOrder) {
+  BatchSchedulerConfig cfg;
+  cfg.background_max_inflight_bytes = kBlockSize;  // exactly one block read
+  cfg.background_flush_delay = Micros(5);
+  SchedulerRig rig(cfg);
+  int ok = 0;
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(kBlockSize, kBlockSize + 64, &ok, kBg)),
+            BatchScheduler::Admission::kNewRead);
+  // Over budget: parked, NOT dropped (this is demand), and still reported
+  // as a (deferred) new read.
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(3 * kBlockSize, 3 * kBlockSize + 64, &ok, kBg)),
+            BatchScheduler::Admission::kNewRead);
+  EXPECT_EQ(rig.sched->background_pending_sqes(), 1u);
+  EXPECT_EQ(rig.sched->background_parked_runs(), 1u);
+  EXPECT_EQ(rig.Counter("background_parked"), 1u);
+  EXPECT_EQ(rig.Counter("prefetch_dropped"), 0u);
+
+  rig.loop.RunUntilIdle();
+  // The first read's completion released budget, admitted the parked run,
+  // and the lane timer drained it.
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(rig.Counter("background_reads"), 2u);
+  EXPECT_EQ(rig.sched->background_parked_runs(), 0u);
+  EXPECT_EQ(rig.sched->background_budget_used(), 0u);
+}
+
+TEST(BackgroundLane, ForegroundOverlapPromotesPendingBackgroundSqe) {
+  BatchSchedulerConfig cfg;
+  cfg.max_batch_delay = Micros(5);
+  cfg.background_flush_delay = Micros(100);
+  SchedulerRig rig(cfg);
+  int bg_ok = 0;
+  int fg_ok = 0;
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(2 * kBlockSize, 2 * kBlockSize + 256, &bg_ok, kBg)),
+            BatchScheduler::Admission::kNewRead);
+  // Foreground demand inside the background SQE's block coverage: the SQE
+  // is promoted into the demand batch instead of a second read issuing.
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(2 * kBlockSize + 512, 2 * kBlockSize + 600, &fg_ok)),
+            BatchScheduler::Admission::kJoinedPending);
+  EXPECT_EQ(rig.sched->background_pending_sqes(), 0u);
+  EXPECT_EQ(rig.sched->pending_sqes(), 1u);
+  EXPECT_EQ(rig.Counter("background_promoted"), 1u);
+  rig.loop.RunUntilIdle();
+  EXPECT_EQ(bg_ok, 1);
+  EXPECT_EQ(fg_ok, 1);
+  EXPECT_EQ(rig.DeviceReads(), 1u);  // one shared read served both classes
+  EXPECT_EQ(rig.Counter("singleflight_hits"), 1u);
+  // The promoted read keeps its background budget charge until completion,
+  // then releases it.
+  EXPECT_EQ(rig.sched->background_budget_used(), 0u);
+}
+
+TEST(BackgroundLane, CoveredByPendingPrefetchPromotesIntoBackgroundLane) {
+  BatchSchedulerConfig cfg;
+  cfg.max_batch_delay = Micros(5);
+  cfg.background_flush_delay = Micros(20);
+  cfg.prefetch_flush_delay = Micros(500);  // speculation would drain LATE
+  SchedulerRig rig(cfg);
+  int pf_ok = 0;
+  int bg_ok = 0;
+  SimTime bg_done;
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(2 * kBlockSize, 2 * kBlockSize + 256, &pf_ok,
+                                           BatchScheduler::ReadRequest::Kind::kPrefetch)),
+            BatchScheduler::Admission::kNewRead);
+  // The slot-free (WouldShare) contract: background demand covered by the
+  // speculative SQE must share it — and must not inherit the prefetch
+  // lane's unhurried drain timer.
+  EXPECT_TRUE(rig.sched->WouldShare(2 * kBlockSize + 512, 2 * kBlockSize + 600,
+                                    2, 2, false));
+  auto bg = rig.Request(2 * kBlockSize + 512, 2 * kBlockSize + 600, &bg_ok, kBg);
+  auto inner = std::move(bg.cb);
+  bg.cb = [&rig, &bg_done, inner = std::move(inner)](Status s, const uint8_t* d, Bytes b) {
+    bg_done = rig.loop.Now();
+    inner(s, d, b);
+  };
+  EXPECT_EQ(rig.sched->Enqueue(std::move(bg)),
+            BatchScheduler::Admission::kJoinedPending);
+  EXPECT_EQ(rig.sched->prefetch_pending_sqes(), 0u);  // promoted out
+  EXPECT_EQ(rig.sched->background_pending_sqes(), 1u);
+  EXPECT_EQ(rig.Counter("prefetch_promoted"), 1u);
+  rig.loop.RunUntilIdle();
+  EXPECT_EQ(pf_ok, 1);
+  EXPECT_EQ(bg_ok, 1);
+  EXPECT_EQ(rig.DeviceReads(), 1u);
+  // Drained by the background lane's 20us timer, not speculation's 500us.
+  EXPECT_LE(bg_done.nanos(), Micros(150).nanos());
+  EXPECT_EQ(rig.sched->background_budget_used(), 0u);
+  EXPECT_EQ(rig.sched->prefetch_budget_used(), 0u);
+}
+
+TEST(BackgroundLane, RunLargerThanBudgetStillProgressesWhenLaneIdle) {
+  BatchSchedulerConfig cfg;
+  cfg.background_max_inflight_bytes = kBlockSize;  // smaller than the run
+  cfg.background_flush_delay = Micros(5);
+  cfg.max_coalesce_bytes = 64 * kKiB;
+  SchedulerRig rig(cfg);
+  int ok = 0;
+  // A 4-block run exceeds the whole lane budget; with the lane idle it
+  // must be admitted anyway — parking it would strand it forever (no
+  // completion would ever re-admit it).
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(8 * kBlockSize, 12 * kBlockSize, &ok, kBg)),
+            BatchScheduler::Admission::kNewRead);
+  EXPECT_EQ(rig.sched->background_parked_runs(), 0u);
+  EXPECT_EQ(rig.sched->background_pending_sqes(), 1u);
+  rig.loop.RunUntilIdle();
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(rig.Counter("background_reads"), 1u);
+  EXPECT_EQ(rig.sched->background_budget_used(), 0u);
+}
+
+TEST(BackgroundLane, TenantSharesAttributeLaneBytesAndCrossTenantHits) {
+  BatchSchedulerConfig cfg;
+  cfg.max_batch_delay = Micros(5);
+  SchedulerRig rig(cfg);
+  int ok = 0;
+  // Tenant 1 (foreground lane) owns a read; tenant 2's identical demand
+  // single-flights on it cross-tenant; tenant 2 also owns a background read.
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(kBlockSize, kBlockSize + 128, &ok,
+                                           BatchScheduler::ReadRequest::Kind::kDemand, 1)),
+            BatchScheduler::Admission::kNewRead);
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(kBlockSize + 128, kBlockSize + 256, &ok,
+                                           BatchScheduler::ReadRequest::Kind::kDemand, 2)),
+            BatchScheduler::Admission::kJoinedPending);
+  EXPECT_EQ(rig.sched->Enqueue(rig.Request(6 * kBlockSize, 6 * kBlockSize + 64, &ok, kBg, 2)),
+            BatchScheduler::Admission::kNewRead);
+  rig.loop.RunUntilIdle();
+  EXPECT_EQ(ok, 3);
+
+  const TenantIoShare t1 = rig.sched->tenant_share(1);
+  EXPECT_EQ(t1.demand_reads, 1u);
+  EXPECT_GT(t1.demand_bytes, 0u);
+  EXPECT_EQ(t1.cross_tenant_hits, 0u);
+
+  const TenantIoShare t2 = rig.sched->tenant_share(2);
+  EXPECT_EQ(t2.demand_reads, 0u);  // its demand rode tenant 1's read
+  EXPECT_EQ(t2.singleflight_hits, 1u);
+  EXPECT_EQ(t2.cross_tenant_hits, 1u);
+  EXPECT_GT(t2.cross_tenant_bytes_saved, 0u);
+  EXPECT_EQ(t2.background_reads, 1u);
+  EXPECT_GT(t2.background_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SharedDeviceService: extents, cross-tenant single-flight, byte identity.
+// ---------------------------------------------------------------------------
+
+TuningConfig TenantTuning() {
+  TuningConfig t;
+  t.row_cache.capacity = 0;  // auto-size from FM budget
+  t.enable_row_cache = true;
+  t.sub_block_reads = true;
+  return t;
+}
+
+struct SharedRig {
+  EventLoop loop;
+  std::unique_ptr<SharedDeviceService> service;
+  std::vector<std::unique_ptr<SdmStore>> stores;
+  std::vector<std::unique_ptr<LookupEngine>> engines;
+  ModelConfig model;
+
+  explicit SharedRig(size_t tenants, ModelConfig m = MakeTinyUniformModel(32, 2, 1, 4000),
+                     TuningConfig tuning = TenantTuning())
+      : model(std::move(m)) {
+    SharedDeviceConfig dcfg;
+    dcfg.sm_specs = {MakeOptaneSsdSpec()};
+    dcfg.sm_backing_bytes = {32 * kMiB};
+    dcfg.tuning = tuning;
+    dcfg.seed = 42;
+    service = std::make_unique<SharedDeviceService>(std::move(dcfg), &loop);
+    for (size_t i = 0; i < tenants; ++i) AddTenant(tuning);
+  }
+
+  void AddTenant(TuningConfig tuning, TenantClass cls = TenantClass::kForeground) {
+    const TenantId id = service->RegisterTenant("t" + std::to_string(stores.size()), cls);
+    SdmStoreConfig cfg;
+    cfg.fm_capacity = 2 * kMiB;
+    cfg.tuning = std::move(tuning);
+    cfg.seed = 42 + id;
+    cfg.shared_device = service.get();
+    cfg.tenant_id = id;
+    cfg.tenant_class = cls;
+    stores.push_back(std::make_unique<SdmStore>(cfg, &loop));
+    auto report = ModelLoader::Load(model, LoaderOptions{}, stores.back().get());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    engines.push_back(std::make_unique<LookupEngine>(stores.back().get()));
+  }
+
+  /// Finds a table this tenant serves from SM.
+  TableId SmTable(size_t tenant) const {
+    for (size_t t = 0; t < stores[tenant]->table_count(); ++t) {
+      const TableId id = MakeTableId(static_cast<uint32_t>(t));
+      if (stores[tenant]->table(id).tier == MemoryTier::kSm) return id;
+    }
+    ADD_FAILURE() << "no SM table";
+    return MakeTableId(0);
+  }
+};
+
+TEST(SharedDevice, DedupsIdenticalContentAcrossTenantsOnly) {
+  SharedRig rig(2);
+  // Both tenants loaded byte-identical models: every SM table deduped.
+  Bytes logical = rig.stores[0]->sm_used_bytes() + rig.stores[1]->sm_used_bytes();
+  EXPECT_GT(logical, 0u);
+  EXPECT_EQ(rig.service->sm_used_bytes() * 2, logical);
+  EXPECT_EQ(rig.service->sm_dedup_saved_bytes(), rig.stores[1]->sm_used_bytes());
+  // The second tenant's tables point at the first tenant's extents.
+  const TableId t0 = rig.SmTable(0);
+  const TableId t1 = rig.SmTable(1);
+  EXPECT_FALSE(rig.stores[0]->table(t0).shared_extent);
+  EXPECT_TRUE(rig.stores[1]->table(t1).shared_extent);
+  EXPECT_EQ(rig.stores[0]->table(t0).offset, rig.stores[1]->table(t1).offset);
+}
+
+TEST(SharedDevice, DifferentContentGetsPrivateExtents) {
+  SharedRig rig(1);
+  TuningConfig tuning = TenantTuning();
+  // Different shape => different bytes => no sharing.
+  SharedRig other(0);
+  (void)other;
+  const Bytes before = rig.service->sm_used_bytes();
+  rig.model = MakeTinyUniformModel(32, 2, 1, 5000);
+  rig.AddTenant(tuning);
+  EXPECT_GT(rig.service->sm_used_bytes(), before);
+  EXPECT_EQ(rig.service->sm_dedup_saved_bytes(), 0u);
+}
+
+/// Runs one lookup to completion on the rig's loop.
+std::pair<std::vector<float>, LookupTrace> RunLookup(EventLoop& loop, LookupEngine& engine,
+                                                     TableId table,
+                                                     std::vector<RowIndex> indices) {
+  std::vector<float> pooled;
+  LookupTrace trace;
+  bool done = false;
+  LookupRequest req;
+  req.table = table;
+  req.indices = std::move(indices);
+  engine.Lookup(std::move(req),
+                [&](Status s, std::vector<float> out, const LookupTrace& t) {
+                  EXPECT_TRUE(s.ok()) << s.ToString();
+                  pooled = std::move(out);
+                  trace = t;
+                  done = true;
+                });
+  loop.RunUntilIdle();
+  EXPECT_TRUE(done);
+  return {std::move(pooled), trace};
+}
+
+TEST(SharedDevice, CrossTenantSingleFlightOnOverlappingHotRows) {
+  SharedRig rig(2);
+  const TableId table0 = rig.SmTable(0);
+  const TableId table1 = rig.SmTable(1);
+
+  const uint64_t reads_before = rig.service->device(0).stats().CounterValue("reads");
+
+  // Both tenants miss the same rows of the same (deduped) table at the same
+  // virtual instant: the second tenant's runs must ride the first's reads.
+  std::vector<float> out0, out1;
+  LookupTrace tr0, tr1;
+  int done = 0;
+  for (int tenant = 0; tenant < 2; ++tenant) {
+    LookupRequest req;
+    req.table = tenant == 0 ? table0 : table1;
+    req.indices = {11, 12, 13, 14};
+    rig.engines[tenant]->Lookup(
+        std::move(req), [&, tenant](Status s, std::vector<float> out, const LookupTrace& t) {
+          ASSERT_TRUE(s.ok()) << s.ToString();
+          (tenant == 0 ? out0 : out1) = std::move(out);
+          (tenant == 0 ? tr0 : tr1) = t;
+          ++done;
+        });
+  }
+  rig.loop.RunUntilIdle();
+  ASSERT_EQ(done, 2);
+
+  // Identical content => identical pooled outputs.
+  ASSERT_EQ(out0.size(), out1.size());
+  for (size_t i = 0; i < out0.size(); ++i) EXPECT_FLOAT_EQ(out0[i], out1[i]);
+
+  // One tenant issued the reads, the other single-flighted on them.
+  const uint64_t reads = rig.service->device(0).stats().CounterValue("reads") - reads_before;
+  EXPECT_GT(tr0.device_reads + tr1.device_reads, 0u);
+  EXPECT_GT(tr0.singleflight_hits + tr1.singleflight_hits, 0u);
+  EXPECT_LT(reads, static_cast<uint64_t>(tr0.rows_from_sm + tr1.rows_from_sm));
+  const TenantIoShare s0 = rig.service->tenant_io_share(0);
+  const TenantIoShare s1 = rig.service->tenant_io_share(1);
+  EXPECT_GT(s0.cross_tenant_hits + s1.cross_tenant_hits, 0u);
+  EXPECT_GT(s0.cross_tenant_bytes_saved + s1.cross_tenant_bytes_saved, 0u);
+}
+
+TEST(SharedDevice, SingleTenantSharedRunByteIdenticalToOwnedDevice) {
+  // Owned-device store (today's path).
+  EventLoop owned_loop;
+  SdmStoreConfig owned_cfg;
+  owned_cfg.fm_capacity = 2 * kMiB;
+  owned_cfg.sm_specs = {MakeOptaneSsdSpec()};
+  owned_cfg.sm_backing_bytes = {32 * kMiB};
+  owned_cfg.tuning = TenantTuning();
+  owned_cfg.seed = 42;
+  SdmStore owned(owned_cfg, &owned_loop);
+  const ModelConfig model = MakeTinyUniformModel(32, 2, 1, 4000);
+  auto owned_report = ModelLoader::Load(model, LoaderOptions{}, &owned);
+  ASSERT_TRUE(owned_report.ok());
+  LookupEngine owned_engine(&owned);
+
+  // One tenant attached to an explicit shared service.
+  SharedRig rig(1, model);
+
+  // Same request sequence on both; every latency, trace counter, and pooled
+  // value must match bit for bit.
+  std::vector<std::vector<RowIndex>> sequence = {
+      {1, 2, 3}, {100, 200, 300, 100}, {1, 2, 3}, {7, 8, 9, 10, 11}, {3000, 1, 3001}};
+  const TableId table = rig.SmTable(0);
+  for (const auto& indices : sequence) {
+    auto [o_pool, o_trace] = RunLookup(owned_loop, owned_engine, table, indices);
+    auto [s_pool, s_trace] = RunLookup(rig.loop, *rig.engines[0], table, indices);
+    ASSERT_EQ(o_pool.size(), s_pool.size());
+    for (size_t i = 0; i < o_pool.size(); ++i) EXPECT_EQ(o_pool[i], s_pool[i]);
+    EXPECT_EQ(o_trace.latency.nanos(), s_trace.latency.nanos());
+    EXPECT_EQ(o_trace.device_reads, s_trace.device_reads);
+    EXPECT_EQ(o_trace.rows_from_sm, s_trace.rows_from_sm);
+    EXPECT_EQ(o_trace.rows_from_cache, s_trace.rows_from_cache);
+    EXPECT_EQ(o_trace.cpu_time.nanos(), s_trace.cpu_time.nanos());
+  }
+  EXPECT_EQ(owned.sm_device(0).stats().CounterValue("reads"),
+            rig.service->device(0).stats().CounterValue("reads"));
+  EXPECT_EQ(owned.sm_device(0).stats().CounterValue("bus_bytes"),
+            rig.service->device(0).stats().CounterValue("bus_bytes"));
+  EXPECT_EQ(owned_loop.Now().nanos(), rig.loop.Now().nanos());
+}
+
+TEST(SharedDevice, ModelUpdaterRefusesInPlaceUpdateOfSharedExtent) {
+  SharedRig rig(2);
+  // Tenant 1's SM tables are deduped onto tenant 0's extents: an in-place
+  // update would corrupt tenant 0's reads, so it must be refused.
+  ModelUpdater updater(rig.stores[1].get());
+  UpdateOptions opts;
+  opts.row_fraction = 0.1;
+  const auto report = updater.Update(opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+  // The extent OWNER (no shared_extent flag) may still update in place.
+  ModelUpdater owner_updater(rig.stores[0].get());
+  EXPECT_TRUE(owner_updater.Update(opts).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tuning validation for shared devices.
+// ---------------------------------------------------------------------------
+
+TEST(TenantTuning, ValidateForSharedDeviceRejectsInconsistentKnobs) {
+  TuningConfig t = TenantTuning();
+  EXPECT_TRUE(t.ValidateForSharedDevice().ok());
+
+  TuningConfig no_xreq = TenantTuning();
+  no_xreq.cross_request_batching = false;
+  EXPECT_EQ(no_xreq.ValidateForSharedDevice().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(no_xreq.Validate().ok());  // fine for single-tenant ablations
+
+  TuningConfig no_coalesce = TenantTuning();
+  no_coalesce.coalesce_io = false;
+  EXPECT_EQ(no_coalesce.ValidateForSharedDevice().code(), StatusCode::kInvalidArgument);
+
+  TuningConfig zero_budget = TenantTuning();
+  zero_budget.background_max_inflight_bytes = 0;
+  EXPECT_EQ(zero_budget.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TenantTuning, AttachedStoreRejectsInconsistentKnobsAtLoad) {
+  EventLoop loop;
+  SharedDeviceConfig dcfg;
+  dcfg.sm_specs = {MakeOptaneSsdSpec()};
+  dcfg.sm_backing_bytes = {8 * kMiB};
+  dcfg.tuning = TenantTuning();
+  SharedDeviceService service(std::move(dcfg), &loop);
+
+  SdmStoreConfig cfg;
+  cfg.fm_capacity = 2 * kMiB;
+  cfg.tuning = TenantTuning();
+  cfg.tuning.cross_request_batching = false;  // inconsistent with sharing
+  cfg.shared_device = &service;
+  cfg.tenant_id = service.RegisterTenant("bad", TenantClass::kForeground);
+  SdmStore store(cfg, &loop);
+  const ModelConfig model = MakeTinyUniformModel(32, 1, 1, 1000);
+  auto report = ModelLoader::Load(model, LoaderOptions{}, &store);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TenantTuning, MultiTenantHostSurfacesValidationError) {
+  HostSimConfig base;
+  base.host = MakeHwFAO(2);
+  base.tuning.cross_request_batching = false;
+  MultiTenantHost host(base, 1, /*shared_device=*/true);
+  const Status s = host.AddTenant(MakeTinyUniformModel(32, 1, 1, 1000), 4 * kMiB);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// MultiTenantHost on the real shared-device path.
+// ---------------------------------------------------------------------------
+
+HostSimConfig TenantHostConfig() {
+  HostSimConfig cfg;
+  cfg.host = MakeHwFAO(2);
+  cfg.fm_capacity = 24 * kMiB;
+  cfg.sm_backing_per_device = 32 * kMiB;
+  cfg.workload.num_users = 2000;
+  cfg.workload.seed = 11;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(MultiTenantShared, RunsShardsOnOneDeviceStackAndReports) {
+  MultiTenantHost host(TenantHostConfig(), 77, /*shared_device=*/true);
+  ModelConfig shared_model = MakeTinyUniformModel(64, 2, 1, 40'000);
+  ASSERT_TRUE(host.AddTenant(shared_model, 4 * kMiB, TenantClass::kForeground).ok());
+  ASSERT_TRUE(host.AddTenant(shared_model, 4 * kMiB, TenantClass::kBackground).ok());
+  ASSERT_TRUE(
+      host.AddTenant(MakeTinyUniformModel(64, 3, 1, 30'000), 4 * kMiB).ok());
+  EXPECT_EQ(host.tenant_count(), 3u);
+  ASSERT_NE(host.service(), nullptr);
+
+  const MultiTenantReport r = host.Run(/*qps_per_tenant=*/200, /*queries=*/400);
+  ASSERT_EQ(r.tenants.size(), 3u);
+  EXPECT_TRUE(r.shared_device);
+  for (const auto& t : r.tenants) {
+    EXPECT_EQ(t.run.queries_completed, 400u);
+    EXPECT_GT(t.sm_used, 0u);
+    EXPECT_FALSE(t.Summary().empty());
+  }
+  // The twin tenants deduped their tables: physical < logical SM bytes.
+  EXPECT_LT(r.sm_unique_bytes, r.sm_logical_bytes);
+  // The background tenant's demand rode the background lane; foreground
+  // tenants rode the demand lane.
+  EXPECT_EQ(r.tenants[1].cls, TenantClass::kBackground);
+  EXPECT_GT(r.tenants[1].bg_lane_bytes, 0u);
+  EXPECT_EQ(r.tenants[1].fg_lane_bytes, 0u);
+  EXPECT_GT(r.tenants[0].fg_lane_bytes, 0u);
+  EXPECT_EQ(r.tenants[0].bg_lane_bytes, 0u);
+  EXPECT_GT(r.io.background_reads, 0u);
+  EXPECT_GT(r.sm_device_reads, 0u);
+  EXPECT_FALSE(r.Summary().empty());
+  // The whole point of §5.3: the tenant set would NOT fit in FM without SM.
+  EXPECT_FALSE(r.fits_in_fm);
+}
+
+TEST(MultiTenantShared, IsolatedModeStillWorks) {
+  MultiTenantHost host(TenantHostConfig(), 77);
+  ASSERT_TRUE(host.AddTenant(MakeTinyUniformModel(64, 2, 1, 40'000), 4 * kMiB).ok());
+  ASSERT_TRUE(host.AddTenant(MakeTinyUniformModel(64, 3, 1, 30'000), 4 * kMiB).ok());
+  const MultiTenantReport r = host.Run(100, 200);
+  ASSERT_EQ(r.tenants.size(), 2u);
+  EXPECT_FALSE(r.shared_device);
+  for (const auto& t : r.tenants) EXPECT_EQ(t.run.queries_completed, 200u);
+  EXPECT_EQ(r.sm_unique_bytes, r.sm_logical_bytes);
+}
+
+}  // namespace
+}  // namespace sdm
