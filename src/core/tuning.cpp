@@ -66,4 +66,15 @@ Status TuningConfig::ValidateForSharedDevice() const {
   return Status::Ok();
 }
 
+Status TuningConfig::ValidateForDisaggregated() const {
+  if (Status s = ValidateForSharedDevice(); !s.ok()) return s;
+  if (fabric_latency < SimDuration(0)) {
+    return InvalidArgumentError("fabric_latency must be >= 0");
+  }
+  if (fabric_bandwidth_bytes_per_sec < 0) {
+    return InvalidArgumentError("fabric_bandwidth_bytes_per_sec must be >= 0");
+  }
+  return Status::Ok();
+}
+
 }  // namespace sdm

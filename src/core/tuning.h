@@ -113,6 +113,20 @@ struct TuningConfig {
   /// doorbell after at most this long.
   SimDuration background_flush_delay = Micros(10);
 
+  // ---- Disaggregated fabric (src/fabric; §5.2's scale-out made real) ----
+  /// One-way propagation latency of the fabric hop in front of a
+  /// fabric-attached device stack. Zero (with unlimited bandwidth) makes
+  /// the fabric instant: disaggregated mode becomes byte-identical to a
+  /// local shared device.
+  SimDuration fabric_latency{0};
+  /// Per-direction fabric bandwidth (bytes/sec; 0 = unlimited). Doorbells
+  /// pay 64B per SQE on the request direction, read payloads their bus
+  /// bytes on the response direction.
+  double fabric_bandwidth_bytes_per_sec = 0;
+  /// Model per-hop FIFO queueing: transfers in one direction serialize
+  /// behind each other (needs a finite bandwidth to matter).
+  bool fabric_queueing = true;
+
   // ---- Cache organization (§4.3) ----
   bool enable_row_cache = true;
   /// capacity == 0 (the default) auto-sizes the cache to whatever FM the
@@ -163,6 +177,12 @@ struct TuningConfig {
   /// them (fine for single-tenant ablations) are inconsistent on a shared
   /// device and are rejected here instead of asserting at runtime.
   [[nodiscard]] Status ValidateForSharedDevice() const;
+
+  /// Validation for cluster hosts attached to a fabric-attached device
+  /// stack (src/fabric): everything a shared device requires, plus sane
+  /// fabric knobs. The disaggregated run loop rejects inconsistent configs
+  /// with a Status at LoadModel instead of asserting mid-run.
+  [[nodiscard]] Status ValidateForDisaggregated() const;
 };
 
 }  // namespace sdm

@@ -1,0 +1,35 @@
+#include "fabric/fabric_attached_service.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sdm {
+
+FabricAttachedService::FabricAttachedService(FabricServiceConfig config, EventLoop* loop)
+    : link_config_(config.link), service_(std::move(config.device), loop) {
+  assert(loop != nullptr);
+  links_.reserve(service_.device_count());
+  for (size_t d = 0; d < service_.device_count(); ++d) {
+    links_.push_back(std::make_unique<FabricLink>(link_config_, loop));
+    service_.io_engine(d).set_fabric_link(links_.back().get());
+  }
+}
+
+TenantId FabricAttachedService::AttachHost(std::string name, TenantClass cls) {
+  return service_.RegisterTenant(std::move(name), cls);
+}
+
+FabricLinkStats FabricAttachedService::fabric_stats() const {
+  FabricLinkStats agg;
+  for (const auto& link : links_) {
+    const FabricLinkStats& one = link->stats();
+    agg.requests += one.requests;
+    agg.responses += one.responses;
+    agg.request_bytes += one.request_bytes;
+    agg.response_bytes += one.response_bytes;
+    agg.queue_time += one.queue_time;
+  }
+  return agg;
+}
+
+}  // namespace sdm

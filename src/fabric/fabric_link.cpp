@@ -1,0 +1,47 @@
+#include "fabric/fabric_link.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sdm {
+
+FabricLink::FabricLink(FabricLinkConfig config, EventLoop* loop)
+    : config_(config), loop_(loop) {
+  assert(loop != nullptr);
+  assert(config.latency >= SimDuration(0));
+  assert(config.bandwidth_bytes_per_sec >= 0);
+}
+
+void FabricLink::Request(Bytes payload, EventLoop::Callback deliver) {
+  ++stats_.requests;
+  stats_.request_bytes += payload;
+  Traverse(request_dir_, payload, std::move(deliver));
+}
+
+void FabricLink::Response(Bytes payload, EventLoop::Callback deliver) {
+  ++stats_.responses;
+  stats_.response_bytes += payload;
+  Traverse(response_dir_, payload, std::move(deliver));
+}
+
+void FabricLink::Traverse(Direction& dir, Bytes payload, EventLoop::Callback deliver) {
+  if (config_.instant()) {
+    // Synchronous delivery keeps event ordering identical to no fabric at
+    // all — the zero-latency byte-identity the cluster tests pin.
+    deliver();
+    return;
+  }
+  const SimTime now = loop_->Now();
+  SimDuration serialization{0};
+  if (config_.bandwidth_bytes_per_sec > 0) {
+    serialization =
+        Seconds(static_cast<double>(payload) / config_.bandwidth_bytes_per_sec);
+  }
+  SimTime start = now;
+  if (config_.queueing && dir.busy_until > start) start = dir.busy_until;
+  stats_.queue_time += start - now;
+  dir.busy_until = start + serialization;
+  loop_->ScheduleAt(start + serialization + config_.latency, std::move(deliver));
+}
+
+}  // namespace sdm

@@ -1,0 +1,84 @@
+// FabricLink — the fabric hop in front of a disaggregated SM device stack
+// (ROADMAP "Multi-host queues / disaggregated SM"; the measured version of
+// the §5.2 ScaleOutModel's fixed analytic network penalty).
+//
+// Models one full-duplex host-side port of a fabric-attached device: each
+// direction has a one-way propagation latency, an optional finite bandwidth
+// (a transfer pays payload/bandwidth serialization time), and optional
+// per-hop FIFO queueing — a transfer cannot start serializing until the
+// previous one in its direction finished, the store-and-forward queue of a
+// fabric switch port. Requests (ring doorbells carrying SQEs) and responses
+// (read payloads coming back) ride opposite directions and never contend
+// with each other.
+//
+// An INSTANT link (zero latency, unlimited bandwidth) delivers callbacks
+// synchronously, so a zero-latency fabric is event-order identical to no
+// fabric at all — the byte-identity anchor the cluster tests pin
+// (disaggregated mode with an instant fabric == MultiTenantHost::RunShared
+// with the same stores). Traffic is still accounted, so an instant link
+// reports how many bytes WOULD have crossed.
+#pragma once
+
+#include "common/event_loop.h"
+#include "common/types.h"
+
+namespace sdm {
+
+struct FabricLinkConfig {
+  /// One-way propagation latency per direction.
+  SimDuration latency{0};
+  /// Serialization bandwidth per direction (bytes/sec; 0 = unlimited).
+  double bandwidth_bytes_per_sec = 0;
+  /// Per-hop FIFO queueing: transfers in one direction serialize behind
+  /// each other. Meaningless without a finite bandwidth.
+  bool queueing = true;
+
+  /// Instant links add no virtual time and deliver synchronously.
+  [[nodiscard]] bool instant() const {
+    return latency <= SimDuration(0) && bandwidth_bytes_per_sec <= 0;
+  }
+};
+
+struct FabricLinkStats {
+  uint64_t requests = 0;   ///< host->device transfers (doorbells)
+  uint64_t responses = 0;  ///< device->host transfers (read payloads)
+  Bytes request_bytes = 0;
+  Bytes response_bytes = 0;
+  /// Total time transfers waited behind earlier ones in their direction
+  /// (nonzero only with queueing and a finite bandwidth).
+  SimDuration queue_time;
+};
+
+class FabricLink {
+ public:
+  FabricLink(FabricLinkConfig config, EventLoop* loop);
+
+  FabricLink(const FabricLink&) = delete;
+  FabricLink& operator=(const FabricLink&) = delete;
+
+  /// Carries `payload` bytes host->device, then runs `deliver`. Instant
+  /// links run it synchronously.
+  void Request(Bytes payload, EventLoop::Callback deliver);
+
+  /// Carries `payload` bytes device->host, then runs `deliver`.
+  void Response(Bytes payload, EventLoop::Callback deliver);
+
+  [[nodiscard]] const FabricLinkConfig& config() const { return config_; }
+  [[nodiscard]] const FabricLinkStats& stats() const { return stats_; }
+
+ private:
+  /// One direction's serialization state.
+  struct Direction {
+    SimTime busy_until{};
+  };
+
+  void Traverse(Direction& dir, Bytes payload, EventLoop::Callback deliver);
+
+  FabricLinkConfig config_;
+  EventLoop* loop_;
+  Direction request_dir_;
+  Direction response_dir_;
+  FabricLinkStats stats_;
+};
+
+}  // namespace sdm

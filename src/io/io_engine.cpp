@@ -1,9 +1,21 @@
 #include "io/io_engine.h"
 
 #include <cassert>
+#include <memory>
 #include <utility>
+#include <vector>
+
+#include "fabric/fabric_link.h"
 
 namespace sdm {
+
+namespace {
+
+/// Fabric payload of one SQE crossing in a doorbell message (a 64B NVMe
+/// submission queue entry; NVMe-oF capsules carry exactly these).
+constexpr Bytes kFabricSqeBytes = 64;
+
+}  // namespace
 
 IoEngine::IoEngine(NvmeDevice* device, EventLoop* loop, IoEngineConfig config)
     : device_(device), loop_(loop), config_(config) {
@@ -23,6 +35,21 @@ IoEngine::IoEngine(NvmeDevice* device, EventLoop* loop, IoEngineConfig config)
 
 void IoEngine::SubmitRead(Bytes offset, Bytes length, bool sub_block,
                           std::span<uint8_t> dest, Callback cb) {
+  if (fabric_ != nullptr) {
+    // The SQE crosses to the device; the read payload crosses back.
+    cb = WrapFabricCompletion(NvmeDevice::BusBytes(offset, length, sub_block),
+                              loop_->Now(), std::move(cb));
+    fabric_->Request(kFabricSqeBytes,
+                     [this, offset, length, sub_block, dest, cb = std::move(cb)]() mutable {
+                       SubmitReadLocal(offset, length, sub_block, dest, std::move(cb));
+                     });
+    return;
+  }
+  SubmitReadLocal(offset, length, sub_block, dest, std::move(cb));
+}
+
+void IoEngine::SubmitReadLocal(Bytes offset, Bytes length, bool sub_block,
+                               std::span<uint8_t> dest, Callback cb) {
   submitted_->Add(1);
   cpu_ns_->Add(static_cast<uint64_t>(config_.cpu_submit_cost.nanos()));
   Pending p{offset, length, sub_block, dest, std::move(cb), loop_->Now()};
@@ -36,6 +63,40 @@ void IoEngine::SubmitRead(Bytes offset, Bytes length, bool sub_block,
 
 void IoEngine::SubmitBatch(std::span<ReadOp> ops) {
   if (ops.empty()) return;
+  if (fabric_ != nullptr) {
+    // One doorbell message carries every SQE of the batch across the
+    // request direction; each completion's payload crosses back on its own.
+    const SimTime accepted_at = loop_->Now();
+    auto batch = std::make_shared<std::vector<ReadOp>>();
+    batch->reserve(ops.size());
+    for (ReadOp& op : ops) {
+      op.cb = WrapFabricCompletion(
+          NvmeDevice::BusBytes(op.offset, op.length, op.sub_block), accepted_at,
+          std::move(op.cb));
+      batch->push_back(std::move(op));
+    }
+    fabric_->Request(kFabricSqeBytes * batch->size(),
+                     [this, batch] { SubmitBatchLocal(std::span<ReadOp>(*batch)); });
+    return;
+  }
+  SubmitBatchLocal(ops);
+}
+
+IoEngine::Callback IoEngine::WrapFabricCompletion(Bytes payload, SimTime accepted_at,
+                                                  Callback cb) {
+  // Capture the link, not the member: a read submitted over the fabric must
+  // return over the same fabric even if the engine is detached mid-flight.
+  FabricLink* link = fabric_;
+  return [this, link, payload, accepted_at, cb = std::move(cb)](
+             Status status, SimDuration /*local*/) mutable {
+    link->Response(payload, [this, accepted_at, status = std::move(status),
+                             cb = std::move(cb)] {
+      cb(status, loop_->Now() - accepted_at);
+    });
+  };
+}
+
+void IoEngine::SubmitBatchLocal(std::span<ReadOp> ops) {
   batches_->Add(1);
   batch_sqes_->Add(ops.size());
   submitted_->Add(ops.size());

@@ -6,7 +6,13 @@
 //  - per-IO CPU cost accounting, with *interrupt* vs *polling* completion
 //    modes — polling removes IRQ overhead and delivers ~1.5x IOPS/core
 //    (paper Appendix A.1);
-//  - sub-block (SGL bit-bucket) or block read per request.
+//  - sub-block (SGL bit-bucket) or block read per request;
+//  - an optional fabric hop (src/fabric) in front of every submission for
+//    disaggregated, fabric-attached devices: the doorbell crosses the link
+//    before SQEs reach the device queue, and each completion's payload
+//    crosses back before its callback runs. Instant links (zero latency,
+//    unlimited bandwidth) deliver synchronously, keeping the local path
+//    byte-identical.
 //
 // CPU time is tracked as virtual nanoseconds of a single submission thread,
 // which is how the paper reports IOPS/core.
@@ -23,6 +29,8 @@
 #include "device/nvme_device.h"
 
 namespace sdm {
+
+class FabricLink;
 
 enum class CompletionMode : uint8_t {
   kInterrupt,  ///< IRQ per completion: extra latency + CPU per IO.
@@ -93,6 +101,14 @@ class IoEngine {
   /// engine's FIFO queue exactly like single submissions.
   void SubmitBatch(std::span<ReadOp> ops);
 
+  /// Attaches (or detaches, with nullptr) the fabric hop of a disaggregated
+  /// device: submissions traverse `link`'s request direction before entering
+  /// the device queue, completion payloads its response direction before the
+  /// callback. The link must outlive the engine. Callback latency covers
+  /// both hops.
+  void set_fabric_link(FabricLink* link) { fabric_ = link; }
+  [[nodiscard]] FabricLink* fabric_link() const { return fabric_; }
+
   [[nodiscard]] int outstanding() const { return outstanding_; }
   [[nodiscard]] size_t queued() const { return pending_.size(); }
   [[nodiscard]] const IoEngineConfig& config() const { return config_; }
@@ -122,10 +138,19 @@ class IoEngine {
 
   void Dispatch(Pending p);
   void OnDeviceComplete(SimTime submitted_at, Status status, Callback cb);
+  void SubmitReadLocal(Bytes offset, Bytes length, bool sub_block,
+                       std::span<uint8_t> dest, Callback cb);
+  void SubmitBatchLocal(std::span<ReadOp> ops);
+  /// Wraps `cb` so the read payload traverses the fabric's response
+  /// direction before delivery; the reported latency restarts from
+  /// `accepted_at` (submission entry) so it covers both hops.
+  [[nodiscard]] Callback WrapFabricCompletion(Bytes payload, SimTime accepted_at,
+                                              Callback cb);
 
   NvmeDevice* device_;
   EventLoop* loop_;
   IoEngineConfig config_;
+  FabricLink* fabric_ = nullptr;
   int outstanding_ = 0;
   std::deque<Pending> pending_;
 

@@ -42,6 +42,35 @@ BatchScheduler::BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* 
   cross_tenant_hits_ = stats_.GetCounter("cross_tenant_hits");
 }
 
+CrossRequestIoStats CrossRequestIoStats::Since(const CrossRequestIoStats& base) const {
+  CrossRequestIoStats d;
+  d.device_reads = device_reads - base.device_reads;
+  d.cross_request_merges = cross_request_merges - base.cross_request_merges;
+  d.singleflight_hits = singleflight_hits - base.singleflight_hits;
+  d.singleflight_bytes_saved = singleflight_bytes_saved - base.singleflight_bytes_saved;
+  d.flushes = flushes - base.flushes;
+  d.prefetch_reads = prefetch_reads - base.prefetch_reads;
+  d.prefetch_dropped = prefetch_dropped - base.prefetch_dropped;
+  d.prefetch_promoted = prefetch_promoted - base.prefetch_promoted;
+  d.background_reads = background_reads - base.background_reads;
+  d.background_parked = background_parked - base.background_parked;
+  d.background_promoted = background_promoted - base.background_promoted;
+  return d;
+}
+
+TenantIoShare TenantIoShare::Since(const TenantIoShare& base) const {
+  TenantIoShare d;
+  d.demand_reads = demand_reads - base.demand_reads;
+  d.demand_bytes = demand_bytes - base.demand_bytes;
+  d.background_reads = background_reads - base.background_reads;
+  d.background_bytes = background_bytes - base.background_bytes;
+  d.prefetch_bytes = prefetch_bytes - base.prefetch_bytes;
+  d.singleflight_hits = singleflight_hits - base.singleflight_hits;
+  d.cross_tenant_hits = cross_tenant_hits - base.cross_tenant_hits;
+  d.cross_tenant_bytes_saved = cross_tenant_bytes_saved - base.cross_tenant_bytes_saved;
+  return d;
+}
+
 CrossRequestIoStats BatchScheduler::Snapshot() const {
   CrossRequestIoStats s;
   s.device_reads = device_reads_->value();

@@ -51,7 +51,11 @@
 // TenantIoShare ledger — bus bytes issued per lane (the fair-share
 // accounting a shared-device operator bills on) and how often one tenant's
 // runs were served by a read another tenant owns (the §5.3 co-location win
-// at IO granularity).
+// at IO granularity). HOST attribution on a disaggregated, fabric-attached
+// device (src/fabric) rides the same field: each cluster host registers as
+// one tenant of the shared service, so TenantIoShare doubles as the
+// per-HOST fair-share ledger and `cross_tenant_hits` counts cross-HOST
+// single-flight — the scheduler itself needs no cluster awareness.
 //
 // Buffers: a read's bounce buffer is acquired from the shared BufferArena
 // at flush time (pending spans may still grow) and is released when the
@@ -99,6 +103,10 @@ struct CrossRequestIoStats {
                                               prefetch_reads) /
                               static_cast<double>(flushes);
   }
+
+  /// This-minus-base, field by field. Counters are cumulative across runs;
+  /// every run report subtracts its start-of-run snapshot through here.
+  [[nodiscard]] CrossRequestIoStats Since(const CrossRequestIoStats& base) const;
 };
 
 /// One tenant's slice of a scheduler's device traffic — the fair-share
@@ -113,6 +121,9 @@ struct TenantIoShare {
   uint64_t singleflight_hits = 0;  ///< runs served by an existing read
   uint64_t cross_tenant_hits = 0;  ///< ...whose read another tenant owns
   Bytes cross_tenant_bytes_saved = 0;
+
+  /// This-minus-base per-run delta (see CrossRequestIoStats::Since).
+  [[nodiscard]] TenantIoShare Since(const TenantIoShare& base) const;
 };
 
 struct BatchSchedulerConfig {

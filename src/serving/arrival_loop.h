@@ -1,0 +1,57 @@
+// RunInterleavedArrivals — the shared interleaved open-loop arrival driver
+// behind every "many engines, one EventLoop" experiment.
+//
+// MultiTenantHost::RunShared introduced the loop (every tenant's Poisson
+// arrivals interleave in virtual time so concurrent tenants' reads meet in
+// the shared BatchSchedulers); ClusterSimulation::RunDisaggregated is its
+// generalization — N HOSTS on one loop, with a router deciding which
+// host's engine each arrival enters. The only degree of freedom between
+// the two is that routing hook, so the loop lives here once:
+//
+//   - each participant runs an independent Poisson process (qps_each,
+//     queries_each) seeded by its own arrival_seed, all interleaved on one
+//     EventLoop;
+//   - an arrival draws the next query from its SOURCE participant's
+//     workload, then `route(source, query)` picks the participant whose
+//     engine serves it (identity for the multi-tenant host; user-sticky /
+//     random / local for the cluster);
+//   - stats are attributed to the SERVING participant: `served` counts
+//     arrivals entering its engine, `completed` and `latencies` its OK
+//     completions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/event_loop.h"
+#include "common/histogram.h"
+#include "serving/inference_engine.h"
+#include "trace/trace_gen.h"
+
+namespace sdm {
+
+struct ArrivalParticipant {
+  InferenceEngine* engine = nullptr;
+  QueryGenerator* workload = nullptr;
+  /// Seeds this participant's independent Poisson arrival process.
+  uint64_t arrival_seed = 0;
+};
+
+struct ArrivalStats {
+  Histogram latencies;
+  uint64_t served = 0;     ///< arrivals that entered this participant's engine
+  uint64_t completed = 0;  ///< queries that finished OK there
+};
+
+/// Maps (source participant, drawn query) to the serving participant.
+using ArrivalRoute = std::function<size_t(size_t source, const Query& query)>;
+
+/// Schedules every participant's arrivals, runs the loop to idle, and
+/// returns per-participant stats (indexed like `participants`).
+std::vector<ArrivalStats> RunInterleavedArrivals(
+    EventLoop& loop, std::span<const ArrivalParticipant> participants,
+    double qps_each, uint64_t queries_each, const ArrivalRoute& route);
+
+}  // namespace sdm

@@ -184,6 +184,7 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
 
   HostRunReport r;
   r.queries_completed = completed;
+  r.queries_served = num_queries;
   r.offered_qps = target_qps;
   const double span_s = (t_end - t_begin).seconds();
   r.achieved_qps = span_s > 0 ? static_cast<double>(completed) / span_s : 0;
@@ -215,14 +216,8 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
   }
   r.sm_iops = span_s > 0 ? static_cast<double>(sm_reads1 - sm_reads0) / span_s : 0;
   r.sm_read_amplification = amp_den > 0 ? amp_num / amp_den : 1.0;
-  const CrossRequestIoStats xreq1 = store_->cross_request_io_stats();
-  CrossRequestIoStats xreq;  // this run's delta
-  xreq.device_reads = xreq1.device_reads - xreq0.device_reads;
-  xreq.cross_request_merges = xreq1.cross_request_merges - xreq0.cross_request_merges;
-  xreq.singleflight_hits = xreq1.singleflight_hits - xreq0.singleflight_hits;
-  xreq.singleflight_bytes_saved =
-      xreq1.singleflight_bytes_saved - xreq0.singleflight_bytes_saved;
-  xreq.flushes = xreq1.flushes - xreq0.flushes;
+  const CrossRequestIoStats xreq =
+      store_->cross_request_io_stats().Since(xreq0);  // this run's delta
   r.cross_request_merges = xreq.cross_request_merges;
   r.singleflight_hits = xreq.singleflight_hits;
   r.batch_occupancy = xreq.BatchOccupancy();

@@ -63,6 +63,11 @@ struct HostSimConfig {
 
 struct HostRunReport {
   uint64_t queries_completed = 0;
+  /// Arrivals this host's engine admitted in the run (completed counts only
+  /// the ones that finished OK). Stays 0 on a default-constructed report,
+  /// which is how cluster aggregation tells an IDLE host (the router never
+  /// picked it) from a host that served traffic and achieved nothing.
+  uint64_t queries_served = 0;
   double offered_qps = 0;
   double achieved_qps = 0;
   SimDuration p50;

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/rng.h"
+#include "serving/arrival_loop.h"
 
 namespace sdm {
 
@@ -161,42 +162,31 @@ MultiTenantReport MultiTenantHost::RunShared(double qps, uint64_t queries) {
   const CrossRequestIoStats io0 = service_->cross_request_io_stats();
 
   // ---- Interleave every tenant's open-loop Poisson arrivals ----
-  struct RunState {
-    Histogram latencies;
-    uint64_t completed = 0;
-  };
-  std::vector<RunState> states(shards_.size());
-  const SimTime t_begin = loop_.Now();
+  // (The loop itself lives in serving/arrival_loop.h; the cluster's
+  // disaggregated mode generalizes it with a non-identity route.)
+  std::vector<ArrivalParticipant> participants;
+  participants.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    Shard& shard = shards_[i];
-    RunState& state = states[i];
-    Rng arrivals(seed_ ^ Mix64(i + 1) ^ 0xa11e);
-    SimTime next_arrival = loop_.Now();
-    for (uint64_t q = 0; q < queries; ++q) {
-      next_arrival += Seconds(arrivals.NextExponential(1.0 / qps));
-      loop_.ScheduleAt(next_arrival, [&shard, &state] {
-        const Query query = shard.workload->Next();
-        shard.engine->Submit(query, [&state](Status status, const QueryTrace& trace) {
-          if (status.ok()) {
-            state.latencies.Record(trace.total);
-            ++state.completed;
-          }
-        });
-      });
-    }
+    participants.push_back(ArrivalParticipant{shards_[i].engine.get(),
+                                              shards_[i].workload.get(),
+                                              seed_ ^ Mix64(i + 1) ^ 0xa11e});
   }
-  loop_.RunUntilIdle();
+  const SimTime t_begin = loop_.Now();
+  std::vector<ArrivalStats> states = RunInterleavedArrivals(
+      loop_, participants, qps, queries,
+      [](size_t source, const Query&) { return source; });
   const SimTime t_end = loop_.Now();
   const double span_s = (t_end - t_begin).seconds();
 
   // ---- Reports ----
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = shards_[i];
-    RunState& state = states[i];
+    ArrivalStats& state = states[i];
     TenantReport tr;
     tr.model_name = shard.model.name;
     tr.cls = shard.cls;
     tr.run.queries_completed = state.completed;
+    tr.run.queries_served = state.served;
     tr.run.offered_qps = qps;
     tr.run.achieved_qps =
         span_s > 0 ? static_cast<double>(state.completed) / span_s : 0;
@@ -210,14 +200,13 @@ MultiTenantReport MultiTenantHost::RunShared(double qps, uint64_t queries) {
       tr.run.row_cache_hit_rate =
           (h + m) == 0 ? 0 : static_cast<double>(h) / static_cast<double>(h + m);
     }
-    const TenantIoShare share1 = service_->tenant_io_share(shard.id);
-    const TenantIoShare& share0 = snaps[i].share0;
-    tr.singleflight_hits = share1.singleflight_hits - share0.singleflight_hits;
-    tr.cross_tenant_hits = share1.cross_tenant_hits - share0.cross_tenant_hits;
-    tr.cross_tenant_bytes_saved =
-        share1.cross_tenant_bytes_saved - share0.cross_tenant_bytes_saved;
-    tr.fg_lane_bytes = share1.demand_bytes - share0.demand_bytes;
-    tr.bg_lane_bytes = share1.background_bytes - share0.background_bytes;
+    const TenantIoShare share =
+        service_->tenant_io_share(shard.id).Since(snaps[i].share0);
+    tr.singleflight_hits = share.singleflight_hits;
+    tr.cross_tenant_hits = share.cross_tenant_hits;
+    tr.cross_tenant_bytes_saved = share.cross_tenant_bytes_saved;
+    tr.fg_lane_bytes = share.demand_bytes;
+    tr.bg_lane_bytes = share.background_bytes;
     tr.run.singleflight_hits = tr.singleflight_hits;
     tr.throttle_queue_time =
         service_->throttle_queue_time(shard.id) - snaps[i].queue_time0;
@@ -237,19 +226,7 @@ MultiTenantReport MultiTenantHost::RunShared(double qps, uint64_t queries) {
     sm_reads1 += service_->device(d).stats().CounterValue("reads");
   }
   report.sm_device_reads = sm_reads1 - sm_reads0;
-  const CrossRequestIoStats io1 = service_->cross_request_io_stats();
-  report.io.device_reads = io1.device_reads - io0.device_reads;
-  report.io.cross_request_merges = io1.cross_request_merges - io0.cross_request_merges;
-  report.io.singleflight_hits = io1.singleflight_hits - io0.singleflight_hits;
-  report.io.singleflight_bytes_saved =
-      io1.singleflight_bytes_saved - io0.singleflight_bytes_saved;
-  report.io.flushes = io1.flushes - io0.flushes;
-  report.io.background_reads = io1.background_reads - io0.background_reads;
-  report.io.background_parked = io1.background_parked - io0.background_parked;
-  report.io.background_promoted = io1.background_promoted - io0.background_promoted;
-  report.io.prefetch_reads = io1.prefetch_reads - io0.prefetch_reads;
-  report.io.prefetch_dropped = io1.prefetch_dropped - io0.prefetch_dropped;
-  report.io.prefetch_promoted = io1.prefetch_promoted - io0.prefetch_promoted;
+  report.io = service_->cross_request_io_stats().Since(io0);
 
   const Bytes fm_needed_without_sm = report.fm_total + report.sm_logical_bytes;
   report.fits_in_fm = fm_needed_without_sm <= report.fm_capacity;

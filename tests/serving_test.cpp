@@ -272,6 +272,42 @@ TEST(Cluster, StickyRoutingIsDeterministic) {
   }
 }
 
+TEST(Cluster, MeanHitRateIgnoresIdleHosts) {
+  // Regression: the old report divided the hit-rate sum by hosts_.size(),
+  // so idle hosts (empty user share) deflated the mean. One user -> the
+  // sticky router sends ALL traffic to one host; the cluster mean must be
+  // that host's hit rate, not hit/6.
+  ModelConfig model = MakeTinyUniformModel(16, 3, 1, 8000);
+  HostSimConfig cfg = SmallHostConfig();
+  cfg.workload.num_users = 1;
+  ClusterSimulation cluster(6, cfg, RoutingPolicy::kUserSticky);
+  ASSERT_TRUE(cluster.LoadModel(model).ok());
+  const ClusterRunReport r = cluster.Run(300, 2000);
+  ASSERT_EQ(r.hosts.size(), 6u);
+  size_t active = 0;
+  size_t active_idx = 0;
+  for (size_t i = 0; i < r.hosts.size(); ++i) {
+    if (r.hosts[i].queries_served > 0) {
+      ++active;
+      active_idx = i;
+    }
+  }
+  // Idle hosts are distinguishable: queries_served stays 0 on their
+  // default-constructed report entries.
+  ASSERT_EQ(active, 1u);
+  EXPECT_EQ(r.hosts[active_idx].queries_served, 2000u);
+  EXPECT_GT(r.hosts[active_idx].row_cache_hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_hit_rate, r.hosts[active_idx].row_cache_hit_rate);
+}
+
+TEST(Cluster, LocalRoutingSpreadsArrivalsRoundRobin) {
+  ModelConfig model = MakeTinyUniformModel(16, 3, 1, 8000);
+  ClusterSimulation cluster(3, SmallHostConfig(), RoutingPolicy::kLocal);
+  ASSERT_TRUE(cluster.LoadModel(model).ok());
+  const ClusterRunReport r = cluster.Run(300, 900);
+  for (const auto& h : r.hosts) EXPECT_EQ(h.queries_served, 300u);
+}
+
 TEST(Cluster, StickyBeatsRandomOnHitRate) {
   ModelConfig model = MakeTinyUniformModel(16, 3, 1, 8000);
   HostSimConfig host_cfg = SmallHostConfig();
@@ -316,6 +352,145 @@ TEST(MultiTenant, CoLocatesModelsAndReportsFm) {
 TEST(ScaleOut, AddsNetworkLatencyToUserPath) {
   const ScaleOutModel so;
   EXPECT_GT(so.UserPathLatency().nanos(), so.network_rtt.nanos());
+}
+
+// ---------------------------------------------------------------------------
+// Disaggregated SM: hosts sharing one fabric-attached device stack
+// (src/fabric).
+// ---------------------------------------------------------------------------
+
+/// Capacity-bound profile (the multitenant bench's): block-granularity
+/// reads, no row cache, widened merge window — hot blocks recur at the
+/// device, which is the traffic cross-host sharing can absorb.
+HostSimConfig DisaggHostConfig() {
+  HostSimConfig cfg;
+  cfg.host = MakeHwFAO(2);
+  cfg.fm_capacity = 4 * kMiB;
+  cfg.sm_backing_per_device = 32 * kMiB;
+  cfg.workload.num_users = 2000;
+  cfg.workload.seed = 11;
+  cfg.seed = 11;
+  cfg.tuning.sub_block_reads = false;
+  cfg.tuning.enable_row_cache = false;
+  cfg.tuning.max_batch_delay = Micros(200);
+  cfg.inference.max_concurrent_queries = 32;
+  return cfg;
+}
+
+ModelConfig DisaggModel() {
+  ModelConfig model = MakeTinyUniformModel(64, 3, 1, 40'000);
+  model.tables.back().num_rows = 4'000;  // item side stays FM-direct
+  for (auto& t : model.tables) {
+    if (t.role == TableRole::kUser) t.zipf_alpha = 1.1;
+  }
+  return model;
+}
+
+TEST(Disaggregated, CrossHostSingleFlightOverFabric) {
+  HostSimConfig cfg = DisaggHostConfig();
+  cfg.tuning.fabric_latency = Micros(5);
+  DisaggregatedConfig dc;
+  dc.enabled = true;
+  ClusterSimulation cluster(2, cfg, RoutingPolicy::kUserSticky, dc);
+  ASSERT_TRUE(cluster.disaggregated());
+  ASSERT_TRUE(cluster.LoadModel(DisaggModel()).ok());
+  const DisaggregatedRunReport r = cluster.RunDisaggregated(400, 1600);
+  ASSERT_EQ(r.hosts.size(), 2u);
+  uint64_t per_host_hits = 0;
+  for (const auto& h : r.hosts) {
+    EXPECT_GT(h.run.queries_served, 0u);
+    EXPECT_GT(h.run.queries_completed, 0u);
+    per_host_hits += h.share.cross_tenant_hits;
+  }
+  EXPECT_GT(r.sm_device_reads, 0u);
+  // Both hosts serve the same model: replicas dedup to ONE extent set...
+  EXPECT_LT(r.sm_unique_bytes, r.sm_logical_bytes);
+  // ...and the hosts single-flight each other's hot blocks through the
+  // shared fabric service (the per-HOST ledger records whose read it was).
+  EXPECT_GT(r.cross_host_hits, 0u);
+  EXPECT_EQ(per_host_hits, r.cross_host_hits);
+  EXPECT_GT(r.cross_host_bytes_saved, 0u);
+  // Every doorbell and every payload paid the fabric.
+  EXPECT_GT(r.fabric.requests, 0u);
+  EXPECT_EQ(r.fabric.responses, r.sm_device_reads);
+  EXPECT_GT(r.fabric.response_bytes, 0u);
+  EXPECT_FALSE(r.Summary().empty());
+}
+
+TEST(Disaggregated, InstantFabricByteIdenticalToMultiTenantRunShared) {
+  // Acceptance anchor: a disaggregated cluster with a zero-latency fabric
+  // and kLocal routing IS MultiTenantHost::RunShared with the same stores —
+  // same seeds, same arrival interleaving, same shared device stack.
+  const HostSimConfig cfg = DisaggHostConfig();  // fabric knobs zero: instant
+  const ModelConfig model = DisaggModel();
+  constexpr size_t kHosts = 3;
+
+  DisaggregatedConfig dc;
+  dc.enabled = true;
+  ClusterSimulation cluster(kHosts, cfg, RoutingPolicy::kLocal, dc);
+  ASSERT_TRUE(cluster.LoadModel(model).ok());
+
+  MultiTenantHost mth(cfg, /*seed=*/cfg.seed, /*shared_device=*/true);
+  for (size_t i = 0; i < kHosts; ++i) {
+    ASSERT_TRUE(mth.AddTenant(model, cfg.fm_capacity, TenantClass::kForeground).ok());
+  }
+
+  const DisaggregatedRunReport rc = cluster.RunDisaggregated(kHosts * 150.0, kHosts * 400);
+  const MultiTenantReport rm = mth.Run(150.0, 400);
+
+  // Device reads and bus bytes match bit for bit, device by device.
+  SharedDeviceService& cs = cluster.fabric_service()->device_service();
+  SharedDeviceService* ms = mth.service();
+  ASSERT_NE(ms, nullptr);
+  ASSERT_EQ(cs.device_count(), ms->device_count());
+  for (size_t d = 0; d < cs.device_count(); ++d) {
+    EXPECT_EQ(cs.device(d).stats().CounterValue("reads"),
+              ms->device(d).stats().CounterValue("reads"));
+    EXPECT_EQ(cs.device(d).stats().CounterValue("bus_bytes"),
+              ms->device(d).stats().CounterValue("bus_bytes"));
+  }
+  EXPECT_EQ(rc.sm_device_reads, rm.sm_device_reads);
+  EXPECT_EQ(rc.io.singleflight_hits, rm.io.singleflight_hits);
+  // Per-host serving matches per-tenant serving, latencies included.
+  ASSERT_EQ(rc.hosts.size(), rm.tenants.size());
+  for (size_t i = 0; i < kHosts; ++i) {
+    EXPECT_EQ(rc.hosts[i].run.queries_served, rm.tenants[i].run.queries_served);
+    EXPECT_EQ(rc.hosts[i].run.queries_completed, rm.tenants[i].run.queries_completed);
+    EXPECT_EQ(rc.hosts[i].run.p99.nanos(), rm.tenants[i].run.p99.nanos());
+    EXPECT_EQ(rc.hosts[i].share.cross_tenant_hits, rm.tenants[i].cross_tenant_hits);
+  }
+  // The instant fabric recorded the traffic it did NOT delay.
+  EXPECT_EQ(rc.fabric.responses, rc.sm_device_reads);
+  EXPECT_EQ(rc.fabric.queue_time.nanos(), 0);
+}
+
+TEST(Disaggregated, DisabledFabricMatchesIsolatedCluster) {
+  // A DisaggregatedConfig with enabled=false must build the exact isolated
+  // cluster the 3-arg constructor builds.
+  ModelConfig model = MakeTinyUniformModel(16, 3, 1, 8000);
+  HostSimConfig cfg = SmallHostConfig();
+  ClusterSimulation plain(3, cfg, RoutingPolicy::kUserSticky);
+  ClusterSimulation disabled(3, cfg, RoutingPolicy::kUserSticky, DisaggregatedConfig{});
+  EXPECT_FALSE(disabled.disaggregated());
+  ASSERT_TRUE(plain.LoadModel(model).ok());
+  ASSERT_TRUE(disabled.LoadModel(model).ok());
+  const ClusterRunReport a = plain.Run(300, 1500);
+  const ClusterRunReport b = disabled.Run(300, 1500);
+  EXPECT_DOUBLE_EQ(a.mean_hit_rate, b.mean_hit_rate);
+  ASSERT_EQ(a.hosts.size(), b.hosts.size());
+  for (size_t i = 0; i < a.hosts.size(); ++i) {
+    EXPECT_EQ(a.hosts[i].queries_served, b.hosts[i].queries_served);
+    EXPECT_EQ(a.hosts[i].queries_completed, b.hosts[i].queries_completed);
+    EXPECT_EQ(a.hosts[i].p99.nanos(), b.hosts[i].p99.nanos());
+  }
+  for (size_t i = 0; i < plain.size(); ++i) {
+    for (size_t d = 0; d < plain.host(i).store().sm_device_count(); ++d) {
+      EXPECT_EQ(plain.host(i).store().sm_device(d).stats().CounterValue("reads"),
+                disabled.host(i).store().sm_device(d).stats().CounterValue("reads"));
+      EXPECT_EQ(plain.host(i).store().sm_device(d).stats().CounterValue("bus_bytes"),
+                disabled.host(i).store().sm_device(d).stats().CounterValue("bus_bytes"));
+    }
+  }
 }
 
 }  // namespace
