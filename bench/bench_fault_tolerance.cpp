@@ -1,0 +1,251 @@
+// Chaos bench: a 4-host disaggregated cluster rides out a scripted fault
+// storm — a 1% media error burst, a 10x fail-slow window, and a full
+// fabric partition — with and without the serving-side fault responses
+// (IO deadlines, backoff retries, adaptive hedging, health-monitor
+// shedding, graceful zero-fill degradation).
+//
+// Three legs:
+//   storm/ablation   responses OFF: the storm is absorbed only by blocking
+//                    retries; the partition parks reads until it heals.
+//   storm/responses  responses ON: deadlines unwedge partition-parked
+//                    reads, hedges duck the fail-slow window, exhausted
+//                    retries degrade to zero-filled rows instead of
+//                    failing queries.
+//   fault-free       the same cluster with no injector vs an installed
+//                    empty-plan injector — reports must be byte-identical
+//                    (the injector's hooks are provably inert when idle).
+//
+// `--json` emits availability_pct, degraded-row accounting, the identity
+// bit, and the p99 cut responses deliver vs the ablation; CI gates these
+// against bench/baselines/fault.json.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "dlrm/model_zoo.h"
+#include "fault/fault_injector.h"
+#include "serving/cluster.h"
+
+using namespace sdm;
+
+namespace {
+
+constexpr size_t kHosts = 4;
+constexpr double kTotalQps = 400;
+constexpr uint64_t kStormQueries = 4000;  // ~10s virtual: storm fits inside
+
+/// Capacity-bound shared-device profile (the disaggregated bench's), plus
+/// the fault-response knobs when `responses` is on.
+HostSimConfig StormHostConfig(bool responses) {
+  HostSimConfig cfg;
+  cfg.host = MakeHwFAO(2);
+  cfg.fm_capacity = 4 * kMiB;
+  cfg.sm_backing_per_device = 32 * kMiB;
+  cfg.workload.num_users = 2000;
+  cfg.workload.seed = 11;
+  cfg.seed = 11;
+  cfg.tuning.sub_block_reads = false;
+  cfg.tuning.enable_row_cache = false;
+  cfg.tuning.max_batch_delay = Micros(200);
+  cfg.tuning.fabric_latency = Micros(5);
+  cfg.inference.max_concurrent_queries = 32;
+  if (responses) {
+    cfg.tuning.io_deadline = Millis(2);
+    cfg.tuning.retry_backoff_base = Micros(20);
+    cfg.tuning.hedge_latency_factor = 2.0;
+    cfg.tuning.hedge_min_samples = 64;
+    cfg.tuning.enable_health_monitor = true;
+  }
+  return cfg;
+}
+
+ModelConfig StormModel() {
+  ModelConfig model = MakeTinyUniformModel(64, 3, 1, 40'000);
+  model.tables.back().num_rows = 4'000;  // item side stays FM-direct
+  return model;
+}
+
+/// The scripted storm, phased across a ~10s run: error burst early, a
+/// fail-slow device mid-run, a fabric partition late.
+FaultPlan StormPlan(SimTime t0) {
+  FaultPlan plan;
+  plan.ErrorBurst(t0 + Millis(500), t0 + Millis(8000), /*probability=*/0.01)
+      .FailSlow(t0 + Millis(2000), t0 + Millis(3000), /*multiplier=*/10.0,
+                /*device=*/0)
+      .FabricPartition(t0 + Millis(5000), t0 + Millis(5200));
+  return plan;
+}
+
+struct LegResult {
+  DisaggregatedRunReport report;
+  uint64_t completed = 0;
+  uint64_t served = 0;
+  double availability_pct = 0;
+  double p99_ms = 0;  // worst host
+  uint64_t degraded = 0;
+  uint64_t rows_failed = 0;
+};
+
+LegResult RunStorm(bool responses) {
+  DisaggregatedConfig dc;
+  dc.enabled = true;
+  ClusterSimulation cluster(kHosts, StormHostConfig(responses),
+                            RoutingPolicy::kLocal, dc);
+  Status st = cluster.LoadModel(StormModel());
+  if (!st.ok()) {
+    std::fprintf(stderr, "LoadModel: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  EventLoop* loop = cluster.host_store(0).loop();
+  FaultInjector injector(StormPlan(loop->Now()), loop, /*seed=*/2024);
+  cluster.fabric_service()->InstallFaultInjector(&injector);
+
+  LegResult leg;
+  leg.report = cluster.RunDisaggregated(kTotalQps, kStormQueries);
+  for (const auto& h : leg.report.hosts) {
+    leg.completed += h.run.queries_completed;
+    leg.served += h.run.queries_served;
+    leg.degraded += h.run.queries_degraded;
+    leg.rows_failed += h.run.rows_failed;
+    leg.p99_ms = std::max(leg.p99_ms, h.run.p99.nanos() / 1e6);
+  }
+  leg.availability_pct =
+      leg.served == 0 ? 0 : 100.0 * static_cast<double>(leg.completed) /
+                                static_cast<double>(leg.served);
+  return leg;
+}
+
+/// Tail-rescue leg: hedging ALONE (no deadline, no faults) against a
+/// tail-heavy device — 0.5% of reads run 20x slow, the regime hedging
+/// targets. In the storm above deadlines dominate (a uniformly slowed
+/// device gives a hedge nothing faster to race), so hedging's own p99
+/// contribution is measured here.
+HostRunReport RunTailLeg(bool hedge) {
+  HostSimConfig cfg;
+  cfg.host = MakeHwAO();
+  for (auto& ssd : cfg.host.ssds) {
+    ssd.tail_probability = 0.005;
+    ssd.tail_multiplier = 20.0;
+  }
+  cfg.fm_capacity = 8 * kMiB;
+  cfg.sm_backing_per_device = 16 * kMiB;
+  cfg.workload.num_users = 1000;
+  cfg.workload.seed = 5;
+  cfg.seed = 5;
+  // Row cache off: every lookup reads SM, so a query sees several chances
+  // at the read tail and the tail crosses query-level p99.
+  cfg.tuning.enable_row_cache = false;
+  if (hedge) {
+    cfg.tuning.hedge_latency_factor = 2.0;
+    cfg.tuning.hedge_min_samples = 64;
+  }
+  HostSimulation sim(cfg);
+  Status st = sim.LoadModel(MakeTinyUniformModel(16, 2, 1, 2000));
+  if (!st.ok()) {
+    std::fprintf(stderr, "LoadModel: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return sim.Run(200, 2000);
+}
+
+/// One fault-free run; with `install_empty`, an empty-plan injector is
+/// installed across the whole device stack first. Returns every report
+/// summary concatenated — the byte-identity comparator.
+std::string FaultFreeFingerprint(bool install_empty) {
+  DisaggregatedConfig dc;
+  dc.enabled = true;
+  ClusterSimulation cluster(kHosts, StormHostConfig(/*responses=*/true),
+                            RoutingPolicy::kLocal, dc);
+  Status st = cluster.LoadModel(StormModel());
+  if (!st.ok()) {
+    std::fprintf(stderr, "LoadModel: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<FaultInjector> injector;
+  if (install_empty) {
+    injector = std::make_unique<FaultInjector>(
+        FaultPlan(), cluster.host_store(0).loop(), /*seed=*/99);
+    cluster.fabric_service()->InstallFaultInjector(injector.get());
+  }
+  const DisaggregatedRunReport r =
+      cluster.RunDisaggregated(kTotalQps, kStormQueries / 4);
+  std::string fp = r.Summary();
+  for (const auto& h : r.hosts) {
+    fp += "\n";
+    fp += h.run.Summary();
+  }
+  return fp;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::QuietLogs quiet;
+  bench::JsonReporter json(argc, argv, "fault_tolerance");
+
+  bench::Section("Fault storm: 1% error burst + 10x fail-slow + fabric partition");
+  const LegResult ablation = RunStorm(/*responses=*/false);
+  const LegResult responses = RunStorm(/*responses=*/true);
+
+  bench::Table t({"leg", "completed", "availability%", "p99 ms", "degraded",
+                  "rows zero-filled", "deadline", "hedges won", "shed"});
+  const auto row = [&](const char* name, const LegResult& leg) {
+    t.Row(name, leg.completed, bench::Fmt("%.3f", leg.availability_pct),
+          bench::Fmt("%.3f", leg.p99_ms), leg.degraded, leg.rows_failed,
+          leg.report.io.deadline_expired, leg.report.io.hedges_won,
+          bench::Fmt("%llu", (unsigned long long)(
+                                 leg.served - leg.completed)));
+  };
+  row("no responses", ablation);
+  row("responses on", responses);
+  t.Print();
+
+  const double p99_cut_pct =
+      ablation.p99_ms <= 0
+          ? 0
+          : 100.0 * (ablation.p99_ms - responses.p99_ms) / ablation.p99_ms;
+  bench::Note(bench::Fmt(
+      "deadlines+hedging cut storm p99 %.3fms -> %.3fms (%.1f%%)",
+      ablation.p99_ms, responses.p99_ms, p99_cut_pct));
+  bench::Note(bench::Fmt(
+      "fabric: %llu transfers rode out the partition; %llu reads expired",
+      (unsigned long long)responses.report.fabric.partition_deferred,
+      (unsigned long long)responses.report.io.deadline_expired));
+
+  bench::Section("Tail rescue: hedging alone vs a 0.5% 20x-slow read tail");
+  const HostRunReport tail_off = RunTailLeg(false);
+  const HostRunReport tail_on = RunTailLeg(true);
+  const double tail_off_p99_us = tail_off.p99.nanos() / 1e3;
+  const double tail_on_p99_us = tail_on.p99.nanos() / 1e3;
+  const double hedge_p99_cut_pct =
+      tail_off_p99_us <= 0
+          ? 0
+          : 100.0 * (tail_off_p99_us - tail_on_p99_us) / tail_off_p99_us;
+  bench::Note(bench::Fmt(
+      "hedging cut p99 %.1fus -> %.1fus (%.1f%%); %llu/%llu hedges won",
+      tail_off_p99_us, tail_on_p99_us, hedge_p99_cut_pct,
+      (unsigned long long)tail_on.hedges_won,
+      (unsigned long long)tail_on.hedges_issued));
+
+  bench::Section("Fault-free byte-identity (empty-plan injector installed)");
+  const bool identical =
+      FaultFreeFingerprint(false) == FaultFreeFingerprint(true);
+  bench::Note(identical ? "identical: installing an idle injector changes nothing"
+                        : "MISMATCH: idle injector perturbed the simulation");
+
+  json.Metric("availability_pct", responses.availability_pct);
+  json.Metric("queries_degraded", responses.degraded);
+  json.Metric("rows_failed", responses.rows_failed);
+  json.Metric("deadline_expired", responses.report.io.deadline_expired);
+  json.Metric("hedges_issued", responses.report.io.hedges_issued);
+  json.Metric("hedges_won", tail_on.hedges_won);
+  json.Metric("hedge_p99_cut_pct", hedge_p99_cut_pct);
+  json.Metric("partition_deferred", responses.report.fabric.partition_deferred);
+  json.Metric("p99_ablation_ms", ablation.p99_ms);
+  json.Metric("p99_responses_ms", responses.p99_ms);
+  json.Metric("p99_cut_pct", p99_cut_pct);
+  json.Metric("fault_free_identical", identical ? 1 : 0);
+  return identical ? 0 : 1;
+}

@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition,
   kUnavailable,
   kInternal,
+  kDeadlineExceeded,
 };
 
 [[nodiscard]] inline const char* ToString(StatusCode c) {
@@ -34,6 +35,7 @@ enum class StatusCode : uint8_t {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -81,6 +83,16 @@ class [[nodiscard]] Status {
 }
 [[nodiscard]] inline Status InternalError(std::string m) {
   return {StatusCode::kInternal, std::move(m)};
+}
+[[nodiscard]] inline Status DeadlineExceededError(std::string m) {
+  return {StatusCode::kDeadlineExceeded, std::move(m)};
+}
+
+/// True for errors a retry can plausibly fix: transient media faults
+/// (kUnavailable) and reads abandoned past their IO deadline
+/// (kDeadlineExceeded). Validation/capacity errors are terminal.
+[[nodiscard]] inline bool IsTransientError(StatusCode c) {
+  return c == StatusCode::kUnavailable || c == StatusCode::kDeadlineExceeded;
 }
 
 /// Either a value of T or an error Status. Accessing value() on an error is a

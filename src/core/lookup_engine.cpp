@@ -86,6 +86,9 @@ LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()
   cpu_ns_ = stats_.GetCounter("cpu_ns");
   io_errors_ = stats_.GetCounter("io_errors");
   io_retries_ = stats_.GetCounter("io_retries");
+  rows_failed_ = stats_.GetCounter("rows_failed");
+  degraded_lookups_ = stats_.GetCounter("degraded_lookups");
+  shed_lookups_ = stats_.GetCounter("shed_lookups");
   if (store->sm_device_count() > 0) {
     memcpy_bytes_per_sec_ = store->reader(0).memcpy_bytes_per_sec();
   }
@@ -274,6 +277,24 @@ void LookupEngine::StartIoPhase(std::shared_ptr<RequestState> st) {
   const TuningConfig& tuning = store_->tuning();
   const TableRuntime& table = store_->table(st->request.table);
 
+  // Health-monitor shed: while this table's SM endpoint is sick, only every
+  // Nth lookup probes the device; the rest complete immediately with their
+  // IO rows failed (degraded mode) instead of queueing onto a failing
+  // device or fabric. On a disaggregated host — whose SM lives entirely
+  // behind the fabric — this IS the failover: FM-resident rows and caches
+  // still serve. Inert unless tuning.enable_health_monitor.
+  {
+    HealthMonitor& health = store_->device_service().health();
+    const size_t dev = table.sm_device;
+    if (health.Sick(dev) && !health.AdmitProbe(dev)) {
+      shed_lookups_->Add(1);
+      for (auto& slot : st->slots) slot.needs_io = false;  // source stays kNone
+      st->first_error = UnavailableError("lookup shed: SM endpoint unhealthy");
+      FinishRequest(st);
+      return;
+    }
+  }
+
   if (!tuning.coalesce_io) {
     // Per-row ablation path: one device IO per missing row.
     int ios = 0;
@@ -340,6 +361,8 @@ void LookupEngine::SubmitRowIo(const std::shared_ptr<RequestState>& st,
   // only toward io_errors, not toward rows served from SM.
   auto on_row_done = [this, st, slot_index, dest, physical](Status status) {
     store_->ReleaseIoSlot(st->request.table);
+    store_->device_service().health().Record(store_->table(st->request.table).sm_device,
+                                             status.ok());
     if (!status.ok()) {
       io_errors_->Add(1);
       if (st->first_error.ok()) st->first_error = status;
@@ -391,10 +414,22 @@ void LookupEngine::BlockRowReadAttempt(const std::shared_ptr<RequestState>& st, 
       [this, st, off, dest, block_start, device, attempts_left, block_buf,
        done = std::move(done)](Status status, SimDuration /*lat*/) mutable {
         // Retry transient media errors inside the held throttle slot, like
-        // DirectIoReader does for the sub-block path.
-        if (!status.ok() && status.code() == StatusCode::kUnavailable &&
-            attempts_left > 0) {
+        // DirectIoReader does for the sub-block path (same backoff schedule).
+        if (!status.ok() && IsTransientError(status.code()) && attempts_left > 0) {
           io_retries_->Add(1);
+          const int attempt_index =
+              store_->reader(device).max_retries() - attempts_left;
+          const SimDuration backoff =
+              SimDuration(store_->tuning().retry_backoff_base.nanos()
+                          << std::min(attempt_index, 30));
+          if (backoff > SimDuration(0)) {
+            loop_->ScheduleAfter(backoff, [this, st, off, block_start, dest, device,
+                                           attempts_left, done = std::move(done)]() mutable {
+              BlockRowReadAttempt(st, off, block_start, dest, device, attempts_left - 1,
+                                  std::move(done));
+            });
+            return;
+          }
           BlockRowReadAttempt(st, off, block_start, dest, device, attempts_left - 1,
                               std::move(done));
           return;
@@ -520,17 +555,31 @@ BatchScheduler::Completion LookupEngine::MakeRunCompletion(
                                                           const uint8_t* data,
                                                           Bytes base) {
     if (run->holds_slot) store_->ReleaseIoSlot(st->request.table);
+    const TableRuntime& table = store_->table(st->request.table);
+    store_->device_service().health().Record(table.sm_device, status.ok());
     if (!status.ok()) {
       // Transient (device-side) errors are retried like DirectIoReader's
       // per-row reads; invalid requests surface immediately.
-      if (status.code() == StatusCode::kUnavailable && attempts_left > 0) {
+      if (IsTransientError(status.code()) && attempts_left > 0) {
         io_retries_->Add(1);
-        store_->AcquireIoSlot(st->request.table,
-                              [this, st, run, block_cache_mode, attempts_left] {
-                                EnqueueRun(st, run, block_cache_mode, attempts_left - 1,
-                                           /*first_attempt=*/false,
-                                           /*acquired_slot=*/true);
-                              });
+        const int attempt_index =
+            store_->reader(table.sm_device).max_retries() - attempts_left;
+        const SimDuration backoff =
+            SimDuration(store_->tuning().retry_backoff_base.nanos()
+                        << std::min(attempt_index, 30));
+        auto reenqueue = [this, st, run, block_cache_mode, attempts_left] {
+          store_->AcquireIoSlot(st->request.table,
+                                [this, st, run, block_cache_mode, attempts_left] {
+                                  EnqueueRun(st, run, block_cache_mode, attempts_left - 1,
+                                             /*first_attempt=*/false,
+                                             /*acquired_slot=*/true);
+                                });
+        };
+        if (backoff > SimDuration(0)) {
+          loop_->ScheduleAfter(backoff, std::move(reenqueue));
+        } else {
+          reenqueue();
+        }
         return;
       }
       // One failed device read fails every row it carried; only io_errors
@@ -575,10 +624,20 @@ BatchScheduler::Completion LookupEngine::MakeRunCompletion(
 
 void LookupEngine::FinishRequest(const std::shared_ptr<RequestState>& st) {
   if (!st->first_error.ok()) {
-    cpu_ns_->Add(static_cast<uint64_t>((st->cpu_pre + st->cpu_post).nanos()));
-    st->trace.cpu_time = st->cpu_pre + st->cpu_post;
-    st->cb(st->first_error, {}, st->trace);
-    return;
+    if (!store_->tuning().graceful_degradation) {
+      // Legacy fail-stop contract: the first exhausted-retry error fails
+      // the whole lookup.
+      cpu_ns_->Add(static_cast<uint64_t>((st->cpu_pre + st->cpu_post).nanos()));
+      st->trace.cpu_time = st->cpu_pre + st->cpu_post;
+      st->cb(st->first_error, {}, st->trace);
+      return;
+    }
+    // Graceful degradation: the failed rows' buffers were zero-initialized
+    // and never written, so pooling proceeds and they contribute nothing —
+    // an embedding query missing a few rows beats a failed query. The gap
+    // is surfaced via trace.degraded / trace.rows_failed.
+    st->trace.degraded = true;
+    degraded_lookups_->Add(1);
   }
 
   const TableRuntime& table = store_->table(st->request.table);
@@ -615,10 +674,22 @@ void LookupEngine::FinishRequest(const std::shared_ptr<RequestState>& st) {
         ++st->trace.rows_from_sm;
         break;
       case RequestState::Slot::Source::kNone:
-        break;  // primary errored; the error path below never pools
+        break;  // primary's fetch failed; this duplicate pools as zeros too
     }
   }
   if (dup_copied > 0) st->cpu_post += CopyCost(dup_copied);
+
+  // Degraded accounting: every non-pruned slot still unresolved after the
+  // fan-out lost its row (exhausted retries, or shed from a sick endpoint)
+  // and pools as a zero vector.
+  if (st->trace.degraded) {
+    for (const auto& slot : st->slots) {
+      if (!slot.pruned && slot.source == RequestState::Slot::Source::kNone) {
+        ++st->trace.rows_failed;
+        rows_failed_->Add(1);
+      }
+    }
+  }
 
   // Fused dequant+pool over resolved slots.
   std::vector<float> out(dim, 0.0f);
@@ -641,9 +712,11 @@ void LookupEngine::FinishRequest(const std::shared_ptr<RequestState>& st) {
                       ? cost_.DensePoolCost(pooled_bytes)
                       : cost_.DequantPoolCost(pooled_bytes);
 
-  // Pooled-cache fill (Algorithm 1 tail).
+  // Pooled-cache fill (Algorithm 1 tail). Degraded outputs are missing row
+  // contributions and must not be cached — a later fault-free repeat of the
+  // same bag would serve the incomplete vector.
   PooledEmbeddingCache* pooled = store_->pooled_cache();
-  if (pooled != nullptr && !st->trace.pooled_cache_hit) {
+  if (pooled != nullptr && !st->trace.pooled_cache_hit && !st->trace.degraded) {
     pooled->Insert(st->request.table, st->request.indices, out);
     st->cpu_post += cost_.DensePoolCost(static_cast<Bytes>(out.size()) * sizeof(float));
   }

@@ -68,6 +68,14 @@ struct LookupTrace {
   /// Bus bytes avoided versus issuing every missing row as its own read.
   Bytes io_bytes_saved = 0;
 
+  // ---- Graceful degradation (tuning.graceful_degradation) ----
+  /// Rows whose IO exhausted retries (or was shed from a sick endpoint):
+  /// they pooled as zero vectors instead of failing the query.
+  uint32_t rows_failed = 0;
+  /// True when any row failed — the query completed Ok but its pooled
+  /// output is missing rows_failed contributions.
+  bool degraded = false;
+
   SimDuration cpu_time;
   SimDuration latency;
 };
@@ -158,6 +166,9 @@ class LookupEngine {
   Counter* cpu_ns_ = nullptr;
   Counter* io_errors_ = nullptr;
   Counter* io_retries_ = nullptr;
+  Counter* rows_failed_ = nullptr;
+  Counter* degraded_lookups_ = nullptr;
+  Counter* shed_lookups_ = nullptr;
 };
 
 }  // namespace sdm

@@ -38,6 +38,27 @@ Status TuningConfig::Validate() const {
   if (background_flush_delay < SimDuration(0)) {
     return InvalidArgumentError("background_flush_delay must be >= 0");
   }
+  if (io_deadline < SimDuration(0)) {
+    return InvalidArgumentError("io_deadline must be >= 0");
+  }
+  if (retry_backoff_base < SimDuration(0)) {
+    return InvalidArgumentError("retry_backoff_base must be >= 0");
+  }
+  if (hedge_latency_factor < 0) {
+    return InvalidArgumentError("hedge_latency_factor must be >= 0");
+  }
+  if (hedge_latency_factor > 0 && hedge_min_samples < 1) {
+    return InvalidArgumentError("hedge_min_samples must be >= 1 when hedging");
+  }
+  if (health_sick_threshold <= 0 || health_sick_threshold > 1) {
+    return InvalidArgumentError("health_sick_threshold must be in (0,1]");
+  }
+  if (health_window < 1) {
+    return InvalidArgumentError("health_window must be >= 1");
+  }
+  if (health_probe_interval < 1) {
+    return InvalidArgumentError("health_probe_interval must be >= 1");
+  }
   if (row_cache.memory_optimized_fraction < 0 || row_cache.memory_optimized_fraction > 1) {
     return InvalidArgumentError("memory_optimized_fraction must be in [0,1]");
   }

@@ -127,6 +127,39 @@ struct TuningConfig {
   /// behind each other (needs a finite bandwidth to matter).
   bool fabric_queueing = true;
 
+  // ---- Fault tolerance / robustness (src/fault) ----
+  /// Deadline on one scheduler device read (demand lanes). When the read
+  /// has not completed this long after its doorbell, every joined request
+  /// gets kDeadlineExceeded and can retry/degrade instead of wedging on a
+  /// stalled device or a dropped fabric transfer. Zero disables deadlines
+  /// (byte-identical to pre-deadline behavior).
+  SimDuration io_deadline{0};
+  /// Base of the exponential backoff between IO retry attempts (lookup runs,
+  /// per-row reads, DirectIoReader). Attempt k waits base * 2^k. Zero keeps
+  /// the legacy immediate re-read.
+  SimDuration retry_backoff_base{0};
+  /// Hedged reads: when an in-flight demand read exceeds
+  /// `hedge_latency_factor * p99` of the device's observed demand-read
+  /// latency, a duplicate read is submitted and the first completion wins.
+  /// Zero disables hedging.
+  double hedge_latency_factor = 0;
+  /// Completed demand reads observed before the adaptive hedge threshold
+  /// arms (the p99 estimate needs a population).
+  uint64_t hedge_min_samples = 64;
+  /// Lookups whose IOs exhaust retries complete Ok with zero-filled rows,
+  /// accounted as rows_failed/degraded in traces and reports. `false`
+  /// restores the legacy first-error contract (the query fails).
+  bool graceful_degradation = true;
+  /// Score device/endpoint health from IO outcomes and shed lookups to
+  /// degraded mode while an endpoint is sick (probing for recovery).
+  bool enable_health_monitor = false;
+  /// Error fraction of the health window at which an endpoint is sick.
+  double health_sick_threshold = 0.5;
+  /// IO outcomes per endpoint in the sliding health window.
+  int health_window = 64;
+  /// While sick, every Nth lookup is admitted as a probe to detect recovery.
+  int health_probe_interval = 16;
+
   // ---- Cache organization (§4.3) ----
   bool enable_row_cache = true;
   /// capacity == 0 (the default) auto-sizes the cache to whatever FM the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault_injector.h"
+
 namespace sdm {
 
 LatencyModel::LatencyModel(const DeviceSpec& spec, uint64_t seed)
@@ -28,6 +30,13 @@ SimTime LatencyModel::CompleteRead(SimTime now, Bytes bus_bytes) {
   SimDuration service = service_time_ * static_cast<double>(media_units);
   if (spec_.tail_probability > 0 && rng_.NextBernoulli(spec_.tail_probability)) {
     service = service * spec_.tail_multiplier;
+  }
+  // Injected fail-slow (GC pause / thermal throttle) multiplies service
+  // after the organic tail draw, so the device's own RNG stream is
+  // untouched and fault-free runs stay byte-identical.
+  if (injector_ != nullptr) {
+    const double mult = injector_->ServiceMultiplier(device_index_);
+    if (mult != 1.0) service = service * mult;
   }
 
   const SimTime channel_done = start + service;

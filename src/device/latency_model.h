@@ -18,9 +18,19 @@
 
 namespace sdm {
 
+class FaultInjector;
+
 class LatencyModel {
  public:
   LatencyModel(const DeviceSpec& spec, uint64_t seed);
+
+  /// Installs (or clears, with nullptr) a fault injector: active fail-slow
+  /// windows multiply this model's service time. A null injector consumes
+  /// no extra RNG and is byte-identical to today.
+  void set_fault_injector(FaultInjector* injector, int device_index) {
+    injector_ = injector;
+    device_index_ = device_index;
+  }
 
   /// Computes the completion time for a read arriving at `now` that moves
   /// `bus_bytes` over the device bus. Mutates internal channel bookkeeping,
@@ -41,6 +51,8 @@ class LatencyModel {
  private:
   DeviceSpec spec_;
   Rng rng_;
+  FaultInjector* injector_ = nullptr;
+  int device_index_ = -1;
   SimDuration service_time_;  // channels / max_iops
   // Earliest time each channel is free. Small fixed vector; min-scan is
   // cheap at the channel counts in Table 1 (<= 64).

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/fault_injector.h"
+
 namespace sdm {
 
 NvmeDevice::NvmeDevice(DeviceSpec spec, Bytes backing_size, EventLoop* loop, uint64_t seed)
@@ -70,7 +72,12 @@ void NvmeDevice::SubmitRead(ReadRequest req) {
 
   const Bytes bus = req.dest.size();
   const SimTime now = loop_->Now();
-  const SimTime done = latency_.CompleteRead(now, bus);
+  SimTime done = latency_.CompleteRead(now, bus);
+  if (injector_ != nullptr) {
+    // Stall windows freeze completions until they close: the read is not
+    // lost, it is (very) late — which is what deadlines must rescue.
+    done = injector_->DeferCompletion(device_index_, done);
+  }
   const SimDuration lat = done - now;
 
   // Fault injection: the error surfaces at completion time, after the
@@ -80,6 +87,16 @@ void NvmeDevice::SubmitRead(ReadRequest req) {
     read_errors_->Add(1);
     loop_->ScheduleAt(done, [cb = std::move(req.on_complete), lat]() mutable {
       if (cb) cb(UnavailableError("uncorrectable media read error"), lat);
+    });
+    return;
+  }
+
+  // Scripted error bursts draw from the injector's own Rng (after the
+  // spec's organic draw above, whose stream stays untouched).
+  if (injector_ != nullptr && injector_->DrawReadError(device_index_)) {
+    read_errors_->Add(1);
+    loop_->ScheduleAt(done, [cb = std::move(req.on_complete), lat]() mutable {
+      if (cb) cb(UnavailableError("injected media error burst"), lat);
     });
     return;
   }

@@ -28,6 +28,8 @@
 
 namespace sdm {
 
+class FaultInjector;
+
 class NvmeDevice {
  public:
   /// `backing_size` is the actual allocated store (experiments run scaled
@@ -73,6 +75,18 @@ class NvmeDevice {
   /// callback (scheduled immediately) so callers have one error path.
   void SubmitRead(ReadRequest req);
 
+  /// Installs (or clears, with nullptr) a scripted fault injector
+  /// (src/fault): error-burst windows fail reads at completion time, stall
+  /// windows defer completions, fail-slow windows stretch service time
+  /// (via the LatencyModel hook, installed here too). The injector draws
+  /// from its OWN Rng, so a null injector — or one with an empty plan —
+  /// leaves every device RNG stream and completion byte-identical.
+  void set_fault_injector(FaultInjector* injector, int device_index) {
+    injector_ = injector;
+    device_index_ = device_index;
+    latency_.set_fault_injector(injector, device_index);
+  }
+
   // -- Introspection ----------------------------------------------------------
 
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
@@ -90,6 +104,8 @@ class NvmeDevice {
   LatencyModel latency_;
   WearTracker wear_;
   Rng fault_rng_;
+  FaultInjector* injector_ = nullptr;
+  int device_index_ = -1;
   std::vector<uint8_t> store_;
   StatsRegistry stats_;
   Histogram read_latency_;

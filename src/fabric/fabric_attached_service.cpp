@@ -19,6 +19,13 @@ TenantId FabricAttachedService::AttachHost(std::string name, TenantClass cls) {
   return service_.RegisterTenant(std::move(name), cls);
 }
 
+void FabricAttachedService::InstallFaultInjector(FaultInjector* injector) {
+  service_.InstallFaultInjector(injector);
+  for (size_t d = 0; d < links_.size(); ++d) {
+    links_[d]->set_fault_injector(injector, static_cast<int>(d));
+  }
+}
+
 FabricLinkStats FabricAttachedService::fabric_stats() const {
   FabricLinkStats agg;
   for (const auto& link : links_) {
@@ -28,6 +35,8 @@ FabricLinkStats FabricAttachedService::fabric_stats() const {
     agg.request_bytes += one.request_bytes;
     agg.response_bytes += one.response_bytes;
     agg.queue_time += one.queue_time;
+    agg.dropped += one.dropped;
+    agg.partition_deferred += one.partition_deferred;
   }
   return agg;
 }

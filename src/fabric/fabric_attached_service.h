@@ -80,6 +80,11 @@ class FabricAttachedService {
   /// Fabric traffic aggregated over every device link.
   [[nodiscard]] FabricLinkStats fabric_stats() const;
 
+  /// Routes scripted faults to the whole remote stack: media faults to the
+  /// devices (via the inner service) and drop/partition windows to each
+  /// device's fabric link. Pass nullptr to detach.
+  void InstallFaultInjector(FaultInjector* injector);
+
  private:
   FabricLinkConfig link_config_;
   SharedDeviceService service_;

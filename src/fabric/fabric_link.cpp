@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "fault/fault_injector.h"
+
 namespace sdm {
 
 FabricLink::FabricLink(FabricLinkConfig config, EventLoop* loop)
@@ -31,6 +33,13 @@ void FabricLink::Traverse(Direction& dir, Bytes payload, EventLoop::Callback del
     deliver();
     return;
   }
+  if (injector_ != nullptr && injector_->DrawFabricDrop(device_index_)) {
+    // The transfer vanishes: `deliver` is discarded, so whatever waited on
+    // it sees silence (and is rescued, if at all, by an IO deadline).
+    // Buffers held by the dropped closure free through its captures.
+    ++stats_.dropped;
+    return;
+  }
   const SimTime now = loop_->Now();
   SimDuration serialization{0};
   if (config_.bandwidth_bytes_per_sec > 0) {
@@ -39,6 +48,15 @@ void FabricLink::Traverse(Direction& dir, Bytes payload, EventLoop::Callback del
   }
   SimTime start = now;
   if (config_.queueing && dir.busy_until > start) start = dir.busy_until;
+  if (injector_ != nullptr) {
+    // Partition: nothing crosses until the window heals; the transfer
+    // queues (store-and-forward) rather than being lost.
+    const SimTime deferred = injector_->DeferFabricTransfer(device_index_, start);
+    if (deferred > start) {
+      ++stats_.partition_deferred;
+      start = deferred;
+    }
+  }
   stats_.queue_time += start - now;
   dir.busy_until = start + serialization;
   loop_->ScheduleAt(start + serialization + config_.latency, std::move(deliver));

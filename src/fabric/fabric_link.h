@@ -47,7 +47,14 @@ struct FabricLinkStats {
   /// Total time transfers waited behind earlier ones in their direction
   /// (nonzero only with queueing and a finite bandwidth).
   SimDuration queue_time;
+  /// Transfers lost to injected fabric-drop windows (the payload vanished;
+  /// only an IO deadline recovers the waiting request).
+  uint64_t dropped = 0;
+  /// Transfers that waited out an injected partition window.
+  uint64_t partition_deferred = 0;
 };
+
+class FaultInjector;
 
 class FabricLink {
  public:
@@ -66,6 +73,17 @@ class FabricLink {
   [[nodiscard]] const FabricLinkConfig& config() const { return config_; }
   [[nodiscard]] const FabricLinkStats& stats() const { return stats_; }
 
+  /// Installs (or clears, with nullptr) a scripted fault injector
+  /// (src/fault): drop windows lose transfers (the deliver callback is
+  /// discarded), partition windows defer a transfer's start until the
+  /// window heals. Fabric faults apply only to non-instant links — an
+  /// instant link models no fabric at all, so it cannot fail. A null
+  /// injector is byte-identical to today.
+  void set_fault_injector(FaultInjector* injector, int device_index) {
+    injector_ = injector;
+    device_index_ = device_index;
+  }
+
  private:
   /// One direction's serialization state.
   struct Direction {
@@ -76,6 +94,8 @@ class FabricLink {
 
   FabricLinkConfig config_;
   EventLoop* loop_;
+  FaultInjector* injector_ = nullptr;
+  int device_index_ = -1;
   Direction request_dir_;
   Direction response_dir_;
   FabricLinkStats stats_;

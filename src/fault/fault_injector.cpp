@@ -1,0 +1,85 @@
+#include "fault/fault_injector.h"
+
+#include <cassert>
+
+namespace sdm {
+
+FaultInjector::FaultInjector(FaultPlan plan, EventLoop* loop, uint64_t seed)
+    : plan_(std::move(plan)),
+      loop_(loop),
+      rng_(seed ^ 0xfa'17'0000ULL),
+      injected_errors_(stats_.GetCounter("injected_errors")),
+      injected_drops_(stats_.GetCounter("injected_drops")),
+      stalled_completions_(stats_.GetCounter("stalled_completions")),
+      partitioned_transfers_(stats_.GetCounter("partitioned_transfers")) {
+  assert(loop != nullptr);
+}
+
+bool FaultInjector::DrawReadError(int device) {
+  const SimTime now = loop_->Now();
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind != FaultKind::kErrorBurst) continue;
+    if (!Targets(w, device) || !Active(w, now)) continue;
+    // One draw per active window: overlapping bursts stack, and the draw
+    // count stays a pure function of (plan, time), keeping replays exact.
+    if (rng_.NextBernoulli(w.probability)) {
+      injected_errors_->Add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::ServiceMultiplier(int device) const {
+  const SimTime now = loop_->Now();
+  double mult = 1.0;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind != FaultKind::kFailSlow) continue;
+    if (!Targets(w, device) || !Active(w, now)) continue;
+    mult *= w.latency_multiplier;
+  }
+  return mult;
+}
+
+SimTime FaultInjector::DeferCompletion(int device, SimTime done) {
+  SimTime deferred = done;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind != FaultKind::kStall) continue;
+    // A completion landing inside a stall window freezes until the window
+    // closes (the read is not lost, just late — firmware-hiccup semantics).
+    if (Targets(w, device) && Active(w, deferred) && w.end > deferred) {
+      deferred = w.end;
+    }
+  }
+  if (deferred > done) stalled_completions_->Add(1);
+  return deferred;
+}
+
+bool FaultInjector::DrawFabricDrop(int device) {
+  const SimTime now = loop_->Now();
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind != FaultKind::kFabricDrop) continue;
+    if (!Targets(w, device) || !Active(w, now)) continue;
+    if (rng_.NextBernoulli(w.probability)) {
+      injected_drops_->Add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime FaultInjector::DeferFabricTransfer(int device, SimTime start) {
+  SimTime deferred = start;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind != FaultKind::kFabricPartition) continue;
+    // Store-and-forward partition: the transfer waits for the heal instead
+    // of vanishing (a drop window models loss).
+    if (Targets(w, device) && Active(w, deferred) && w.end > deferred) {
+      deferred = w.end;
+    }
+  }
+  if (deferred > start) partitioned_transfers_->Add(1);
+  return deferred;
+}
+
+}  // namespace sdm

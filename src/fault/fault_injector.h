@@ -1,0 +1,80 @@
+// FaultInjector — interprets a FaultPlan against the EventLoop clock.
+//
+// One injector serves a whole device stack: NvmeDevice asks it whether a
+// read inside an active error-burst window should fail and how far a stall
+// window defers the completion; LatencyModel asks for the fail-slow service
+// multiplier; FabricLink asks whether a transfer is dropped and when a
+// partition heals. Every probabilistic draw comes from the injector's OWN
+// seeded Rng — device/model RNG streams are never touched, so a null or
+// empty-plan injector leaves the simulation byte-identical (pinned by
+// fault_injection_test) and a given (plan, seed) replays exactly.
+//
+// Draw counts depend only on (plan, virtual time, call sequence), all of
+// which are deterministic, so two runs with the same plan+seed see the same
+// faults at the same instants.
+#pragma once
+
+#include <cstdint>
+
+#include "common/event_loop.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "fault/fault_plan.h"
+
+namespace sdm {
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, EventLoop* loop, uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // ---- Device hooks (NvmeDevice / LatencyModel) ---------------------------
+
+  /// Draws one injected media error for a read on `device` at Now().
+  /// Consumes an Rng draw only while an error-burst window targeting the
+  /// device is active.
+  [[nodiscard]] bool DrawReadError(int device);
+
+  /// Multiplier on device service time at Now() (1.0 when no fail-slow
+  /// window targets the device). Overlapping windows compound.
+  [[nodiscard]] double ServiceMultiplier(int device) const;
+
+  /// Earliest instant a completion on `device` may be delivered: `done`
+  /// itself, or the close of the latest stall window active at `done`.
+  [[nodiscard]] SimTime DeferCompletion(int device, SimTime done);
+
+  // ---- Fabric hooks (FabricLink) ------------------------------------------
+
+  /// Draws one transfer loss on the link fronting `device` at Now().
+  [[nodiscard]] bool DrawFabricDrop(int device);
+
+  /// Earliest instant the link fronting `device` may start a transfer:
+  /// `start`, or the heal time of the latest partition window active then.
+  [[nodiscard]] SimTime DeferFabricTransfer(int device, SimTime start);
+
+  // ---- Introspection ------------------------------------------------------
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] bool Targets(const FaultWindow& w, int device) const {
+    return w.device < 0 || w.device == device;
+  }
+  [[nodiscard]] bool Active(const FaultWindow& w, SimTime at) const {
+    return at >= w.begin && at < w.end;
+  }
+
+  FaultPlan plan_;
+  EventLoop* loop_;
+  Rng rng_;
+  StatsRegistry stats_;
+  Counter* injected_errors_ = nullptr;
+  Counter* injected_drops_ = nullptr;
+  Counter* stalled_completions_ = nullptr;
+  Counter* partitioned_transfers_ = nullptr;
+};
+
+}  // namespace sdm

@@ -1,0 +1,97 @@
+// FaultPlan — a deterministic script of time-windowed faults.
+//
+// A plan is a list of windows, each activating one fault kind over a
+// half-open virtual-time interval [begin, end) against one device (or all
+// devices / the whole fabric). The plan itself is pure data; FaultInjector
+// interprets it against an EventLoop clock with its own seeded Rng, so a
+// given (plan, seed) pair replays byte-identically and an EMPTY plan draws
+// nothing — runs without faults stay byte-identical to a build with
+// injection compiled out (pinned by fault_injection_test).
+//
+// Fault kinds model the failure taxonomy the robustness layer answers:
+//  - kErrorBurst:      per-read Bernoulli media errors while the window is
+//                      active (transient uncorrectable reads, a dying die);
+//  - kFailSlow:        multiply device service time (GC pause, thermal
+//                      throttle, a neighbor hammering the device);
+//  - kStall:           completions freeze until the window closes (firmware
+//                      hiccup; latency is deferred, reads are not lost);
+//  - kFabricDrop:      per-transfer Bernoulli loss on a FabricLink (the
+//                      transfer vanishes; only IO deadlines recover it);
+//  - kFabricPartition: the link carries nothing until the window closes;
+//                      transfers queue and deliver at heal time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sdm {
+
+enum class FaultKind : uint8_t {
+  kErrorBurst,
+  kFailSlow,
+  kStall,
+  kFabricDrop,
+  kFabricPartition,
+};
+
+[[nodiscard]] inline const char* ToString(FaultKind k) {
+  switch (k) {
+    case FaultKind::kErrorBurst: return "error_burst";
+    case FaultKind::kFailSlow: return "fail_slow";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kFabricDrop: return "fabric_drop";
+    case FaultKind::kFabricPartition: return "fabric_partition";
+  }
+  return "unknown";
+}
+
+struct FaultWindow {
+  FaultKind kind = FaultKind::kErrorBurst;
+  /// Active over [begin, end) of virtual time.
+  SimTime begin;
+  SimTime end;
+  /// Target device index; -1 targets every device (and, for fabric kinds,
+  /// every link).
+  int device = -1;
+  /// kErrorBurst: per-read error probability. kFabricDrop: per-transfer
+  /// drop probability.
+  double probability = 0;
+  /// kFailSlow: multiplier on device service time (>= 1).
+  double latency_multiplier = 1;
+};
+
+/// Builder-style container so benches read like the storm they script.
+struct FaultPlan {
+  std::vector<FaultWindow> windows;
+
+  [[nodiscard]] bool empty() const { return windows.empty(); }
+
+  FaultPlan& ErrorBurst(SimTime begin, SimTime end, double probability,
+                        int device = -1) {
+    windows.push_back({FaultKind::kErrorBurst, begin, end, device, probability, 1});
+    return *this;
+  }
+  FaultPlan& FailSlow(SimTime begin, SimTime end, double multiplier,
+                      int device = -1) {
+    windows.push_back({FaultKind::kFailSlow, begin, end, device, 0, multiplier});
+    return *this;
+  }
+  FaultPlan& Stall(SimTime begin, SimTime end, int device = -1) {
+    windows.push_back({FaultKind::kStall, begin, end, device, 0, 1});
+    return *this;
+  }
+  FaultPlan& FabricDrop(SimTime begin, SimTime end, double probability,
+                        int device = -1) {
+    windows.push_back({FaultKind::kFabricDrop, begin, end, device, probability, 1});
+    return *this;
+  }
+  FaultPlan& FabricPartition(SimTime begin, SimTime end, int device = -1) {
+    windows.push_back({FaultKind::kFabricPartition, begin, end, device, 0, 1});
+    return *this;
+  }
+};
+
+}  // namespace sdm

@@ -1,5 +1,6 @@
 #include "io/direct_reader.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -47,8 +48,23 @@ void DirectIoReader::Attempt(Bytes offset, std::span<uint8_t> dest, int attempts
         if (!status.ok()) {
           // Retry transient (device-side) errors; invalid requests are not
           // retryable and surface immediately.
-          if (status.code() == StatusCode::kUnavailable && attempts_left > 0) {
+          if (IsTransientError(status.code()) && attempts_left > 0) {
             retries_->Add(1);
+            const int attempt_index = config_.max_retries - attempts_left;
+            const SimDuration backoff =
+                SimDuration(config_.retry_backoff_base.nanos()
+                            << std::min(attempt_index, 30));
+            if (backoff > SimDuration(0)) {
+              // Exponential backoff rides the event loop; the wait counts
+              // toward the read's reported latency.
+              engine_->loop()->ScheduleAfter(
+                  backoff, [this, offset, dest, attempts_left, accumulated, latency,
+                            backoff, cb = std::move(cb)]() mutable {
+                    Attempt(offset, dest, attempts_left - 1,
+                            accumulated + latency + backoff, std::move(cb));
+                  });
+              return;
+            }
             Attempt(offset, dest, attempts_left - 1, accumulated + latency,
                     std::move(cb));
             return;

@@ -32,6 +32,10 @@ struct DirectReaderConfig {
   /// Transient-error retries before surfacing the failure (media errors
   /// are often recoverable on re-read; NVMe drivers retry similarly).
   int max_retries = 1;
+  /// Exponential backoff between retry attempts: attempt k (0-based) waits
+  /// base * 2^k before re-reading. Zero keeps the legacy immediate re-read
+  /// (byte-identical to pre-backoff behavior).
+  SimDuration retry_backoff_base{0};
 };
 
 class DirectIoReader {

@@ -40,6 +40,9 @@ BatchScheduler::BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* 
   background_promoted_ = stats_.GetCounter("background_promoted");
   background_singleflight_ = stats_.GetCounter("background_singleflight");
   cross_tenant_hits_ = stats_.GetCounter("cross_tenant_hits");
+  deadline_expired_ = stats_.GetCounter("deadline_expired");
+  hedges_issued_ = stats_.GetCounter("hedges_issued");
+  hedges_won_ = stats_.GetCounter("hedges_won");
 }
 
 CrossRequestIoStats CrossRequestIoStats::Since(const CrossRequestIoStats& base) const {
@@ -55,6 +58,9 @@ CrossRequestIoStats CrossRequestIoStats::Since(const CrossRequestIoStats& base) 
   d.background_reads = background_reads - base.background_reads;
   d.background_parked = background_parked - base.background_parked;
   d.background_promoted = background_promoted - base.background_promoted;
+  d.deadline_expired = deadline_expired - base.deadline_expired;
+  d.hedges_issued = hedges_issued - base.hedges_issued;
+  d.hedges_won = hedges_won - base.hedges_won;
   return d;
 }
 
@@ -84,6 +90,9 @@ CrossRequestIoStats BatchScheduler::Snapshot() const {
   s.background_reads = background_reads_->value();
   s.background_parked = background_parked_->value();
   s.background_promoted = background_promoted_->value();
+  s.deadline_expired = deadline_expired_->value();
+  s.hedges_issued = hedges_issued_->value();
+  s.hedges_won = hedges_won_->value();
   return s;
 }
 
@@ -697,7 +706,9 @@ void BatchScheduler::Flush() {
     }
     read->buf = arena_->Acquire(bus);
     read->subscribers = std::move(p.subscribers);
+    read->issued_at = loop_->Now();
     in_flight_.push_back(read);
+    ArmReadResponses(read);
     TenantIoShare& share = Share(p.tenant);
     switch (p.kind) {
       case Kind::kPrefetch:
@@ -736,22 +747,105 @@ void BatchScheduler::Flush() {
   }
 }
 
-void BatchScheduler::CompleteRead(const std::shared_ptr<InFlightRead>& read,
-                                  Status status) {
+void BatchScheduler::ArmReadResponses(const std::shared_ptr<InFlightRead>& read) {
+  if (config_.io_deadline > SimDuration(0)) {
+    loop_->ScheduleAfter(config_.io_deadline, [this, read] { ExpireRead(read); });
+  }
+  // The hedge threshold adapts to this scheduler's own demand-read p99
+  // (per-device: each device has its own scheduler), once enough reads
+  // completed to trust the estimate.
+  if (config_.hedge_latency_factor > 0 && read->kind == Kind::kDemand &&
+      demand_latency_.count() >= config_.hedge_min_samples) {
+    const auto p99 = static_cast<double>(demand_latency_.P99());
+    const auto delay =
+        SimDuration(static_cast<int64_t>(p99 * config_.hedge_latency_factor));
+    loop_->ScheduleAfter(delay, [this, read] { MaybeHedge(read); });
+  }
+}
+
+void BatchScheduler::SettleRead(const std::shared_ptr<InFlightRead>& read,
+                                const Status& status, const uint8_t* data) {
   // Unregister before delivering: a subscriber may re-enqueue (retry) and
-  // must not join a read that has already completed.
+  // must not join a read that has already settled. Every subscriber — N
+  // cross-request waiters joined by single-flight included — hears the
+  // outcome exactly once; later completions of the same physical read find
+  // the read gone and only release buffers.
   in_flight_.erase(std::find(in_flight_.begin(), in_flight_.end(), read));
   if (read->budget_bytes > 0) {
     lanes_[LaneIndex(read->budget_kind)].inflight_bytes -= read->budget_bytes;
   }
-  const uint8_t* data = status.ok() ? read->buf->data() : nullptr;
+  if (status.ok() && read->kind == Kind::kDemand) {
+    demand_latency_.Record(loop_->Now() - read->issued_at);
+  }
   for (Completion& cb : read->subscribers) {
     cb(status, data, read->base);
   }
   read->subscribers.clear();
-  read->buf.reset();  // return the bounce buffer to the arena promptly
   // Released budget may admit parked background demand.
   DrainParked(kBackgroundLane);
+}
+
+void BatchScheduler::CompleteRead(const std::shared_ptr<InFlightRead>& read,
+                                  Status status) {
+  if (std::find(in_flight_.begin(), in_flight_.end(), read) == in_flight_.end()) {
+    // The deadline expired or a hedge won while this read was at the
+    // device: subscribers were already served, so only free the buffer
+    // (held until now in case the device memcpy was still due).
+    read->buf.reset();
+    return;
+  }
+  SettleRead(read, status, status.ok() ? read->buf->data() : nullptr);
+  read->buf.reset();  // return the bounce buffer to the arena promptly
+}
+
+void BatchScheduler::ExpireRead(const std::shared_ptr<InFlightRead>& read) {
+  if (std::find(in_flight_.begin(), in_flight_.end(), read) == in_flight_.end()) {
+    return;  // completed (or hedge-settled) in time
+  }
+  deadline_expired_->Add(1);
+  read->expired = true;
+  // NOTE: read->buf is NOT released here. A spilled op may still be
+  // dispatched later and the device memcpy targets that buffer; the late
+  // completion (if it ever comes) frees it, else the submission closure's
+  // shared_ptr does.
+  SettleRead(read,
+             DeadlineExceededError("scheduler read exceeded io_deadline"),
+             nullptr);
+}
+
+void BatchScheduler::MaybeHedge(const std::shared_ptr<InFlightRead>& read) {
+  if (read->hedged ||
+      std::find(in_flight_.begin(), in_flight_.end(), read) == in_flight_.end()) {
+    return;  // already settled, or a hedge is already racing
+  }
+  read->hedged = true;
+  hedges_issued_->Add(1);
+  const Bytes length = read->span_end - read->span_begin;
+  read->hedge_buf = arena_->Acquire(read->buf->size());
+  engine_->SubmitRead(read->span_begin, length, read->sub_block,
+                      std::span<uint8_t>(read->hedge_buf->data(), read->hedge_buf->size()),
+                      [this, read](Status status, SimDuration /*lat*/) {
+                        CompleteHedge(read, std::move(status));
+                      });
+}
+
+void BatchScheduler::CompleteHedge(const std::shared_ptr<InFlightRead>& read,
+                                   Status status) {
+  if (std::find(in_flight_.begin(), in_flight_.end(), read) == in_flight_.end()) {
+    read->hedge_buf.reset();  // the original won (or the deadline fired)
+    return;
+  }
+  if (!status.ok()) {
+    // A failed hedge must not fail the read: the original is still in
+    // flight and keeps its own deadline/retry story.
+    read->hedge_buf.reset();
+    return;
+  }
+  hedges_won_->Add(1);
+  SettleRead(read, status, read->hedge_buf->data());
+  read->hedge_buf.reset();
+  // read->buf stays held for the original's late completion (see
+  // CompleteRead's settled-read path).
 }
 
 }  // namespace sdm

@@ -74,6 +74,7 @@
 #include <vector>
 
 #include "common/event_loop.h"
+#include "common/histogram.h"
 #include "common/stats.h"
 #include "io/buffer_arena.h"
 #include "io/io_engine.h"
@@ -96,6 +97,10 @@ struct CrossRequestIoStats {
   uint64_t background_reads = 0;     ///< background SQEs issued to the device
   uint64_t background_parked = 0;    ///< runs deferred by the lane byte budget
   uint64_t background_promoted = 0;  ///< background SQEs upgraded by foreground
+  // ---- Fault-tolerance responses (src/fault) ----
+  uint64_t deadline_expired = 0;  ///< reads abandoned past the IO deadline
+  uint64_t hedges_issued = 0;     ///< duplicate reads submitted for slow IOs
+  uint64_t hedges_won = 0;        ///< hedges that delivered before the original
   /// Mean SQEs (all lanes) per ring doorbell (0 when no doorbell rang yet).
   [[nodiscard]] double BatchOccupancy() const {
     return flushes == 0 ? 0
@@ -157,6 +162,20 @@ struct BatchSchedulerConfig {
   /// must never hand background demand a faster doorbell than foreground's
   /// own batching window.
   SimDuration background_flush_delay = Micros(10);
+  /// Deadline on every issued read, armed at its flush doorbell. A read
+  /// that has not completed by then delivers kDeadlineExceeded to every
+  /// subscriber (once) and releases its lane budget — the rescue for
+  /// stalled devices and fabric-dropped transfers. Zero disables deadlines
+  /// (byte-identical to pre-deadline behavior).
+  SimDuration io_deadline{0};
+  /// Hedged reads: an in-flight DEMAND read still incomplete after
+  /// `hedge_latency_factor * p99` of this scheduler's observed demand-read
+  /// latency gets a duplicate submission; the first completion wins and the
+  /// loser's payload is discarded. Zero disables hedging.
+  double hedge_latency_factor = 0;
+  /// Completed demand reads required before the adaptive p99 threshold
+  /// arms (the estimate needs a population).
+  uint64_t hedge_min_samples = 64;
 };
 
 class BatchScheduler {
@@ -296,7 +315,14 @@ class BatchScheduler {
     uint32_t tenant = 0;
     Bytes budget_bytes = 0;  ///< released to the lane when the read completes
     Kind budget_kind = Kind::kDemand;
+    SimTime issued_at;       ///< doorbell time (deadline/hedge anchors)
+    bool expired = false;    ///< deadline fired; subscribers already served
+    bool hedged = false;     ///< a duplicate submission is in flight
     std::shared_ptr<BufferArena::Buffer> buf;
+    /// The hedge's own bounce buffer: the original device read may still
+    /// land in `buf` (the device memcpy targets it at dispatch), so the
+    /// duplicate needs separate backing.
+    std::shared_ptr<BufferArena::Buffer> hedge_buf;
     std::vector<Completion> subscribers;
   };
 
@@ -356,6 +382,23 @@ class BatchScheduler {
   /// Re-admits parked background runs that now fit the lane budget.
   void DrainParked(size_t lane);
   void CompleteRead(const std::shared_ptr<InFlightRead>& read, Status status);
+  /// Deadline expiry: if `read` is still in flight, deliver
+  /// kDeadlineExceeded to every subscriber exactly once and release its
+  /// budget. Its buffer stays alive for the (possibly still coming) device
+  /// memcpy; the late completion frees it.
+  void ExpireRead(const std::shared_ptr<InFlightRead>& read);
+  /// Hedge trigger: if `read` is still in flight and not yet hedged,
+  /// submit a duplicate read into a fresh buffer.
+  void MaybeHedge(const std::shared_ptr<InFlightRead>& read);
+  void CompleteHedge(const std::shared_ptr<InFlightRead>& read, Status status);
+  /// Arms the per-read deadline and (for demand reads, once the latency
+  /// population suffices) the adaptive hedge timer. Called at flush.
+  void ArmReadResponses(const std::shared_ptr<InFlightRead>& read);
+  /// Removes `read` from in_flight_, delivers (status, data, base) to every
+  /// subscriber exactly once, releases its budget, and re-admits parked
+  /// background work. Shared tail of genuine completion / expiry / hedge win.
+  void SettleRead(const std::shared_ptr<InFlightRead>& read, const Status& status,
+                  const uint8_t* data);
   [[nodiscard]] Bytes BusOf(const PendingRead& p) const;
   void RecordJoin(const ReadRequest& req, Kind owner_kind, uint32_t owner_tenant);
   TenantIoShare& Share(uint32_t tenant);
@@ -397,6 +440,13 @@ class BatchScheduler {
   Counter* background_promoted_ = nullptr;
   Counter* background_singleflight_ = nullptr;
   Counter* cross_tenant_hits_ = nullptr;
+  Counter* deadline_expired_ = nullptr;
+  Counter* hedges_issued_ = nullptr;
+  Counter* hedges_won_ = nullptr;
+
+  /// Observed demand-read completion latency (doorbell -> delivery), the
+  /// population behind the adaptive hedge threshold.
+  Histogram demand_latency_;
 };
 
 }  // namespace sdm

@@ -26,6 +26,8 @@ std::vector<ArrivalStats> RunInterleavedArrivals(
               if (status.ok()) {
                 st.latencies.Record(trace.total);
                 ++st.completed;
+                if (trace.degraded) ++st.degraded;
+                st.rows_failed += trace.rows_failed;
               }
             });
       });

@@ -43,6 +43,10 @@ struct ArrivalStats {
   Histogram latencies;
   uint64_t served = 0;     ///< arrivals that entered this participant's engine
   uint64_t completed = 0;  ///< queries that finished OK there
+  /// Of `completed`, queries whose pooled output is missing rows (some
+  /// embedding IO exhausted retries or was shed; graceful degradation).
+  uint64_t degraded = 0;
+  uint64_t rows_failed = 0;  ///< zero-filled rows across degraded queries
 };
 
 /// Maps (source participant, drawn query) to the serving participant.

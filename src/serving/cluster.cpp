@@ -243,6 +243,10 @@ DisaggregatedRunReport ClusterSimulation::RunDisaggregated(double total_qps,
       hr.run.row_cache_hit_rate =
           (h + m) == 0 ? 0 : static_cast<double>(h) / static_cast<double>(h + m);
     }
+    hr.run.queries_degraded = st.degraded;
+    hr.run.rows_failed = st.rows_failed;
+    report.queries_degraded += st.degraded;
+    report.rows_failed += st.rows_failed;
     hr.share = fabric_->host_io_share(dhosts_[i].id).Since(snaps[i].share0);
     hr.run.singleflight_hits = hr.share.singleflight_hits;
     hr.throttle_queue_time =
@@ -271,21 +275,31 @@ DisaggregatedRunReport ClusterSimulation::RunDisaggregated(double total_qps,
   report.fabric.request_bytes = fab1.request_bytes - fab0.request_bytes;
   report.fabric.response_bytes = fab1.response_bytes - fab0.response_bytes;
   report.fabric.queue_time = fab1.queue_time - fab0.queue_time;
+  report.fabric.dropped = fab1.dropped - fab0.dropped;
+  report.fabric.partition_deferred = fab1.partition_deferred - fab0.partition_deferred;
   return report;
 }
 
 std::string DisaggregatedRunReport::Summary() const {
-  char buf[320];
+  char buf[448];
   std::snprintf(
       buf, sizeof(buf),
       "hosts=%zu qps=%.0f hit=%.1f%% reads=%llu sf=%llu xhost=%llu dedup=%.1fMiB "
-      "fabric=%.1fMiB(resp) fq=%.0fus occ=%.1f",
+      "fabric=%.1fMiB(resp) fq=%.0fus occ=%.1f drop=%llu part=%llu ddl=%llu "
+      "hedge=%llu/%llu deg=%llu rowsf=%llu",
       hosts.size(), aggregate_qps, mean_hit_rate * 100,
       static_cast<unsigned long long>(sm_device_reads),
       static_cast<unsigned long long>(io.singleflight_hits),
       static_cast<unsigned long long>(cross_host_hits),
       AsMiB(sm_logical_bytes - sm_unique_bytes), AsMiB(fabric.response_bytes),
-      fabric.queue_time.micros(), io.BatchOccupancy());
+      fabric.queue_time.micros(), io.BatchOccupancy(),
+      static_cast<unsigned long long>(fabric.dropped),
+      static_cast<unsigned long long>(fabric.partition_deferred),
+      static_cast<unsigned long long>(io.deadline_expired),
+      static_cast<unsigned long long>(io.hedges_won),
+      static_cast<unsigned long long>(io.hedges_issued),
+      static_cast<unsigned long long>(queries_degraded),
+      static_cast<unsigned long long>(rows_failed));
   return buf;
 }
 

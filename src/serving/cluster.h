@@ -99,6 +99,9 @@ struct DisaggregatedRunReport {
   Bytes sm_unique_bytes = 0;   ///< device bytes after cross-host dedup
   // ---- Fabric traffic, this run only ----
   FabricLinkStats fabric;
+  // ---- Robustness (src/fault), this run only ----
+  uint64_t queries_degraded = 0;  ///< completed queries with zero-filled rows
+  uint64_t rows_failed = 0;       ///< zero-filled rows across the cluster
 
   [[nodiscard]] std::string Summary() const;
 };

@@ -154,6 +154,16 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
           : 0;
   const CrossRequestIoStats xreq0 = store_->cross_request_io_stats();
   const PrefetchStats pf0 = store_->prefetch_stats();
+  // Robustness counters are cumulative too; snapshot for per-run deltas.
+  const uint64_t lk_retries0 = engine_->lookups().stats().CounterValue("io_retries");
+  const uint64_t rows_failed0 = engine_->lookups().stats().CounterValue("rows_failed");
+  const uint64_t shed0 = engine_->lookups().stats().CounterValue("shed_lookups");
+  uint64_t dev_errors0 = 0;
+  uint64_t reader_retries0 = 0;
+  for (size_t d = 0; d < store_->sm_device_count(); ++d) {
+    dev_errors0 += store_->io_engine(d).stats().CounterValue("errors");
+    reader_retries0 += store_->reader(d).retries();
+  }
   // CPU accounting is cumulative across runs; snapshot for per-run deltas.
   uint64_t cpu0 = static_cast<uint64_t>(engine_->lookups().cpu_time().nanos()) +
                   engine_->stats().CounterValue("cpu_ns");
@@ -163,18 +173,21 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
 
   Histogram latencies;
   uint64_t completed = 0;
+  uint64_t degraded = 0;
   Rng arrivals(config_.seed ^ 0xa11e);
 
   const SimTime t_begin = loop_.Now();
   SimTime next_arrival = loop_.Now();
   for (uint64_t i = 0; i < num_queries; ++i) {
     next_arrival += Seconds(arrivals.NextExponential(1.0 / target_qps));
-    loop_.ScheduleAt(next_arrival, [this, &latencies, &completed, &next_query] {
+    loop_.ScheduleAt(next_arrival, [this, &latencies, &completed, &degraded, &next_query] {
       const Query q = next_query();
-      engine_->Submit(q, [&latencies, &completed](Status status, const QueryTrace& trace) {
+      engine_->Submit(q, [&latencies, &completed,
+                          &degraded](Status status, const QueryTrace& trace) {
         if (status.ok()) {
           latencies.Record(trace.total);
           ++completed;
+          if (trace.degraded) ++degraded;
         }
       });
     });
@@ -234,6 +247,21 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
   const uint64_t pf_bytes = pf1.bytes_issued - pf0.bytes_issued;
   const uint64_t pf_bytes_hit = pf1.bytes_hit - pf0.bytes_hit;
   r.prefetch_wasted_bytes = pf_bytes > pf_bytes_hit ? pf_bytes - pf_bytes_hit : 0;
+  // Robustness deltas (src/fault): device errors, retry traffic, deadline /
+  // hedge responses, and what graceful degradation cost in row fidelity.
+  r.io_retries = engine_->lookups().stats().CounterValue("io_retries") - lk_retries0;
+  r.rows_failed = engine_->lookups().stats().CounterValue("rows_failed") - rows_failed0;
+  r.lookups_shed = engine_->lookups().stats().CounterValue("shed_lookups") - shed0;
+  for (size_t d = 0; d < store_->sm_device_count(); ++d) {
+    r.io_errors += store_->io_engine(d).stats().CounterValue("errors");
+    r.reader_retries += store_->reader(d).retries();
+  }
+  r.io_errors -= dev_errors0;
+  r.reader_retries -= reader_retries0;
+  r.deadline_expired = xreq.deadline_expired;
+  r.hedges_issued = xreq.hedges_issued;
+  r.hedges_won = xreq.hedges_won;
+  r.queries_degraded = degraded;
   // Per-run CPU: operator-side (lookup engine + dense) plus IO-engine CPU.
   uint64_t cpu1 = static_cast<uint64_t>(engine_->lookups().cpu_time().nanos()) +
                   engine_->stats().CounterValue("cpu_ns");
@@ -276,11 +304,13 @@ double HostSimulation::FindMaxQps(SimDuration sla, bool use_p99, uint64_t querie
 }
 
 std::string HostRunReport::Summary() const {
-  char buf[400];
+  char buf[560];
   std::snprintf(buf, sizeof(buf),
                 "qps=%.0f/%.0f p50=%.2fms p95=%.2fms p99=%.2fms hit=%.1f%% pooled=%.1f%% "
                 "iops=%.0f amp=%.2f cpu/q=%.0fus sf=%llu xmerge=%llu occ=%.1f "
-                "pf=%llu pfhit=%.1f%% pfwaste=%lluKiB",
+                "pf=%llu pfhit=%.1f%% pfwaste=%lluKiB "
+                "err=%llu retry=%llu+%llu ddl=%llu hedge=%llu/%llu deg=%llu "
+                "rowsf=%llu shed=%llu",
                 achieved_qps, offered_qps, p50.millis(), p95.millis(), p99.millis(),
                 row_cache_hit_rate * 100, pooled_hit_rate * 100, sm_iops,
                 sm_read_amplification, avg_cpu_per_query.micros(),
@@ -288,7 +318,16 @@ std::string HostRunReport::Summary() const {
                 static_cast<unsigned long long>(cross_request_merges), batch_occupancy,
                 static_cast<unsigned long long>(prefetch_issued),
                 prefetch_hit_rate * 100,
-                static_cast<unsigned long long>(prefetch_wasted_bytes / kKiB));
+                static_cast<unsigned long long>(prefetch_wasted_bytes / kKiB),
+                static_cast<unsigned long long>(io_errors),
+                static_cast<unsigned long long>(io_retries),
+                static_cast<unsigned long long>(reader_retries),
+                static_cast<unsigned long long>(deadline_expired),
+                static_cast<unsigned long long>(hedges_won),
+                static_cast<unsigned long long>(hedges_issued),
+                static_cast<unsigned long long>(queries_degraded),
+                static_cast<unsigned long long>(rows_failed),
+                static_cast<unsigned long long>(lookups_shed));
   return buf;
 }
 

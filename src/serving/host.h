@@ -86,6 +86,16 @@ struct HostRunReport {
   uint64_t prefetch_issued = 0;       ///< rows read ahead of demand
   double prefetch_hit_rate = 0;       ///< issued rows later claimed by demand
   uint64_t prefetch_wasted_bytes = 0; ///< speculative bus bytes with no demand hit
+  // ---- Robustness / fault tolerance (src/fault), this run only ----
+  uint64_t io_errors = 0;         ///< device-level read errors (IoEngine)
+  uint64_t io_retries = 0;        ///< scheduler-path transient-error retries
+  uint64_t reader_retries = 0;    ///< per-row DirectIoReader retries
+  uint64_t deadline_expired = 0;  ///< scheduler reads settled by io_deadline
+  uint64_t hedges_issued = 0;     ///< tail-latency hedge reads submitted
+  uint64_t hedges_won = 0;        ///< hedges that beat the original read
+  uint64_t queries_degraded = 0;  ///< completed queries with zero-filled rows
+  uint64_t rows_failed = 0;       ///< zero-filled rows across those queries
+  uint64_t lookups_shed = 0;      ///< lookups short-circuited by the health monitor
   SimDuration avg_cpu_per_query;
   /// Max QPS one host CPU-second supports (1 / cpu_per_query); the compute
   /// term of Eq. 5.

@@ -112,6 +112,8 @@ void InferenceEngine::OnOperatorDone(const std::shared_ptr<QueryState>& st, size
   st->trace.sm_rows += trace.rows_from_sm;
   st->trace.cache_hits += trace.rows_from_cache;
   st->trace.pooled_hits += trace.pooled_cache_hit ? 1 : 0;
+  st->trace.rows_failed += trace.rows_failed;
+  st->trace.degraded = st->trace.degraded || trace.degraded;
   ++st->operators_done;
 
   if (!config_.inter_op_parallelism) {

@@ -53,6 +53,11 @@ struct QueryTrace {
   uint32_t sm_rows = 0;
   uint32_t cache_hits = 0;
   uint32_t pooled_hits = 0;
+  /// Embedding rows that pooled as zeros after their IO exhausted retries
+  /// or was shed from a sick endpoint (graceful degradation, src/fault).
+  uint32_t rows_failed = 0;
+  /// Any operator of this query completed degraded.
+  bool degraded = false;
 };
 
 using QueryCallback = std::function<void(Status, const QueryTrace&)>;

@@ -187,6 +187,8 @@ MultiTenantReport MultiTenantHost::RunShared(double qps, uint64_t queries) {
     tr.cls = shard.cls;
     tr.run.queries_completed = state.completed;
     tr.run.queries_served = state.served;
+    tr.run.queries_degraded = state.degraded;
+    tr.run.rows_failed = state.rows_failed;
     tr.run.offered_qps = qps;
     tr.run.achieved_qps =
         span_s > 0 ? static_cast<double>(state.completed) / span_s : 0;

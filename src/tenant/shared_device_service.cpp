@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "fault/fault_injector.h"
 
 namespace sdm {
 
@@ -45,6 +46,7 @@ SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* l
     engines_.push_back(std::make_unique<IoEngine>(sm_.back().get(), loop_, ecfg));
     DirectReaderConfig rcfg;
     rcfg.sub_block = config_.tuning.sub_block_reads;
+    rcfg.retry_backoff_base = config_.tuning.retry_backoff_base;
     readers_.push_back(
         std::make_unique<DirectIoReader>(engines_.back().get(), rcfg, &buffer_arena_));
     BatchSchedulerConfig bcfg;
@@ -56,10 +58,26 @@ SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* l
     bcfg.prefetch_max_inflight_bytes = config_.tuning.prefetch_max_inflight_bytes;
     bcfg.background_max_inflight_bytes = config_.tuning.background_max_inflight_bytes;
     bcfg.background_flush_delay = config_.tuning.background_flush_delay;
+    bcfg.io_deadline = config_.tuning.io_deadline;
+    bcfg.hedge_latency_factor = config_.tuning.hedge_latency_factor;
+    bcfg.hedge_min_samples = config_.tuning.hedge_min_samples;
     schedulers_.push_back(std::make_unique<BatchScheduler>(engines_.back().get(),
                                                            &buffer_arena_, loop_, bcfg));
   }
   sm_used_.assign(sm_.size(), 0);
+
+  HealthMonitorConfig hcfg;
+  hcfg.enabled = config_.tuning.enable_health_monitor;
+  hcfg.sick_threshold = config_.tuning.health_sick_threshold;
+  hcfg.window = config_.tuning.health_window;
+  hcfg.probe_interval = config_.tuning.health_probe_interval;
+  health_ = std::make_unique<HealthMonitor>(hcfg, sm_.size());
+}
+
+void SharedDeviceService::InstallFaultInjector(FaultInjector* injector) {
+  for (size_t i = 0; i < sm_.size(); ++i) {
+    sm_[i]->set_fault_injector(injector, static_cast<int>(i));
+  }
 }
 
 TenantId SharedDeviceService::RegisterTenant(std::string name, TenantClass cls) {
@@ -132,6 +150,9 @@ CrossRequestIoStats SharedDeviceService::cross_request_io_stats() const {
     agg.background_reads += one.background_reads;
     agg.background_parked += one.background_parked;
     agg.background_promoted += one.background_promoted;
+    agg.deadline_expired += one.deadline_expired;
+    agg.hedges_issued += one.hedges_issued;
+    agg.hedges_won += one.hedges_won;
   }
   return agg;
 }

@@ -53,11 +53,14 @@
 #include "io/buffer_arena.h"
 #include "io/direct_reader.h"
 #include "io/io_engine.h"
+#include "fault/health_monitor.h"
 #include "io/throttle.h"
 #include "sched/batch_scheduler.h"
 #include "tenant/tenant.h"
 
 namespace sdm {
+
+class FaultInjector;
 
 struct SharedDeviceConfig {
   /// SM devices (specs define latency/IOPS; backing sizes the byte store).
@@ -120,6 +123,16 @@ class SharedDeviceService {
   [[nodiscard]] EventLoop* loop() { return loop_; }
   [[nodiscard]] const SharedDeviceConfig& config() const { return config_; }
 
+  /// Installs a scripted fault injector (src/fault) on every device in the
+  /// stack (media errors, stalls, fail-slow). The injector must outlive the
+  /// service; nullptr uninstalls.
+  void InstallFaultInjector(FaultInjector* injector);
+
+  /// Per-device health scores fed by lookup IO outcomes; lookup engines
+  /// consult it to shed work from sick endpoints (inert unless
+  /// tuning.enable_health_monitor).
+  [[nodiscard]] HealthMonitor& health() { return *health_; }
+
   // ---- Accounting ----------------------------------------------------------
 
   /// Physical bytes occupied on the devices (after extent dedup).
@@ -163,6 +176,7 @@ class SharedDeviceService {
   std::vector<std::unique_ptr<DirectIoReader>> readers_;
   std::vector<std::unique_ptr<BatchScheduler>> schedulers_;
   TableThrottle throttle_;
+  std::unique_ptr<HealthMonitor> health_;
   std::vector<Tenant> tenants_;
   std::vector<Bytes> sm_used_;  // per-device bump allocator
   std::map<ExtentKey, ExtentEntry> extents_;

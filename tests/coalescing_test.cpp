@@ -263,7 +263,9 @@ TEST(Coalescing, TransientErrorsRetryLikeThePerRowPath) {
 }
 
 TEST(Coalescing, ErroredReadsCountOnlyTowardIoErrors) {
-  auto ls = MakeStore(BaseTuning(), /*read_error_probability=*/1.0);
+  TuningConfig tuning = BaseTuning();
+  tuning.graceful_degradation = false;  // legacy fail-stop contract
+  auto ls = MakeStore(std::move(tuning), /*read_error_probability=*/1.0);
   LookupEngine engine(ls->store.get());
   Status status = Status::Ok();
   LookupRequest req;
@@ -275,6 +277,35 @@ TEST(Coalescing, ErroredReadsCountOnlyTowardIoErrors) {
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(engine.stats().CounterValue("rows_sm_read"), 0u);
   EXPECT_GE(engine.stats().CounterValue("io_errors"), 1u);
+}
+
+TEST(Coalescing, ExhaustedRetriesDegradeGracefullyByDefault) {
+  // Default contract (tuning.graceful_degradation): the bag completes Ok
+  // with the failed rows pooled as zeros and surfaced in the trace.
+  auto ls = MakeStore(BaseTuning(), /*read_error_probability=*/1.0);
+  LookupEngine engine(ls->store.get());
+  Status status = InternalError("callback never ran");
+  LookupTrace trace;
+  std::vector<float> pooled;
+  LookupRequest req;
+  req.table = MakeTableId(0);
+  req.indices = {10, 20, 30};
+  engine.Lookup(std::move(req),
+                [&](Status s, std::vector<float> out, const LookupTrace& t) {
+                  status = s;
+                  pooled = std::move(out);
+                  trace = t;
+                });
+  ls->loop.RunUntilIdle();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(trace.degraded);
+  EXPECT_EQ(trace.rows_failed, 3u);
+  // Failed rows contribute zero to the pooled output.
+  for (const float v : pooled) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(engine.stats().CounterValue("rows_sm_read"), 0u);
+  EXPECT_GE(engine.stats().CounterValue("io_errors"), 1u);
+  EXPECT_EQ(engine.stats().CounterValue("degraded_lookups"), 1u);
+  EXPECT_EQ(engine.stats().CounterValue("rows_failed"), 3u);
 }
 
 // ---------------------------------------------------------------------------

@@ -184,6 +184,7 @@ TEST(FaultInjection, LookupReportsFirstErrorWhenRetriesExhausted) {
   cfg.fm_capacity = 8 * kMiB;
   cfg.sm_specs = {FaultyOptane(1.0)};  // every read fails, retries exhausted
   cfg.sm_backing_bytes = {16 * kMiB};
+  cfg.tuning.graceful_degradation = false;  // legacy fail-stop contract
   SdmStore store(cfg, &loop);
   ASSERT_TRUE(ModelLoader::Load(model, {}, &store).ok());
   LookupEngine engine(&store);

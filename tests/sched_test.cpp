@@ -12,6 +12,7 @@
 #include "core/model_loader.h"
 #include "core/sdm_store.h"
 #include "dlrm/model_zoo.h"
+#include "fault/fault_injector.h"
 #include "sched/batch_scheduler.h"
 #include "sched/io_planner.h"
 
@@ -112,8 +113,8 @@ struct SchedulerRig {
   BufferArena arena;
   std::unique_ptr<BatchScheduler> sched;
 
-  explicit SchedulerRig(BatchSchedulerConfig cfg) {
-    device = std::make_unique<NvmeDevice>(MakeOptaneSsdSpec(), 64 * kKiB, &loop, 1);
+  explicit SchedulerRig(BatchSchedulerConfig cfg, DeviceSpec spec = MakeOptaneSsdSpec()) {
+    device = std::make_unique<NvmeDevice>(spec, 64 * kKiB, &loop, 1);
     std::vector<uint8_t> image(64 * kKiB);
     for (size_t i = 0; i < image.size(); ++i) {
       image[i] = static_cast<uint8_t>((i * 7 + 3) & 0xFF);
@@ -344,6 +345,126 @@ TEST(BatchScheduler, BypassModeNeverShares) {
   EXPECT_EQ(rig.sched->stats().CounterValue("singleflight_hits"), 0u);
   // Without a caller Flush(), the delay-0 backstop flushed both together.
   EXPECT_EQ(rig.sched->stats().CounterValue("flushes"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: error fan-out, deadlines, hedging (src/fault layer).
+// ---------------------------------------------------------------------------
+
+/// Request whose callback asserts a failed delivery and counts it — the
+/// exactly-once error fan-out contract for single-flight waiters.
+BatchScheduler::ReadRequest FailingRequest(Bytes begin, Bytes end, int* errors,
+                                           StatusCode want = StatusCode::kUnavailable) {
+  BatchScheduler::ReadRequest req;
+  req.span_begin = begin;
+  req.span_end = end;
+  req.first_block = begin / kBlockSize;
+  req.last_block = (end - 1) / kBlockSize;
+  req.rows = 1;
+  req.per_row_bus = kBlockSize;
+  req.cb = [errors, want](Status s, const uint8_t* data, Bytes /*base*/) {
+    EXPECT_EQ(s.code(), want) << s.ToString();
+    EXPECT_EQ(data, nullptr);
+    ++*errors;
+  };
+  return req;
+}
+
+TEST(BatchScheduler, FailedReadDeliversErrorToEveryWaiterExactlyOnce) {
+  // Three requests share one device read; the read fails; each subscriber
+  // — owner and both single-flight joiners — hears the error exactly once.
+  BatchSchedulerConfig cfg;
+  cfg.cross_request = true;
+  cfg.max_batch_delay = Micros(5);
+  DeviceSpec faulty = MakeOptaneSsdSpec();
+  faulty.read_error_probability = 1.0;
+  SchedulerRig rig(cfg, faulty);
+  int errors = 0;
+  EXPECT_EQ(rig.sched->Enqueue(FailingRequest(100, 200, &errors)),
+            BatchScheduler::Admission::kNewRead);
+  EXPECT_EQ(rig.sched->Enqueue(FailingRequest(300, 400, &errors)),
+            BatchScheduler::Admission::kJoinedPending);
+  EXPECT_EQ(rig.sched->Enqueue(FailingRequest(500, 600, &errors)),
+            BatchScheduler::Admission::kJoinedPending);
+  rig.loop.RunUntilIdle();
+  EXPECT_EQ(errors, 3);
+  // One shared device read failed; the fan-out happened at the scheduler.
+  EXPECT_EQ(rig.device->stats().CounterValue("read_errors"), 1u);
+}
+
+TEST(BatchScheduler, DeadlineSettlesEverySubscriberExactlyOnce) {
+  // io_deadline far below the device's 10us service: both subscribers get
+  // kDeadlineExceeded once, and the late genuine completion is dropped
+  // instead of delivering a second time.
+  BatchSchedulerConfig cfg;
+  cfg.cross_request = true;
+  cfg.max_batch_delay = SimDuration(0);
+  cfg.io_deadline = Micros(1);
+  SchedulerRig rig(cfg);
+  int expired = 0;
+  EXPECT_EQ(rig.sched->Enqueue(
+                FailingRequest(100, 200, &expired, StatusCode::kDeadlineExceeded)),
+            BatchScheduler::Admission::kNewRead);
+  EXPECT_EQ(rig.sched->Enqueue(
+                FailingRequest(300, 400, &expired, StatusCode::kDeadlineExceeded)),
+            BatchScheduler::Admission::kJoinedPending);
+  rig.loop.RunUntilIdle();
+  EXPECT_EQ(expired, 2);
+  EXPECT_EQ(rig.sched->stats().CounterValue("deadline_expired"), 1u);
+  EXPECT_EQ(rig.DeviceReads(), 1u);  // the device still completed its read
+}
+
+TEST(BatchScheduler, HedgeRescuesAFailSlowRead) {
+  BatchSchedulerConfig cfg;
+  cfg.cross_request = true;
+  cfg.max_batch_delay = SimDuration(0);
+  cfg.hedge_latency_factor = 2.0;  // hedge at 2x observed p99 (~20us)
+  cfg.hedge_min_samples = 4;
+  SchedulerRig rig(cfg);
+
+  // Prime the demand-latency histogram with healthy reads (~10us each).
+  int ok = 0;
+  for (int i = 0; i < 6; ++i) {
+    const Bytes begin = static_cast<Bytes>(i) * kBlockSize + 100;
+    (void)rig.sched->Enqueue(rig.Request(begin, begin + 100, &ok));
+    rig.loop.RunUntilIdle();
+  }
+  ASSERT_EQ(ok, 6);
+
+  // One fail-slow window covering only the next submission instant: the
+  // original read runs 500x slow; the hedge (issued ~p99 later, after the
+  // window closed) completes at healthy speed and wins.
+  FaultPlan plan;
+  plan.FailSlow(rig.loop.Now(), rig.loop.Now() + Micros(1), /*multiplier=*/500.0);
+  FaultInjector injector(plan, &rig.loop, /*seed=*/99);
+  rig.device->set_fault_injector(&injector, 0);
+
+  const SimTime t0 = rig.loop.Now();
+  SimTime settled;
+  int done = 0;
+  BatchScheduler::ReadRequest req;
+  req.span_begin = 10 * kBlockSize + 100;
+  req.span_end = 10 * kBlockSize + 200;
+  req.first_block = 10;
+  req.last_block = 10;
+  req.rows = 1;
+  req.per_row_bus = kBlockSize;
+  req.cb = [&](Status s, const uint8_t* data, Bytes base) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_NE(data, nullptr);
+    const Bytes o = 10 * kBlockSize + 100;
+    EXPECT_EQ(data[o - base], static_cast<uint8_t>((o * 7 + 3) & 0xFF));
+    settled = rig.loop.Now();
+    ++done;
+  };
+  EXPECT_EQ(rig.sched->Enqueue(std::move(req)), BatchScheduler::Admission::kNewRead);
+  rig.loop.RunUntilIdle();
+  EXPECT_EQ(done, 1);  // hedge win settles once; the slow original is dropped
+  EXPECT_EQ(rig.sched->stats().CounterValue("hedges_issued"), 1u);
+  EXPECT_EQ(rig.sched->stats().CounterValue("hedges_won"), 1u);
+  // The hedge settled the read far sooner than the 500x original (~5ms).
+  EXPECT_LT((settled - t0).nanos(), Millis(1).nanos());
+  EXPECT_EQ(rig.DeviceReads(), 8u);  // 6 primes + original + hedge
 }
 
 // ---------------------------------------------------------------------------
