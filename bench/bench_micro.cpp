@@ -196,6 +196,45 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopScheduleRun);
 
+void BM_EventLoopHeavyCallbacks(benchmark::State& state) {
+  // Callbacks with out-of-line capture state (a payload buffer, like the
+  // fabric response path's): the dequeue must MOVE the std::function out of
+  // the heap, not copy it — a copy clones the capture allocation per event.
+  for (auto _ : state) {
+    EventLoop loop;
+    uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      std::vector<uint8_t> payload(256, static_cast<uint8_t>(i));
+      loop.ScheduleAt(SimTime(i * 100),
+                      [&sink, payload = std::move(payload)] { sink += payload[0]; });
+    }
+    loop.RunUntilIdle();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopHeavyCallbacks);
+
+void BM_EventLoopWindowedRun(benchmark::State& state) {
+  // The sharded runtime's inner step: drain [G, G+L) windows one lookahead
+  // at a time instead of one RunUntilIdle sweep.
+  const SimDuration lookahead = Micros(5);
+  for (auto _ : state) {
+    EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.ScheduleAt(SimTime(i * 1000), [&sink] { ++sink; });
+    }
+    while (!loop.idle()) {
+      const SimTime g = loop.next_event_time();
+      loop.RunWindow(g + lookahead);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopWindowedRun);
+
 void BM_MlpForward(benchmark::State& state) {
   const std::vector<uint32_t> widths = {64, 256, 256, 64};
   Mlp mlp(widths, LinearLayer::Activation::kRelu, 10);

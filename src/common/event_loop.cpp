@@ -11,12 +11,23 @@ void EventLoop::ScheduleAt(SimTime at, Callback fn) {
   // than corrupting the clock. This happens legitimately when a zero-latency
   // model rounds down.
   if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventLoop::ScheduleAfter(SimDuration delay, Callback fn) {
   assert(delay >= SimDuration(0));
   ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventLoop::Event EventLoop::PopEarliest() {
+  // pop_heap moves the earliest event to the back, where — unlike
+  // std::priority_queue::top() — it is mutable and can be MOVED out instead
+  // of copying the std::function (one heap allocation per event saved).
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
 }
 
 uint64_t EventLoop::RunUntilIdle() {
@@ -27,7 +38,7 @@ uint64_t EventLoop::RunUntilIdle() {
 
 uint64_t EventLoop::RunUntil(SimTime deadline) {
   uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (!heap_.empty() && heap_.front().at <= deadline) {
     RunOne();
     ++n;
   }
@@ -35,15 +46,22 @@ uint64_t EventLoop::RunUntil(SimTime deadline) {
   return n;
 }
 
+uint64_t EventLoop::RunWindow(SimTime end) {
+  uint64_t n = 0;
+  while (!heap_.empty() && heap_.front().at < end) {
+    RunOne();
+    ++n;
+  }
+  if (now_ < end) now_ = end;
+  return n;
+}
+
 bool EventLoop::RunOne() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle instead (std::function copy is cheap enough
-  // off the per-IO hot path, which batches completions).
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  Event ev = PopEarliest();
   assert(ev.at >= now_);
   now_ = ev.at;
+  last_event_at_ = ev.at;
   ++events_run_;
   ev.fn();
   return true;

@@ -1,0 +1,79 @@
+// MpscMailbox — lock-free multi-producer / single-consumer mailbox for
+// cross-shard message handoff in the sharded simulation runtime.
+//
+// Producers (worker threads executing OTHER shards' event windows) push
+// messages with one atomic exchange-free CAS loop on a single head pointer
+// (a Treiber stack); the owning shard drains the whole mailbox with one
+// atomic exchange at its window barrier. No locks, no per-message fences
+// beyond the release/acquire pair that publishes the payload.
+//
+// Ordering: the stack yields messages in no particular order (reverse push
+// order per producer, arbitrary across producers). That is fine — and is
+// the reason this can be so simple — because the conservative runtime
+// NEVER executes messages in arrival order: the consumer sorts its drained
+// batch by the deterministic key (deliver_at, source, seq) before
+// scheduling, so results are independent of which worker pushed first in
+// wall-clock time. Determinism comes from the sort key, not the queue.
+//
+// Memory: nodes are heap-allocated by the sender (the only allocation on
+// the cross-shard path) and freed by the consumer after scheduling.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+namespace sdm {
+
+/// T must derive from MpscMailbox<T>::Node (intrusive hook).
+template <typename T>
+class MpscMailbox {
+ public:
+  struct Node {
+    T* mpsc_next = nullptr;
+  };
+
+  MpscMailbox() = default;
+  MpscMailbox(const MpscMailbox&) = delete;
+  MpscMailbox& operator=(const MpscMailbox&) = delete;
+  ~MpscMailbox() {
+    std::vector<T*> leftovers;
+    DrainInto(leftovers);
+    for (T* m : leftovers) delete m;
+  }
+
+  /// Producer side: takes ownership of `msg`. Safe from any thread,
+  /// concurrently with other producers and with the consumer draining.
+  void Push(T* msg) {
+    T* expected = head_.load(std::memory_order_relaxed);
+    do {
+      msg->mpsc_next = expected;
+    } while (!head_.compare_exchange_weak(expected, msg, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  /// Consumer side: detaches every queued message into `out` (appended; no
+  /// meaningful order — see file header) and returns how many were taken.
+  /// Ownership transfers to the caller.
+  size_t DrainInto(std::vector<T*>& out) {
+    T* n = head_.exchange(nullptr, std::memory_order_acquire);
+    size_t taken = 0;
+    while (n != nullptr) {
+      out.push_back(n);
+      n = n->mpsc_next;
+      ++taken;
+    }
+    return taken;
+  }
+
+  /// Consumer-side peek: true when at least one message is queued. Producers
+  /// may race this; the runtime only calls it at barriers, when every
+  /// producer is quiescent.
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::atomic<T*> head_{nullptr};
+};
+
+}  // namespace sdm

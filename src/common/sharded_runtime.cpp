@@ -1,0 +1,162 @@
+#include "common/sharded_runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace sdm {
+
+ShardedRuntime::ShardedRuntime(size_t num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers) {}
+
+size_t ShardedRuntime::AddProcess() {
+  lps_.push_back(std::make_unique<Process>());
+  return lps_.size() - 1;
+}
+
+void ShardedRuntime::Post(size_t from, size_t to, SimTime at, EventLoop::Callback fn) {
+  assert(from < lps_.size() && to < lps_.size());
+  assert(fn);
+#ifndef NDEBUG
+  // The conservative contract: a message may not land inside the window its
+  // sender could still be executing. Violations would make results depend
+  // on thread timing; catching them here is what keeps W-invariance honest.
+  assert(lookahead_ <= SimDuration(0) ||
+         at >= lps_[from]->loop.Now() + lookahead_);
+#endif
+  auto* msg = new Message();
+  msg->at = at;
+  msg->from = static_cast<uint32_t>(from);
+  msg->seq = lps_[from]->send_seq++;
+  msg->fn = std::move(fn);
+  lps_[to]->mailbox.Push(msg);
+}
+
+bool ShardedRuntime::PrepareWindow(SimDuration lookahead, SimTime* window_end) {
+  SimTime global_next = SimTime::Max();
+  for (auto& lp : lps_) {
+    lp->mailbox.DrainInto(lp->staged);
+    SimTime next = lp->loop.next_event_time();
+    for (const Message* m : lp->staged) next = std::min(next, m->at);
+    global_next = std::min(global_next, next);
+  }
+  if (global_next == SimTime::Max()) return false;
+  // Windows skip straight to the earliest pending instant instead of
+  // stepping fixed lookahead quanta across idle virtual time.
+  *window_end = global_next + lookahead;
+  return true;
+}
+
+uint64_t ShardedRuntime::events_run() const {
+  uint64_t total = 0;
+  for (const auto& lp : lps_) total += lp->loop.events_run();
+  return total;
+}
+
+void ShardedRuntime::RunWorkerSlice(size_t worker, SimTime window_end) {
+  for (size_t i = worker; i < lps_.size(); i += active_workers_) {
+    Process& lp = *lps_[i];
+    if (!lp.staged.empty()) {
+      // The mailbox yields messages in wall-clock arrival order, which is
+      // nondeterministic; the sort key below is not. Everything downstream
+      // (RNG draws, counters, latencies) hangs off this order.
+      std::sort(lp.staged.begin(), lp.staged.end(),
+                [](const Message* a, const Message* b) {
+                  if (a->at != b->at) return a->at < b->at;
+                  if (a->from != b->from) return a->from < b->from;
+                  return a->seq < b->seq;
+                });
+      for (Message* m : lp.staged) {
+        lp.loop.ScheduleAt(m->at, std::move(m->fn));
+        delete m;
+      }
+      lp.staged.clear();
+    }
+    lp.loop.RunWindow(window_end);
+  }
+}
+
+uint64_t ShardedRuntime::Run(SimDuration lookahead) {
+  assert(lookahead > SimDuration(0));
+  assert(!lps_.empty());
+#ifndef NDEBUG
+  lookahead_ = lookahead;
+#endif
+  uint64_t events_before = 0;
+  uint64_t staged_messages = 0;
+  for (const auto& lp : lps_) events_before += lp->loop.events_run();
+
+  // More workers than LPs is waste, and more spinning threads than cores is
+  // actively harmful (barrier parties descheduled mid-round). The
+  // coordinator spins at the end barrier during each window, so it counts
+  // as a party: cap workers at cores - 1. Results are W-invariant, so
+  // clamping is free. SDM_SHARD_WORKERS overrides the hardware cap (CI's
+  // TSan smoke forces real threads on small runners).
+  const size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  size_t cap = std::max<size_t>(1, hw - 1);
+  if (const char* env = std::getenv("SDM_SHARD_WORKERS"); env != nullptr) {
+    if (const unsigned long v = std::strtoul(env, nullptr, 10); v >= 1) cap = v;
+  }
+  const size_t workers = std::min({num_workers_, lps_.size(), cap});
+  active_workers_ = workers;
+
+  if (workers == 1) {
+    // Degenerate schedule: no threads, no barriers — the coordinator runs
+    // every LP's window inline. Exactly the parallel semantics (same drain,
+    // same sort, same windows), minus the synchronization.
+    for (;;) {
+      SimTime window_end{};
+      if (!PrepareWindow(lookahead, &window_end)) break;
+      for (const auto& lp : lps_) staged_messages += lp->staged.size();
+      ++windows_;
+      RunWorkerSlice(0, window_end);
+    }
+    messages_delivered_ += staged_messages;
+    uint64_t events_after = 0;
+    for (const auto& lp : lps_) events_after += lp->loop.events_run();
+    return events_after - events_before;
+  }
+
+  SpinBarrier start(static_cast<uint32_t>(workers + 1));
+  SpinBarrier end(static_cast<uint32_t>(workers + 1));
+  start_barrier_ = &start;
+  end_barrier_ = &end;
+  stop_.store(false, std::memory_order_relaxed);
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([this, w] {
+      for (;;) {
+        start_barrier_->Arrive();
+        if (stop_.load(std::memory_order_acquire)) return;
+        RunWorkerSlice(w, window_end_);
+        end_barrier_->Arrive();
+      }
+    });
+  }
+
+  for (;;) {
+    SimTime window_end{};
+    if (!PrepareWindow(lookahead, &window_end)) {
+      stop_.store(true, std::memory_order_release);
+      start.Arrive();  // releases workers into their exit check
+      break;
+    }
+    for (const auto& lp : lps_) staged_messages += lp->staged.size();
+    window_end_ = window_end;
+    ++windows_;
+    start.Arrive();  // workers execute the window
+    end.Arrive();    // wait for them; producers now quiescent for the drain
+  }
+  for (auto& t : pool) t.join();
+  start_barrier_ = nullptr;
+  end_barrier_ = nullptr;
+  messages_delivered_ += staged_messages;
+
+  uint64_t events_after = 0;
+  for (const auto& lp : lps_) events_after += lp->loop.events_run();
+  return events_after - events_before;
+}
+
+}  // namespace sdm

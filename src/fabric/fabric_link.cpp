@@ -59,7 +59,12 @@ void FabricLink::Traverse(Direction& dir, Bytes payload, EventLoop::Callback del
   }
   stats_.queue_time += start - now;
   dir.busy_until = start + serialization;
-  loop_->ScheduleAt(start + serialization + config_.latency, std::move(deliver));
+  const SimTime arrival = start + serialization + config_.latency;
+  if (delivery_) {
+    delivery_(arrival, std::move(deliver));
+    return;
+  }
+  loop_->ScheduleAt(arrival, std::move(deliver));
 }
 
 }  // namespace sdm

@@ -1,0 +1,54 @@
+// RemoteDeviceChannel — the IO-path seam between a host shard's IoEngine
+// and the device shard that owns the physical NvmeDevices in the sharded
+// simulation runtime (src/common/sharded_runtime.h).
+//
+// In single-loop disaggregated mode the IoEngine sits device-side: the
+// doorbell crosses a FabricLink and the SAME engine then talks to its local
+// device. In sharded mode the engine lives on the HOST shard's loop and the
+// device lives on the DEVICE shard's loop, so the engine instead ships each
+// doorbell (one message per SubmitBatch, carrying all its SQEs — matching
+// the 64B/SQE fabric accounting of the single-loop path) through this
+// channel. The channel implementation (src/serving/sharded_cluster.cpp)
+// owns the fabric timing on both directions and the cross-shard mailboxes.
+//
+// Completions return ON THE HOST SHARD'S LOOP with the read payload in
+// message-owned storage; the engine memcpys it into the original dest span
+// host-side. Payloads are copied rather than shared because the dest spans
+// point into per-shard BufferArenas that other shards must never touch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace sdm {
+
+/// One SQE of a remote doorbell.
+struct RemoteReadOp {
+  Bytes offset = 0;
+  Bytes length = 0;
+  bool sub_block = false;
+  /// Bus bytes the payload occupies coming back (NvmeDevice::BusBytes of
+  /// the request) — sizes the response transfer and the payload buffer.
+  Bytes payload_bytes = 0;
+  /// Invoked on the SUBMITTING shard's loop once the payload has crossed
+  /// back. `payload` is valid only for the duration of the call (empty on
+  /// error — a failed read delivers no bytes, like the local path).
+  std::function<void(Status, std::span<const uint8_t> payload)> on_complete;
+};
+
+class RemoteDeviceChannel {
+ public:
+  virtual ~RemoteDeviceChannel() = default;
+
+  /// Ships one doorbell (>= 1 SQEs) to remote device `port`. The request
+  /// direction carries 64 bytes per SQE in ONE transfer, exactly like the
+  /// single-loop fabric path.
+  virtual void SubmitDoorbell(size_t port, std::vector<RemoteReadOp> ops) = 0;
+};
+
+}  // namespace sdm

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "serving/arrival_loop.h"
+#include "serving/sharded_cluster.h"
 
 namespace sdm {
 
@@ -48,6 +49,12 @@ ClusterSimulation::ClusterSimulation(size_t num_hosts, const HostSimConfig& host
                                      const DisaggregatedConfig& disaggregated)
     : base_config_(host_config), router_(num_hosts, policy, host_config.seed ^ 0xc1u) {
   assert(num_hosts >= 1);
+  if (disaggregated.enabled && disaggregated.num_shards >= 2) {
+    // Parallel runtime: host shards + device shard on worker threads.
+    sharded_ = std::make_unique<ShardedClusterRuntime>(num_hosts, host_config, policy,
+                                                       disaggregated.num_shards);
+    return;
+  }
   if (!disaggregated.enabled) {
     hosts_.reserve(num_hosts);
     for (size_t i = 0; i < num_hosts; ++i) {
@@ -78,12 +85,25 @@ ClusterSimulation::ClusterSimulation(size_t num_hosts, const HostSimConfig& host
   }
 }
 
+ClusterSimulation::~ClusterSimulation() = default;
+
+size_t ClusterSimulation::size() const {
+  if (sharded_ != nullptr) return sharded_->host_count();
+  return disaggregated() ? dhosts_.size() : hosts_.size();
+}
+
+SdmStore& ClusterSimulation::host_store(size_t i) {
+  if (sharded_ != nullptr) return sharded_->host_store(i);
+  return *dhosts_[i].store;
+}
+
 size_t ClusterSimulation::RouteTarget(size_t source, UserId user) const {
   if (router_.policy() == RoutingPolicy::kLocal) return source % size();
   return router_.Route(user);
 }
 
 Status ClusterSimulation::LoadModel(const ModelConfig& model) {
+  if (sharded_ != nullptr) return sharded_->LoadModel(model);
   if (!disaggregated()) {
     for (auto& h : hosts_) {
       if (Status s = h->LoadModel(model); !s.ok()) return s;
@@ -177,6 +197,7 @@ DisaggregatedRunReport ClusterSimulation::RunDisaggregated(double total_qps,
                                                            uint64_t num_queries) {
   assert(disaggregated());
   assert(total_qps > 0);
+  if (sharded_ != nullptr) return sharded_->Run(total_qps, num_queries);
   DisaggregatedRunReport report;
   if (dhosts_.empty() || dhosts_[0].store == nullptr) return report;
   const size_t n = dhosts_.size();

@@ -73,6 +73,14 @@ struct ClusterRunReport {
 /// TuningConfig fabric knobs.
 struct DisaggregatedConfig {
   bool enabled = false;
+  /// Worker threads for the sharded parallel runtime
+  /// (src/serving/sharded_cluster.h): each host shard and the device shard
+  /// become logical processes with private EventLoops, synchronized by
+  /// conservative windows of one fabric latency. 0/1 keeps today's
+  /// single-loop path (byte-identical, required for instant fabrics);
+  /// >= 2 requires fabric_latency > 0 and produces results that are
+  /// bit-identical across every num_shards >= 2.
+  size_t num_shards = 1;
 };
 
 /// One host's slice of a disaggregated run.
@@ -121,12 +129,15 @@ struct DisaggregatedRunReport {
 ///    each arrival enters. Seeds derive exactly like MultiTenantHost's
 ///    shared mode, so an instant fabric with kLocal routing is
 ///    byte-identical to RunShared with the same stores.
+class ShardedClusterRuntime;
+
 class ClusterSimulation {
  public:
   ClusterSimulation(size_t num_hosts, const HostSimConfig& host_config,
                     RoutingPolicy policy);
   ClusterSimulation(size_t num_hosts, const HostSimConfig& host_config,
                     RoutingPolicy policy, const DisaggregatedConfig& disaggregated);
+  ~ClusterSimulation();
 
   Status LoadModel(const ModelConfig& model);
 
@@ -140,15 +151,19 @@ class ClusterSimulation {
   [[nodiscard]] DisaggregatedRunReport RunDisaggregated(double total_qps,
                                                         uint64_t num_queries);
 
-  [[nodiscard]] bool disaggregated() const { return fabric_ != nullptr; }
-  [[nodiscard]] size_t size() const {
-    return disaggregated() ? dhosts_.size() : hosts_.size();
+  [[nodiscard]] bool disaggregated() const {
+    return fabric_ != nullptr || sharded_ != nullptr;
   }
+  [[nodiscard]] size_t size() const;
   /// Isolated-mode host (undefined in disaggregated mode).
   [[nodiscard]] HostSimulation& host(size_t i) { return *hosts_[i]; }
   /// Disaggregated-mode accessors (null/undefined in isolated mode).
+  /// fabric_service() is the SINGLE-LOOP stack — null when the sharded
+  /// runtime is active (use sharded_runtime() there).
   [[nodiscard]] FabricAttachedService* fabric_service() { return fabric_.get(); }
-  [[nodiscard]] SdmStore& host_store(size_t i) { return *dhosts_[i].store; }
+  [[nodiscard]] SdmStore& host_store(size_t i);
+  /// The parallel runtime behind num_shards >= 2 (null otherwise).
+  [[nodiscard]] ShardedClusterRuntime* sharded_runtime() { return sharded_.get(); }
 
  private:
   struct DisaggregatedHost {  // a host shard on the common loop
@@ -169,6 +184,8 @@ class ClusterSimulation {
   EventLoop dloop_;  ///< the one loop every host shard runs on
   std::unique_ptr<FabricAttachedService> fabric_;
   std::vector<DisaggregatedHost> dhosts_;
+  // ---- Sharded parallel mode (src/serving/sharded_cluster.h) ----
+  std::unique_ptr<ShardedClusterRuntime> sharded_;
 };
 
 // ---------------------------------------------------------------------------

@@ -30,20 +30,36 @@ SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* l
       throttle_(config_.tuning.throttle, loop) {
   assert(loop != nullptr);
   assert(config_.sm_specs.size() == config_.sm_backing_bytes.size());
+  assert(!remote() || config_.sm_specs.empty());
+  assert(!remote() || config_.remote.channel != nullptr);
 
   Rng rng(config_.seed);
-  for (size_t i = 0; i < config_.sm_specs.size(); ++i) {
-    DeviceSpec spec = config_.sm_specs[i];
-    if (!config_.tuning.sub_block_reads) {
-      // Tuning knob: force the plain block path even on capable devices.
-      spec.supports_sub_block = false;
+  const size_t ports =
+      remote() ? config_.remote.stack->device_count() : config_.sm_specs.size();
+  remote_ports_ = remote() ? ports : 0;
+  for (size_t i = 0; i < ports; ++i) {
+    if (!remote()) {
+      DeviceSpec spec = config_.sm_specs[i];
+      if (!config_.tuning.sub_block_reads) {
+        // Tuning knob: force the plain block path even on capable devices.
+        spec.supports_sub_block = false;
+      }
+      sm_.push_back(std::make_unique<NvmeDevice>(spec, config_.sm_backing_bytes[i],
+                                                 loop_, rng.Next()));
     }
-    sm_.push_back(std::make_unique<NvmeDevice>(spec, config_.sm_backing_bytes[i], loop_,
-                                               rng.Next()));
     IoEngineConfig ecfg;
     ecfg.queue_depth = config_.tuning.io_queue_depth;
     ecfg.completion_mode = config_.tuning.completion_mode;
-    engines_.push_back(std::make_unique<IoEngine>(sm_.back().get(), loop_, ecfg));
+    if (remote()) {
+      // Host-side slice: the engine's "device" is the remote stack's — the
+      // immutable spec source for readers — but submissions ride the
+      // channel to the device shard instead of touching it.
+      engines_.push_back(std::make_unique<IoEngine>(&config_.remote.stack->device(i),
+                                                    loop_, ecfg));
+      engines_.back()->set_remote_channel(config_.remote.channel, i);
+    } else {
+      engines_.push_back(std::make_unique<IoEngine>(sm_.back().get(), loop_, ecfg));
+    }
     DirectReaderConfig rcfg;
     rcfg.sub_block = config_.tuning.sub_block_reads;
     rcfg.retry_backoff_base = config_.tuning.retry_backoff_base;
@@ -71,7 +87,7 @@ SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* l
   hcfg.sick_threshold = config_.tuning.health_sick_threshold;
   hcfg.window = config_.tuning.health_window;
   hcfg.probe_interval = config_.tuning.health_probe_interval;
-  health_ = std::make_unique<HealthMonitor>(hcfg, sm_.size());
+  health_ = std::make_unique<HealthMonitor>(hcfg, ports);
 }
 
 void SharedDeviceService::InstallFaultInjector(FaultInjector* injector) {
@@ -87,6 +103,13 @@ TenantId SharedDeviceService::RegisterTenant(std::string name, TenantClass cls) 
 
 Result<SharedDeviceService::Extent> SharedDeviceService::PlaceTable(
     TenantId tenant, const std::string& table_name, std::span<const uint8_t> bytes) {
+  if (remote()) {
+    // Host-side slice: the device shard's stack owns space and the dedup
+    // registry; place there under this HOST's identity so replicas dedup
+    // across hosts exactly like the single-loop path. Load-time only.
+    (void)tenant;  // the local single-tenant id; the stack keys on the host
+    return config_.remote.stack->PlaceTable(config_.remote.tenant, table_name, bytes);
+  }
   if (sm_.empty()) return FailedPreconditionError("no SM devices configured");
 
   const ExtentKey key{table_name, bytes.size(), ContentHash(bytes)};
@@ -130,6 +153,7 @@ Result<SharedDeviceService::Extent> SharedDeviceService::PlaceTable(
 }
 
 Bytes SharedDeviceService::sm_used_bytes() const {
+  if (remote()) return config_.remote.stack->sm_used_bytes();
   Bytes total = 0;
   for (const Bytes b : sm_used_) total += b;
   return total;

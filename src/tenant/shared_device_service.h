@@ -61,6 +61,8 @@
 namespace sdm {
 
 class FaultInjector;
+class RemoteDeviceChannel;
+class SharedDeviceService;
 
 struct SharedDeviceConfig {
   /// SM devices (specs define latency/IOPS; backing sizes the byte store).
@@ -70,6 +72,26 @@ struct SharedDeviceConfig {
   /// lane budgets, throttle. Tenant stores keep their own cache knobs.
   TuningConfig tuning;
   uint64_t seed = 42;
+
+  // ---- Sharded runtime (src/common/sharded_runtime, src/serving) ----
+  /// Engaged (stack != nullptr): build the HOST-SIDE SLICE of a sharded
+  /// disaggregated runtime instead of a full device stack. The slice owns
+  /// everything per-HOST — schedulers, readers, throttle, health view, and
+  /// its own BufferArena (the per-shard/per-socket arena of the NUMA-arena
+  /// ROADMAP item) — but no NvmeDevices: its per-port IoEngines ship
+  /// doorbells through `channel` to the DEVICE shard's `stack`, which owns
+  /// the physical devices. `sm_specs` must be empty. Table placement
+  /// delegates to `stack`'s extent registry under `tenant` (this host's id
+  /// there), so cross-host content dedup is byte-identical to the
+  /// single-loop path. Placement runs at load time, before worker threads
+  /// exist; at serving time the slice NEVER touches `stack` state — only
+  /// the channel's messages cross shards.
+  struct RemoteStack {
+    SharedDeviceService* stack = nullptr;
+    RemoteDeviceChannel* channel = nullptr;
+    TenantId tenant = 0;
+  };
+  RemoteStack remote;
 };
 
 class SharedDeviceService {
@@ -113,8 +135,18 @@ class SharedDeviceService {
 
   // ---- Device stack --------------------------------------------------------
 
-  [[nodiscard]] size_t device_count() const { return sm_.size(); }
-  [[nodiscard]] NvmeDevice& device(size_t i) { return *sm_[i]; }
+  /// Device PORTS this service exposes. A remote slice has no local
+  /// devices but one engine/reader/scheduler port per remote device.
+  [[nodiscard]] size_t device_count() const {
+    return remote() ? remote_ports_ : sm_.size();
+  }
+  /// The physical device behind port `i` — the remote stack's in a sharded
+  /// slice (safe only at load time and after the run: post-run report
+  /// reads, never the serving path, which stays on this shard).
+  [[nodiscard]] NvmeDevice& device(size_t i) {
+    return remote() ? config_.remote.stack->device(i) : *sm_[i];
+  }
+  [[nodiscard]] bool remote() const { return config_.remote.stack != nullptr; }
   [[nodiscard]] IoEngine& io_engine(size_t i) { return *engines_[i]; }
   [[nodiscard]] DirectIoReader& reader(size_t i) { return *readers_[i]; }
   [[nodiscard]] BatchScheduler& scheduler(size_t i) { return *schedulers_[i]; }
@@ -168,6 +200,7 @@ class SharedDeviceService {
 
   SharedDeviceConfig config_;
   EventLoop* loop_;
+  size_t remote_ports_ = 0;  ///< port count of a remote slice
   // Declared before the engines/readers that hold a pointer to it so it
   // outlives them on destruction.
   BufferArena buffer_arena_;

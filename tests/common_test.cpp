@@ -440,6 +440,44 @@ TEST(EventLoop, CascadedEventsAllRun) {
   EXPECT_EQ(n, 100u);
 }
 
+TEST(EventLoop, RunWindowIsStrictlyExclusiveOfItsEnd) {
+  // The conservative-window primitive: a window [start, end) owns events
+  // BEFORE end; an event exactly AT end (a cross-shard message one
+  // lookahead away) belongs to the next window.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(SimTime(100), [&] { order.push_back(1); });
+  loop.ScheduleAt(SimTime(199), [&] { order.push_back(2); });
+  loop.ScheduleAt(SimTime(200), [&] { order.push_back(3); });
+  EXPECT_EQ(loop.RunWindow(SimTime(200)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.Now().nanos(), 200);  // clock rests at the window end
+  EXPECT_EQ(loop.pending_events(), 1u);
+  EXPECT_EQ(loop.RunWindow(SimTime(300)), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, NextEventTimeTracksTheHeapHead) {
+  EventLoop loop;
+  EXPECT_EQ(loop.next_event_time(), SimTime::Max());  // idle
+  loop.ScheduleAt(SimTime(500), [] {});
+  loop.ScheduleAt(SimTime(300), [] {});
+  EXPECT_EQ(loop.next_event_time().nanos(), 300);
+  loop.RunWindow(SimTime(400));
+  EXPECT_EQ(loop.next_event_time().nanos(), 500);
+}
+
+TEST(EventLoop, LastEventTimeIgnoresArtificialDeadlines) {
+  // Now() advances to RunUntil/RunWindow deadlines; last_event_time()
+  // reports when the simulation actually went quiet.
+  EventLoop loop;
+  loop.ScheduleAt(SimTime(100), [] {});
+  loop.RunUntil(SimTime(10'000));
+  EXPECT_EQ(loop.Now().nanos(), 10'000);
+  EXPECT_EQ(loop.last_event_time().nanos(), 100);
+  EXPECT_EQ(loop.events_run(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // ThreadPool.
 // ---------------------------------------------------------------------------
@@ -466,6 +504,47 @@ TEST(ThreadPool, ParallelForCoversRange) {
 TEST(ThreadPool, ParallelForEmptyIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForWithFewerItemsThanWorkers) {
+  // n < workers: every index still runs exactly once and the call returns
+  // (the idle workers' empty ranges must not deadlock the rendezvous).
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForNonDivisibleSplit) {
+  // 10 items over 4 workers: contiguous ranges of uneven length must tile
+  // [0, n) exactly — no index skipped, none run twice.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10);
+  pool.ParallelFor(10, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitFutureResolvesAfterTheTaskRan) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::future<void> f = pool.Submit([&] { ran.store(true); });
+  f.get();  // resolves strictly after the task body finished
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, TasksCompletedIsMonotonic) {
+  ThreadPool pool(4);
+  uint64_t last = pool.tasks_completed();
+  EXPECT_EQ(last, 0u);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 8; ++i) futs.push_back(pool.Submit([] {}));
+    for (auto& f : futs) f.get();
+    const uint64_t now = pool.tasks_completed();
+    EXPECT_GE(now, last + 8);
+    last = now;
+  }
+  EXPECT_EQ(last, 24u);
 }
 
 TEST(ThreadPool, DrainsQueueOnDestruction) {
