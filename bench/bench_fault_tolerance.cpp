@@ -4,20 +4,26 @@
 // (IO deadlines, backoff retries, adaptive hedging, health-monitor
 // shedding, graceful zero-fill degradation).
 //
-// Three legs:
+// Four legs:
 //   storm/ablation   responses OFF: the storm is absorbed only by blocking
 //                    retries; the partition parks reads until it heals.
 //   storm/responses  responses ON: deadlines unwedge partition-parked
 //                    reads, hedges duck the fail-slow window, exhausted
 //                    retries degrade to zero-filled rows instead of
 //                    failing queries.
+//   self-healing     an error burst sickens one device, the Replication-
+//                    Manager re-replicates its extents mid-run, then a
+//                    long bit-rot storm rots every primary read: detect-
+//                    only zero-fills those rows, healing serves them from
+//                    the replica.
 //   fault-free       the same cluster with no injector vs an installed
 //                    empty-plan injector — reports must be byte-identical
 //                    (the injector's hooks are provably inert when idle).
 //
-// `--json` emits availability_pct, degraded-row accounting, the identity
-// bit, and the p99 cut responses deliver vs the ablation; CI gates these
-// against bench/baselines/fault.json.
+// `--json` emits availability_pct, degraded-row accounting, the rescued
+// fraction of would-be-zero-filled rows, the identity bit, and the p99
+// cut responses deliver vs the ablation; CI gates these against
+// bench/baselines/fault.json.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -150,6 +156,52 @@ HostRunReport RunTailLeg(bool hedge) {
   return sim.Run(200, 2000);
 }
 
+/// Self-healing leg, single host (2 Optane SSDs, one user table per
+/// device). A total error burst sickens device 0 early; with healing ON
+/// the ReplicationManager re-replicates its extent onto device 1 (copy
+/// chunks backoff-retry past the burst's end), and the long bit-rot
+/// storm that follows — every device-0 read corrupt for the rest of the
+/// run — is served from the replica instead of zero-filling. Detect-only
+/// (checksums, no healing) measures the would-be-zero-filled rows.
+HostRunReport RunHealLeg(bool heal) {
+  HostSimConfig cfg;
+  cfg.host = MakeHwAO();
+  cfg.fm_capacity = 8 * kMiB;
+  cfg.sm_backing_per_device = 16 * kMiB;
+  cfg.workload.num_users = 1000;
+  cfg.workload.seed = 5;
+  cfg.seed = 5;
+  // Checksums verify whole 4KB blocks at bounce-buffer fill; sub-block
+  // SGL reads would sail past them. Row cache off so every lookup reads
+  // SM and meets the rot.
+  cfg.tuning.enable_checksums = true;
+  cfg.tuning.sub_block_reads = false;
+  cfg.tuning.enable_row_cache = false;
+  // Both legs share the retry schedule (fair ablation). 150ms backoff
+  // puts a copy chunk's third attempt past the burst's end, so the
+  // replica lands while the endpoint is still sick.
+  cfg.tuning.retry_backoff_base = Millis(150);
+  if (heal) {
+    cfg.tuning.enable_health_monitor = true;
+    cfg.tuning.enable_replication = true;
+  }
+  HostSimulation sim(cfg);
+  Status st = sim.LoadModel(MakeTinyUniformModel(16, 2, 1, 2000));
+  if (!st.ok()) {
+    std::fprintf(stderr, "LoadModel: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  const SimTime t0 = sim.loop().Now();
+  FaultPlan plan;
+  plan.ErrorBurst(t0 + Millis(500), t0 + Millis(1000), /*probability=*/1.0,
+                  /*device=*/0)
+      .BitRot(t0 + Millis(2000), t0 + Millis(29'500), /*probability=*/1.0,
+              /*device=*/0);
+  FaultInjector injector(plan, &sim.loop(), /*seed=*/77);
+  sim.store().device_service().InstallFaultInjector(&injector);
+  return sim.Run(200, 6000);  // ~30s virtual: the storm fits inside
+}
+
 /// One fault-free run; with `install_empty`, an empty-plan injector is
 /// installed across the whole device stack first. Returns every report
 /// summary concatenated — the byte-identity comparator.
@@ -229,6 +281,37 @@ int main(int argc, char** argv) {
       (unsigned long long)tail_on.hedges_won,
       (unsigned long long)tail_on.hedges_issued));
 
+  bench::Section("Self-healing: error burst sickens a device, bit rot storms it");
+  const HostRunReport detect = RunHealLeg(/*heal=*/false);
+  const HostRunReport healed = RunHealLeg(/*heal=*/true);
+  bench::Table ht({"leg", "completed", "availability%", "corrupt blocks",
+                   "rows zero-filled", "replica reads", "repairs",
+                   "extents replicated"});
+  const auto heal_row = [&](const char* name, const HostRunReport& r) {
+    const double avail =
+        r.queries_served == 0
+            ? 0
+            : 100.0 * static_cast<double>(r.queries_completed) /
+                  static_cast<double>(r.queries_served);
+    ht.Row(name, r.queries_completed, bench::Fmt("%.3f", avail),
+           r.blocks_corrupt, r.rows_failed, r.replica_reads, r.read_repairs,
+           r.extents_replicated);
+    return avail;
+  };
+  heal_row("detect only", detect);
+  const double heal_availability_pct = heal_row("self-healing", healed);
+  ht.Print();
+  const double rows_rescued_pct =
+      detect.rows_failed == 0
+          ? 0
+          : 100.0 * (1.0 - static_cast<double>(healed.rows_failed) /
+                               static_cast<double>(detect.rows_failed));
+  bench::Note(bench::Fmt(
+      "replication + read-repair rescued %.1f%% of %llu would-be-zero-filled "
+      "rows (%llu still zero-filled)",
+      rows_rescued_pct, (unsigned long long)detect.rows_failed,
+      (unsigned long long)healed.rows_failed));
+
   bench::Section("Fault-free byte-identity (empty-plan injector installed)");
   const bool identical =
       FaultFreeFingerprint(false) == FaultFreeFingerprint(true);
@@ -246,6 +329,12 @@ int main(int argc, char** argv) {
   json.Metric("p99_ablation_ms", ablation.p99_ms);
   json.Metric("p99_responses_ms", responses.p99_ms);
   json.Metric("p99_cut_pct", p99_cut_pct);
+  json.Metric("heal_availability_pct", heal_availability_pct);
+  json.Metric("rows_rescued_pct", rows_rescued_pct);
+  json.Metric("detect_rows_failed", detect.rows_failed);
+  json.Metric("heal_blocks_corrupt", healed.blocks_corrupt);
+  json.Metric("heal_replica_reads", healed.replica_reads);
+  json.Metric("heal_extents_replicated", healed.extents_replicated);
   json.Metric("fault_free_identical", identical ? 1 : 0);
   return identical ? 0 : 1;
 }

@@ -23,6 +23,7 @@ enum class StatusCode : uint8_t {
   kUnavailable,
   kInternal,
   kDeadlineExceeded,
+  kDataLoss,
 };
 
 [[nodiscard]] inline const char* ToString(StatusCode c) {
@@ -36,6 +37,7 @@ enum class StatusCode : uint8_t {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -87,12 +89,18 @@ class [[nodiscard]] Status {
 [[nodiscard]] inline Status DeadlineExceededError(std::string m) {
   return {StatusCode::kDeadlineExceeded, std::move(m)};
 }
+[[nodiscard]] inline Status DataLossError(std::string m) {
+  return {StatusCode::kDataLoss, std::move(m)};
+}
 
 /// True for errors a retry can plausibly fix: transient media faults
-/// (kUnavailable) and reads abandoned past their IO deadline
-/// (kDeadlineExceeded). Validation/capacity errors are terminal.
+/// (kUnavailable), reads abandoned past their IO deadline
+/// (kDeadlineExceeded), and payloads that failed checksum verification
+/// (kDataLoss — the backing media is intact in the bit-rot model, so a
+/// re-read redraws the corruption and usually delivers clean bytes).
 [[nodiscard]] inline bool IsTransientError(StatusCode c) {
-  return c == StatusCode::kUnavailable || c == StatusCode::kDeadlineExceeded;
+  return c == StatusCode::kUnavailable || c == StatusCode::kDeadlineExceeded ||
+         c == StatusCode::kDataLoss;
 }
 
 /// Either a value of T or an error Status. Accessing value() on an error is a

@@ -46,6 +46,13 @@ struct LookupEngine::RequestState {
   bool io_phase_started = false;
   Status first_error;
   LookupTrace trace;
+
+  /// Device this request's SM IOs go to — the table's primary unless the
+  /// health monitor shed us onto a replica (self-healing failover).
+  size_t io_device = 0;
+  /// Primary-space -> io_device-space offset delta (0 on the primary;
+  /// always a multiple of kBlockSize on a replica).
+  int64_t io_shift = 0;
 };
 
 /// One planned run plus the submission context this engine needs when its
@@ -67,6 +74,13 @@ struct LookupEngine::RunContext {
   /// admission budgets *device reads after merging*. Shared runs release
   /// their slot at enqueue and this stays false.
   bool holds_slot = true;
+  /// Device this run reads from and its primary-space shift (inherited
+  /// from the request's routing; read-repair may re-point a single run).
+  size_t device = 0;
+  int64_t shift = 0;
+  /// Set when this run is being re-driven against a replica after its
+  /// terminal failure (one repair attempt per run).
+  bool repairing = false;
 };
 
 LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()) {
@@ -89,6 +103,8 @@ LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()
   rows_failed_ = stats_.GetCounter("rows_failed");
   degraded_lookups_ = stats_.GetCounter("degraded_lookups");
   shed_lookups_ = stats_.GetCounter("shed_lookups");
+  replica_reads_ = stats_.GetCounter("replica_reads");
+  read_repairs_ = stats_.GetCounter("read_repairs");
   if (store->sm_device_count() > 0) {
     memcpy_bytes_per_sec_ = store->reader(0).memcpy_bytes_per_sec();
   }
@@ -276,22 +292,36 @@ void LookupEngine::StartIoPhase(std::shared_ptr<RequestState> st) {
   st->io_phase_started = true;
   const TuningConfig& tuning = store_->tuning();
   const TableRuntime& table = store_->table(st->request.table);
+  st->io_device = table.sm_device;
+
+  // Demand heat for the replication manager's ranking: one bump per lookup
+  // that reaches the IO phase on this table's extent (no-op for id 0).
+  store_->device_service().RecordExtentDemand(table.extent_id);
 
   // Health-monitor shed: while this table's SM endpoint is sick, only every
-  // Nth lookup probes the device; the rest complete immediately with their
-  // IO rows failed (degraded mode) instead of queueing onto a failing
-  // device or fabric. On a disaggregated host — whose SM lives entirely
-  // behind the fabric — this IS the failover: FM-resident rows and caches
-  // still serve. Inert unless tuning.enable_health_monitor.
+  // Nth lookup probes the device; the rest fail over to the extent's
+  // replica when the self-healing layer has placed one, and otherwise
+  // complete immediately with their IO rows failed (degraded mode) instead
+  // of queueing onto a failing device or fabric. On a disaggregated host —
+  // whose SM lives entirely behind the fabric — this IS the failover:
+  // replica, FM-resident rows, and caches still serve. Inert unless
+  // tuning.enable_health_monitor.
   {
     HealthMonitor& health = store_->device_service().health();
     const size_t dev = table.sm_device;
     if (health.Sick(dev) && !health.AdmitProbe(dev)) {
-      shed_lookups_->Add(1);
-      for (auto& slot : st->slots) slot.needs_io = false;  // source stays kNone
-      st->first_error = UnavailableError("lookup shed: SM endpoint unhealthy");
-      FinishRequest(st);
-      return;
+      const auto route =
+          store_->device_service().FindReplicaRoute(table.extent_id, dev);
+      if (route.has_value() && tuning.coalesce_io) {
+        st->io_device = route->device;
+        st->io_shift = route->shift;
+      } else {
+        shed_lookups_->Add(1);
+        for (auto& slot : st->slots) slot.needs_io = false;  // source stays kNone
+        st->first_error = UnavailableError("lookup shed: SM endpoint unhealthy");
+        FinishRequest(st);
+        return;
+      }
     }
   }
 
@@ -345,24 +375,33 @@ void LookupEngine::StartIoPhase(std::shared_ptr<RequestState> st) {
 void LookupEngine::SubmitRowIo(const std::shared_ptr<RequestState>& st,
                                uint32_t slot_index) {
   const TableRuntime& table = store_->table(st->request.table);
-  DirectIoReader& reader = store_->reader(table.sm_device);
+  DirectIoReader& reader = store_->reader(st->io_device);
   const bool block_mode = store_->block_cache() != nullptr && table.cache_enabled;
 
   auto& slot = st->slots[slot_index];
+  // `off` stays in primary space (cache keys live there); the device offset
+  // applies the request's replica shift at issue time.
   const Bytes off = table.offset + slot.physical_row * st->stored_row_bytes;
+  const int64_t shift = st->io_shift;
   std::span<uint8_t> dest(st->row_bytes.data() + slot_index * st->stored_row_bytes,
                           st->stored_row_bytes);
   const RowIndex physical = slot.physical_row;
 
   ++st->trace.device_reads;
   device_reads_->Add(1);
+  if (st->io_device != table.sm_device) {
+    ++st->trace.replica_reads;
+    replica_reads_->Add(1);
+  }
 
   // Shared completion: cache fills + join bookkeeping. Errored reads count
-  // only toward io_errors, not toward rows served from SM.
-  auto on_row_done = [this, st, slot_index, dest, physical](Status status) {
+  // only toward io_errors, not toward rows served from SM. `device` is the
+  // device that served (or terminally failed) the row — after a repair
+  // re-drive it differs from st->io_device.
+  auto on_row_done = [this, st, slot_index, dest, physical](Status status,
+                                                           size_t device) {
     store_->ReleaseIoSlot(st->request.table);
-    store_->device_service().health().Record(store_->table(st->request.table).sm_device,
-                                             status.ok());
+    store_->device_service().health().Record(device, status.ok());
     if (!status.ok()) {
       io_errors_->Add(1);
       if (st->first_error.ok()) st->first_error = status;
@@ -382,36 +421,82 @@ void LookupEngine::SubmitRowIo(const std::shared_ptr<RequestState>& st,
     if (--st->outstanding_ios == 0) FinishRequest(st);
   };
 
+  // Both branches below re-drive a terminally-failed row once against the
+  // extent's other copy (the per-row twin of MakeRunCompletion's
+  // read-repair) before the row is allowed to pool as zeros.
   if (block_mode && off / kBlockSize == (off + st->stored_row_bytes - 1) / kBlockSize) {
     // Multi-level path: fetch the whole 4KB block, fill the block cache,
     // then extract the row.
     const Bytes block_start = off / kBlockSize * kBlockSize;
-    const auto device = static_cast<uint32_t>(table.sm_device);
+    const auto device = static_cast<uint32_t>(st->io_device);
     const int max_retries = reader.max_retries();
     store_->AcquireIoSlot(st->request.table, [this, st, off, dest, block_start, device,
-                                              max_retries, on_row_done] {
-      BlockRowReadAttempt(st, off, block_start, dest, device, max_retries, on_row_done);
+                                              shift, max_retries, on_row_done] {
+      BlockRowReadAttempt(
+          st, off, block_start, dest, device, shift, max_retries,
+          [this, st, off, dest, block_start, device, on_row_done](Status status) {
+            std::optional<SharedDeviceService::ReplicaRoute> route;
+            if (!status.ok()) route = RepairRoute(st->request.table, device);
+            if (!route.has_value()) {
+              on_row_done(std::move(status), device);
+              return;
+            }
+            const auto rdev = static_cast<uint32_t>(route->device);
+            BlockRowReadAttempt(st, off, block_start, dest, rdev, route->shift,
+                                store_->reader(rdev).max_retries(),
+                                [this, st, rdev, on_row_done](Status repaired) {
+                                  if (repaired.ok()) {
+                                    read_repairs_->Add(1);
+                                    ++st->trace.read_repairs;
+                                  }
+                                  on_row_done(std::move(repaired), rdev);
+                                });
+          });
     });
     return;
   }
 
-  store_->AcquireIoSlot(st->request.table, [off, dest, &reader, on_row_done] {
-    reader.ReadRow(off, dest, [on_row_done](Status status, SimDuration /*lat*/) {
-      on_row_done(std::move(status));
-    });
+  store_->AcquireIoSlot(st->request.table, [this, st, off, shift, dest, on_row_done] {
+    const size_t device = st->io_device;
+    const Bytes routed = static_cast<Bytes>(static_cast<int64_t>(off) + shift);
+    store_->reader(device).ReadRow(
+        routed, dest,
+        [this, st, off, dest, device, on_row_done](Status status, SimDuration /*lat*/) {
+          std::optional<SharedDeviceService::ReplicaRoute> route;
+          if (!status.ok()) route = RepairRoute(st->request.table, device);
+          if (!route.has_value()) {
+            on_row_done(std::move(status), device);
+            return;
+          }
+          const Bytes rerouted =
+              static_cast<Bytes>(static_cast<int64_t>(off) + route->shift);
+          store_->reader(route->device)
+              .ReadRow(rerouted, dest,
+                       [this, st, dev = route->device, on_row_done](Status repaired,
+                                                                    SimDuration) {
+                         if (repaired.ok()) {
+                           read_repairs_->Add(1);
+                           ++st->trace.read_repairs;
+                         }
+                         on_row_done(std::move(repaired), dev);
+                       });
+        });
   });
 }
 
 void LookupEngine::BlockRowReadAttempt(const std::shared_ptr<RequestState>& st, Bytes off,
                                        Bytes block_start, std::span<uint8_t> dest,
-                                       uint32_t device, int attempts_left,
+                                       uint32_t device, int64_t shift, int attempts_left,
                                        std::function<void(Status)> done) {
   IoEngine& engine = store_->io_engine(device);
   auto block_buf = store_->buffer_arena().Acquire(kBlockSize);
   const std::span<uint8_t> block_span(block_buf->data(), block_buf->size());
+  // off/block_start are primary-space; the replica shift (a whole number of
+  // blocks) only moves the device offset — cache keys stay primary.
+  const Bytes routed_start = static_cast<Bytes>(static_cast<int64_t>(block_start) + shift);
   engine.SubmitRead(
-      block_start, kBlockSize, /*sub_block=*/false, block_span,
-      [this, st, off, dest, block_start, device, attempts_left, block_buf,
+      routed_start, kBlockSize, /*sub_block=*/false, block_span,
+      [this, st, off, dest, block_start, device, shift, attempts_left, block_buf,
        done = std::move(done)](Status status, SimDuration /*lat*/) mutable {
         // Retry transient media errors inside the held throttle slot, like
         // DirectIoReader does for the sub-block path (same backoff schedule).
@@ -424,19 +509,22 @@ void LookupEngine::BlockRowReadAttempt(const std::shared_ptr<RequestState>& st, 
                           << std::min(attempt_index, 30));
           if (backoff > SimDuration(0)) {
             loop_->ScheduleAfter(backoff, [this, st, off, block_start, dest, device,
-                                           attempts_left, done = std::move(done)]() mutable {
-              BlockRowReadAttempt(st, off, block_start, dest, device, attempts_left - 1,
-                                  std::move(done));
+                                           shift, attempts_left,
+                                           done = std::move(done)]() mutable {
+              BlockRowReadAttempt(st, off, block_start, dest, device, shift,
+                                  attempts_left - 1, std::move(done));
             });
             return;
           }
-          BlockRowReadAttempt(st, off, block_start, dest, device, attempts_left - 1,
-                              std::move(done));
+          BlockRowReadAttempt(st, off, block_start, dest, device, shift,
+                              attempts_left - 1, std::move(done));
           return;
         }
         if (status.ok()) {
+          const auto primary =
+              static_cast<uint32_t>(store_->table(st->request.table).sm_device);
           store_->block_cache()->InsertBlock(
-              BlockCache::BlockKey{device, block_start / kBlockSize}, *block_buf);
+              BlockCache::BlockKey{primary, block_start / kBlockSize}, *block_buf);
           std::memcpy(dest.data(), block_buf->data() + (off - block_start), dest.size());
           st->cpu_post += CopyCost(kBlockSize);
         }
@@ -447,7 +535,7 @@ void LookupEngine::BlockRowReadAttempt(const std::shared_ptr<RequestState>& st, 
 void LookupEngine::SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
                                      std::vector<PlannedRun> runs) {
   const TableRuntime& table = store_->table(st->request.table);
-  DirectIoReader& reader = store_->reader(table.sm_device);
+  DirectIoReader& reader = store_->reader(st->io_device);
   const bool block_cache_mode = store_->block_cache() != nullptr && table.cache_enabled;
   const bool sgl = !block_cache_mode && reader.sub_block();
   const int max_retries = reader.max_retries();
@@ -463,6 +551,8 @@ void LookupEngine::SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
     auto run = std::make_shared<RunContext>();
     run->run = std::move(planned);
     run->sgl = sgl;
+    run->device = st->io_device;
+    run->shift = st->io_shift;
     run->bus = NvmeDevice::BusBytes(run->run.span_begin,
                                     run->run.span_end - run->run.span_begin, sgl);
     run->bytes_saved = run->run.per_row_bus > run->bus ? run->run.per_row_bus - run->bus : 0;
@@ -473,10 +563,15 @@ void LookupEngine::SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
     // slot — queueing it would let the read it shares retire first and
     // force a duplicate read. Only runs that need their own SQE go
     // through Acquire (and if merging happens by dispatch time anyway,
-    // EnqueueRun releases the slot on the spot).
-    BatchScheduler& scheduler = store_->scheduler(table.sm_device);
-    if (scheduler.WouldShare(run->run.span_begin, run->run.span_end,
-                             run->run.first_block, run->run.last_block, sgl)) {
+    // EnqueueRun releases the slot on the spot). The probe uses the same
+    // shifted coordinates the enqueue will.
+    BatchScheduler& scheduler = store_->scheduler(run->device);
+    const int64_t shift = run->shift;
+    const auto sb = static_cast<Bytes>(static_cast<int64_t>(run->run.span_begin) + shift);
+    const auto se = static_cast<Bytes>(static_cast<int64_t>(run->run.span_end) + shift);
+    const uint64_t fb = run->run.first_block + static_cast<uint64_t>(shift / kBlockSize);
+    const uint64_t lb = run->run.last_block + static_cast<uint64_t>(shift / kBlockSize);
+    if (scheduler.WouldShare(sb, se, fb, lb, sgl)) {
       EnqueueRun(st, run, block_cache_mode, max_retries, /*first_attempt=*/true,
                  /*acquired_slot=*/false);
       continue;
@@ -486,26 +581,30 @@ void LookupEngine::SubmitPlannedRuns(const std::shared_ptr<RequestState>& st,
       EnqueueRun(st, run, block_cache_mode, max_retries, /*first_attempt=*/true,
                  /*acquired_slot=*/true);
       if (bypass && !*collecting) {
-        store_->scheduler(store_->table(st->request.table).sm_device).Flush();
+        store_->scheduler(run->device).Flush();
       }
     });
   }
 
   *collecting = false;
-  if (bypass) store_->scheduler(table.sm_device).Flush();
+  if (bypass) store_->scheduler(st->io_device).Flush();
 }
 
 void LookupEngine::EnqueueRun(const std::shared_ptr<RequestState>& st,
                               const std::shared_ptr<RunContext>& run,
                               bool block_cache_mode, int attempts_left,
                               bool first_attempt, bool acquired_slot) {
-  BatchScheduler& scheduler = store_->scheduler(store_->table(st->request.table).sm_device);
+  BatchScheduler& scheduler = store_->scheduler(run->device);
 
+  // Spans and block ids are shifted into the serving device's address
+  // space; completions shift back when scattering (replica shift is a
+  // whole number of blocks, so block math survives the translation).
+  const int64_t shift = run->shift;
   BatchScheduler::ReadRequest req;
-  req.span_begin = run->run.span_begin;
-  req.span_end = run->run.span_end;
-  req.first_block = run->run.first_block;
-  req.last_block = run->run.last_block;
+  req.span_begin = static_cast<Bytes>(static_cast<int64_t>(run->run.span_begin) + shift);
+  req.span_end = static_cast<Bytes>(static_cast<int64_t>(run->run.span_end) + shift);
+  req.first_block = run->run.first_block + static_cast<uint64_t>(shift / kBlockSize);
+  req.last_block = run->run.last_block + static_cast<uint64_t>(shift / kBlockSize);
   req.sub_block = run->sgl;
   // QoS lane + fair-share identity: a background-class tenant's demand
   // rides the scheduler's byte-budgeted background lane (src/tenant).
@@ -546,6 +645,24 @@ void LookupEngine::EnqueueRun(const std::shared_ptr<RequestState>& st,
     st->trace.io_bytes_saved += run->bytes_saved;
     io_bytes_saved_->Add(run->bytes_saved);
   }
+  if (run->device != store_->table(st->request.table).sm_device) {
+    ++st->trace.replica_reads;
+    replica_reads_->Add(1);
+  }
+}
+
+std::optional<SharedDeviceService::ReplicaRoute> LookupEngine::RepairRoute(
+    TableId table_id, size_t failed_device) {
+  const TableRuntime& table = store_->table(table_id);
+  SharedDeviceService& svc = store_->device_service();
+  const size_t primary = table.sm_device;
+  if (failed_device == primary) {
+    return svc.FindReplicaRoute(table.extent_id, primary);
+  }
+  if (!svc.health().Sick(primary)) {
+    return SharedDeviceService::ReplicaRoute{primary, 0};
+  }
+  return std::nullopt;
 }
 
 BatchScheduler::Completion LookupEngine::MakeRunCompletion(
@@ -555,15 +672,14 @@ BatchScheduler::Completion LookupEngine::MakeRunCompletion(
                                                           const uint8_t* data,
                                                           Bytes base) {
     if (run->holds_slot) store_->ReleaseIoSlot(st->request.table);
-    const TableRuntime& table = store_->table(st->request.table);
-    store_->device_service().health().Record(table.sm_device, status.ok());
+    store_->device_service().health().Record(run->device, status.ok());
     if (!status.ok()) {
       // Transient (device-side) errors are retried like DirectIoReader's
       // per-row reads; invalid requests surface immediately.
       if (IsTransientError(status.code()) && attempts_left > 0) {
         io_retries_->Add(1);
         const int attempt_index =
-            store_->reader(table.sm_device).max_retries() - attempts_left;
+            store_->reader(run->device).max_retries() - attempts_left;
         const SimDuration backoff =
             SimDuration(store_->tuning().retry_backoff_base.nanos()
                         << std::min(attempt_index, 30));
@@ -582,20 +698,49 @@ BatchScheduler::Completion LookupEngine::MakeRunCompletion(
         }
         return;
       }
+      // Read-repair: one re-drive of the terminally-failed run against the
+      // extent's replica (or back to a recovered primary when the replica
+      // was the one failing). The run's rows would otherwise pool as zeros
+      // — bit rot and exhausted retries both land here.
+      if (!run->repairing) {
+        const auto route = RepairRoute(st->request.table, run->device);
+        if (route.has_value()) {
+          run->repairing = true;
+          run->device = route->device;
+          run->shift = route->shift;
+          const int retries = store_->reader(run->device).max_retries();
+          store_->AcquireIoSlot(st->request.table,
+                                [this, st, run, block_cache_mode, retries] {
+                                  EnqueueRun(st, run, block_cache_mode, retries,
+                                             /*first_attempt=*/false,
+                                             /*acquired_slot=*/true);
+                                });
+          return;
+        }
+      }
       // One failed device read fails every row it carried; only io_errors
       // is charged (not rows_from_sm).
       io_errors_->Add(1);
       if (st->first_error.ok()) st->first_error = status;
     } else {
+      if (run->repairing) {
+        read_repairs_->Add(1);
+        ++st->trace.read_repairs;
+      }
       const TableRuntime& t = store_->table(st->request.table);
       DualRowCache* cache = store_->row_cache();
+      // `base` is in the serving device's space; row offsets are primary-
+      // space, so the scatter applies the run's shift.
+      const int64_t shift = run->shift;
       Bytes copied = 0;
       for (const uint32_t i : run->run.slot_indices) {
         auto& slot = st->slots[i];
         const Bytes off = t.offset + slot.physical_row * st->stored_row_bytes;
         std::span<uint8_t> dest(st->row_bytes.data() + i * st->stored_row_bytes,
                                 st->stored_row_bytes);
-        std::memcpy(dest.data(), data + (off - base), dest.size());
+        std::memcpy(dest.data(),
+                    data + (static_cast<int64_t>(off) + shift - static_cast<int64_t>(base)),
+                    dest.size());
         copied += dest.size();
         slot.source = RequestState::Slot::Source::kSm;
         rows_sm_read_->Add(1);
@@ -609,12 +754,15 @@ BatchScheduler::Completion LookupEngine::MakeRunCompletion(
       if (block_cache_mode && run->insert_blocks) {
         // The shared buffer holds whole blocks: fill the block layer with
         // this run's slice of them (joiners skip this; the owner inserts).
+        // Replica bytes are content-identical, so the keys stay primary.
         const uint64_t blocks =
             run->run.last_block - run->run.first_block + 1;
         store_->block_cache()->InsertBlocks(
             static_cast<uint32_t>(t.sm_device), run->run.first_block,
-            std::span<const uint8_t>(data + (run->run.first_block * kBlockSize - base),
-                                     blocks * kBlockSize));
+            std::span<const uint8_t>(
+                data + (static_cast<int64_t>(run->run.first_block * kBlockSize) + shift -
+                        static_cast<int64_t>(base)),
+                blocks * kBlockSize));
         st->cpu_post += CopyCost(blocks * kBlockSize);
       }
     }
@@ -688,6 +836,12 @@ void LookupEngine::FinishRequest(const std::shared_ptr<RequestState>& st) {
         ++st->trace.rows_failed;
         rows_failed_->Add(1);
       }
+    }
+    // Per-table degraded-row tally feeds the placement layer: a chronically
+    // degraded table is a candidate for migration to FM at the next model
+    // refresh (tuning.degraded_placement_feedback).
+    if (st->trace.rows_failed > 0) {
+      store_->RecordTableDegradedRows(st->request.table, st->trace.rows_failed);
     }
   }
 

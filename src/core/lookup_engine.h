@@ -23,6 +23,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/histogram.h"
@@ -76,6 +77,14 @@ struct LookupTrace {
   /// output is missing rows_failed contributions.
   bool degraded = false;
 
+  // ---- Self-healing (tuning.enable_replication) ----
+  /// Device reads this request routed to an extent replica because the
+  /// primary endpoint was sick (failover instead of shedding).
+  uint32_t replica_reads = 0;
+  /// Terminally-failed reads re-driven against a replica and served — rows
+  /// that would otherwise have pooled as zeros.
+  uint32_t read_repairs = 0;
+
   SimDuration cpu_time;
   SimDuration latency;
 };
@@ -118,7 +127,8 @@ class LookupEngine {
   /// transient-error retries inside the held throttle slot.
   void BlockRowReadAttempt(const std::shared_ptr<RequestState>& st, Bytes off,
                            Bytes block_start, std::span<uint8_t> dest, uint32_t device,
-                           int attempts_left, std::function<void(Status)> done);
+                           int64_t shift, int attempts_left,
+                           std::function<void(Status)> done);
   /// Acquires a throttle slot per planned run and hands each run to the
   /// device's BatchScheduler (which owns batching and cross-request
   /// merging; the planning itself already happened in IoPlanner).
@@ -140,6 +150,12 @@ class LookupEngine {
   BatchScheduler::Completion MakeRunCompletion(const std::shared_ptr<RequestState>& st,
                                                const std::shared_ptr<RunContext>& run,
                                                bool block_cache_mode, int attempts_left);
+  /// Where a terminally-failed read on `failed_device` can be re-driven: the
+  /// extent's replica when the primary failed, the (healthy) primary when a
+  /// replica read failed, nullopt when no second copy exists. Shared by the
+  /// run path and the per-row path.
+  std::optional<SharedDeviceService::ReplicaRoute> RepairRoute(TableId table_id,
+                                                               size_t failed_device);
   void FinishRequest(const std::shared_ptr<RequestState>& st);
   /// Modeled CPU time of copying `bytes` (shared with DirectIoReader's
   /// memcpy_bytes_per_sec so the two paths charge the same throughput).
@@ -169,6 +185,8 @@ class LookupEngine {
   Counter* rows_failed_ = nullptr;
   Counter* degraded_lookups_ = nullptr;
   Counter* shed_lookups_ = nullptr;
+  Counter* replica_reads_ = nullptr;
+  Counter* read_repairs_ = nullptr;
 };
 
 }  // namespace sdm

@@ -18,6 +18,23 @@ Result<UpdateReport> ModelUpdater::Update(const UpdateOptions& options) {
   UpdateReport report;
   Rng rng(options.seed);
 
+  // Degraded-row-aware placement (self-healing layer): a refresh is the
+  // natural point to act on serving-time health feedback — the host is
+  // already touching every table. SM tables that lost at least
+  // degraded_rows_min rows to exhausted retries / sick-endpoint sheds move
+  // to FM, where no SM fault can reach them. A migration that cannot
+  // proceed (no FM headroom, shared extent) is skipped, not fatal: degraded
+  // service beats a failed refresh.
+  if (store_->tuning().degraded_placement_feedback) {
+    for (size_t t = 0; t < store_->table_count(); ++t) {
+      const TableId id = MakeTableId(static_cast<uint32_t>(t));
+      const TableRuntime& table = store_->table(id);
+      if (table.tier != MemoryTier::kSm || table.shared_extent) continue;
+      if (table.degraded_rows < store_->tuning().degraded_rows_min) continue;
+      if (store_->MigrateTableToFm(id).ok()) ++report.tables_migrated;
+    }
+  }
+
   for (size_t t = 0; t < store_->table_count(); ++t) {
     const TableId id = MakeTableId(static_cast<uint32_t>(t));
     const TableRuntime& table = store_->table(id);

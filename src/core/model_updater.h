@@ -32,6 +32,9 @@ struct UpdateReport {
   Bytes bytes_written = 0;
   SimDuration write_time;       ///< device-limited transfer time
   double sm_drive_writes = 0;   ///< cumulative full-drive writes after update
+  /// Chronically degraded SM tables moved to FM by this refresh
+  /// (tuning.degraded_placement_feedback).
+  uint32_t tables_migrated = 0;
 };
 
 class ModelUpdater {

@@ -93,6 +93,24 @@ Result<PlacementPlan> ComputePlacement(const ModelConfig& model, const TuningCon
   return plan;
 }
 
+Result<PlacementPlan> ComputePlacement(const ModelConfig& model, const TuningConfig& tuning,
+                                       const std::vector<TableId>& degraded_tables) {
+  auto plan = ComputePlacement(model, tuning);
+  if (!plan.ok()) return plan;
+  for (const TableId id : degraded_tables) {
+    if (Raw(id) >= plan.value().tables.size()) continue;
+    TablePlacement& p = plan.value().tables[Raw(id)];
+    if (p.tier != MemoryTier::kSm) continue;
+    const Bytes size = model.tables[Raw(id)].total_bytes();
+    p.tier = MemoryTier::kFm;
+    p.cache_enabled = false;
+    p.reason = "degraded rows on SM last generation: forced to FM";
+    plan.value().fm_direct_bytes += size;
+    plan.value().sm_bytes -= size;
+  }
+  return plan;
+}
+
 std::string DescribePlacement(const PlacementPlan& plan, const ModelConfig& model) {
   size_t fm_count = 0;
   size_t sm_count = 0;

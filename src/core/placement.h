@@ -46,6 +46,14 @@ struct PlacementPlan {
 [[nodiscard]] Result<PlacementPlan> ComputePlacement(const ModelConfig& model,
                                                      const TuningConfig& tuning);
 
+/// Placement with serving-time health feedback (self-healing layer): tables
+/// that served chronically degraded rows from SM last generation are forced
+/// onto FM this generation, ahead of any policy ranking — availability
+/// outranks BW-density once a table has demonstrably lost rows.
+[[nodiscard]] Result<PlacementPlan> ComputePlacement(
+    const ModelConfig& model, const TuningConfig& tuning,
+    const std::vector<TableId>& degraded_tables);
+
 /// Human-readable summary (counts and bytes per tier).
 [[nodiscard]] std::string DescribePlacement(const PlacementPlan& plan,
                                             const ModelConfig& model);

@@ -71,6 +71,7 @@ Result<TableId> SdmStore::LoadTable(const EmbeddingTableImage& image,
     rt.sm_device = placed.value().device;
     rt.offset = placed.value().offset;
     rt.shared_extent = placed.value().shared;
+    rt.extent_id = placed.value().id;
     load_write_time_ += placed.value().write_time;
     sm_used_total_ += size;
   }
@@ -124,6 +125,7 @@ Status SdmStore::FinishLoading() {
     if (ccfg.capacity < 4 * kKiB) {
       return ResourceExhaustedError("FM budget leaves no usable row-cache space");
     }
+    fm_cache_committed_ = ccfg.capacity + block_capacity + pooled_capacity;
     row_cache_ = std::make_unique<DualRowCache>(ccfg);
     for (const auto& t : tables_) {
       row_cache_->RegisterTable(t.id, t.config.row_bytes());
@@ -201,6 +203,41 @@ void SdmStore::InvalidatePooledFor(TableId table) {
   if (pooled_cache_ != nullptr) {
     pooled_cache_->InvalidateTable(table);
   }
+}
+
+Status SdmStore::MigrateTableToFm(TableId table) {
+  TableRuntime& rt = tables_[Raw(table)];
+  if (rt.tier != MemoryTier::kSm) {
+    return FailedPreconditionError("table is already FM-resident");
+  }
+  if (rt.shared_extent) {
+    return FailedPreconditionError(
+        "cannot migrate a shared extent: co-tenants still serve from it");
+  }
+  const Bytes size =
+      static_cast<Bytes>(rt.config.num_rows) * rt.config.row_bytes();
+  if (fm_used_ + size + fm_mapping_bytes_ + fm_cache_committed_ >
+      config_.fm_capacity) {
+    return ResourceExhaustedError("FM lacks headroom for degraded-table migration");
+  }
+  // The device backing store is ground truth (bit rot is in-flight only),
+  // so this is the same offline copy a refresh-time re-load would do.
+  NvmeDevice& dev = device_service_->device(rt.sm_device);
+  const Bytes new_offset = fm_used_;
+  if (Status s = fm_->Write(new_offset, dev.backing().subspan(rt.offset, size));
+      !s.ok()) {
+    return s;
+  }
+  rt.tier = MemoryTier::kFm;
+  rt.offset = new_offset;
+  fm_used_ += size;
+  fm_direct_bytes_ += size;
+  sm_used_total_ -= size;
+  rt.extent_id = 0;  // no longer routable SM bytes
+  SDM_LOG_INFO << "degraded placement: migrated table " << rt.config.name
+               << " (" << AsMiB(size) << " MiB, " << rt.degraded_rows
+               << " degraded rows) to FM";
+  return Status::Ok();
 }
 
 }  // namespace sdm

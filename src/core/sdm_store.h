@@ -89,6 +89,14 @@ struct TableRuntime {
   std::optional<MappingTensor> mapping;
   /// Size of the index domain requests use (unpruned row count).
   uint64_t index_domain = 0;
+  /// Extent-registry id of this table's SM bytes (0 for FM tables) — the
+  /// key for demand heat, replica routing, and read-repair (src/fault).
+  uint64_t extent_id = 0;
+  /// Rows of this table that pooled as zeros (exhausted retries, checksum
+  /// failures, or sheds from a sick endpoint). Degraded-row-aware
+  /// placement feeds on this: the ModelUpdater migrates chronically
+  /// degraded tables toward FM at the next refresh.
+  uint64_t degraded_rows = 0;
 };
 
 class SdmStore {
@@ -202,6 +210,22 @@ class SdmStore {
   /// pooled outputs that may contain it).
   void InvalidatePooledFor(TableId table);
 
+  // ---- Self-healing feedback (src/fault) ------------------------------------
+
+  /// Charges `n` zero-pooled rows to `table`'s degraded tally (fed by the
+  /// LookupEngine's degraded accounting).
+  void RecordTableDegradedRows(TableId table, uint64_t n) {
+    tables_[Raw(table)].degraded_rows += n;
+  }
+
+  /// Moves a chronically degraded SM table's bytes into FM (refresh-time,
+  /// offline — the ModelUpdater's degraded-placement feedback). Fails when
+  /// the table is FM-resident already, rides a shared extent (other tenants
+  /// still serve from it), or FM lacks headroom beyond what the caches and
+  /// direct tables committed. The vacated SM extent is not reclaimed (bump
+  /// allocator), matching how table space behaves everywhere else.
+  Status MigrateTableToFm(TableId table);
+
  private:
   SdmStoreConfig config_;
   EventLoop* loop_;
@@ -221,6 +245,9 @@ class SdmStore {
   Bytes fm_direct_bytes_ = 0;
   Bytes fm_mapping_bytes_ = 0;
   Bytes sm_used_total_ = 0;
+  /// FM the caches committed at FinishLoading (row + block + pooled
+  /// capacities) — the part of fm_capacity no later migration may eat.
+  Bytes fm_cache_committed_ = 0;
   SimDuration load_write_time_;
   bool finished_ = false;
   StatsRegistry stats_;

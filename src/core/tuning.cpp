@@ -59,6 +59,23 @@ Status TuningConfig::Validate() const {
   if (health_probe_interval < 1) {
     return InvalidArgumentError("health_probe_interval must be >= 1");
   }
+  if (enable_replication) {
+    if (!enable_health_monitor) {
+      return InvalidArgumentError(
+          "enable_replication requires enable_health_monitor: re-replication "
+          "is driven by health-monitor sickness transitions");
+    }
+    if (replication_hot_extents < 1) {
+      return InvalidArgumentError("replication_hot_extents must be >= 1");
+    }
+    if (replication_chunk_bytes < kBlockSize) {
+      return InvalidArgumentError("replication_chunk_bytes must be >= one 4KB block");
+    }
+    if (replication_byte_budget < replication_chunk_bytes) {
+      return InvalidArgumentError(
+          "replication_byte_budget must admit at least one chunk");
+    }
+  }
   if (row_cache.memory_optimized_fraction < 0 || row_cache.memory_optimized_fraction > 1) {
     return InvalidArgumentError("memory_optimized_fraction must be in [0,1]");
   }

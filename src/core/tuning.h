@@ -160,6 +160,33 @@ struct TuningConfig {
   /// While sick, every Nth lookup is admitted as a probe to detect recovery.
   int health_probe_interval = 16;
 
+  // ---- Self-healing storage (src/fault; PR 8) ----
+  /// Per-4KB-block checksums on every SM device: stamped at write, verified
+  /// at bounce-buffer fill, so bit-rot windows surface as kDataLoss
+  /// (transient, feeding retries/health) instead of serving garbage. Off by
+  /// default — byte-identical when off OR when on without corruption.
+  bool enable_checksums = false;
+  /// Let a ReplicationManager watch HealthMonitor sickness transitions and
+  /// re-replicate a sick device's hottest extents onto a healthy device via
+  /// the scheduler's background lane; the extent registry gains replica
+  /// sets, and lookups/hedges route to the healthiest replica. Requires
+  /// enable_health_monitor (transitions drive it).
+  bool enable_replication = false;
+  /// Hottest extents re-replicated per sickness transition.
+  int replication_hot_extents = 2;
+  /// Byte budget per sickness transition: extents beyond it wait for the
+  /// next transition (bounded background work per event).
+  Bytes replication_byte_budget = 8 * kMiB;
+  /// Chunk size of replication staging reads on the background lane.
+  Bytes replication_chunk_bytes = 64 * kKiB;
+  /// Feed per-table degradation (zero-filled rows, shed lookups) back into
+  /// placement: a chronically degraded SM table migrates to FM at the next
+  /// ModelUpdater refresh (if FM headroom allows).
+  bool degraded_placement_feedback = false;
+  /// rows_failed + sheds a table must accumulate to count as chronically
+  /// degraded for the placement feedback above.
+  uint64_t degraded_rows_min = 64;
+
   // ---- Cache organization (§4.3) ----
   bool enable_row_cache = true;
   /// capacity == 0 (the default) auto-sizes the cache to whatever FM the

@@ -23,6 +23,35 @@ NvmeDevice::NvmeDevice(DeviceSpec spec, Bytes backing_size, EventLoop* loop, uin
   sub_block_reads_ = stats_.GetCounter("sub_block_reads");
   writes_ = stats_.GetCounter("writes");
   written_bytes_ = stats_.GetCounter("written_bytes");
+  checksum_failed_reads_ = stats_.GetCounter("checksum_failed_reads");
+  blocks_corrupt_ = stats_.GetCounter("blocks_corrupt");
+}
+
+namespace {
+
+/// FNV-1a over one block, truncated to 32 bits. Collision quality is ample
+/// for detecting single-byte rot; speed matters more (stamped per write).
+uint32_t BlockCrc(const uint8_t* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+void NvmeDevice::set_checksums(bool enabled) {
+  if (!enabled) {
+    block_crc_.clear();
+    return;
+  }
+  const size_t full_blocks = store_.size() / kBlockSize;
+  block_crc_.resize(full_blocks);
+  for (size_t b = 0; b < full_blocks; ++b) {
+    block_crc_[b] = BlockCrc(store_.data() + b * kBlockSize, kBlockSize);
+  }
 }
 
 Result<SimDuration> NvmeDevice::Write(Bytes offset, std::span<const uint8_t> data) {
@@ -30,6 +59,15 @@ Result<SimDuration> NvmeDevice::Write(Bytes offset, std::span<const uint8_t> dat
     return OutOfRangeError("write beyond device backing store");
   }
   std::memcpy(store_.data() + offset, data.data(), data.size());
+  if (!block_crc_.empty()) {
+    // Re-stamp every full block the write touched from the backing store,
+    // so the CRCs are always consistent with what a clean read returns.
+    const size_t first = offset / kBlockSize;
+    const size_t last = (offset + data.size() - 1) / kBlockSize;
+    for (size_t b = first; b <= last && b < block_crc_.size(); ++b) {
+      block_crc_[b] = BlockCrc(store_.data() + b * kBlockSize, kBlockSize);
+    }
+  }
   wear_.RecordWrite(data.size());
   writes_->Add(1);
   written_bytes_->Add(data.size());
@@ -109,11 +147,11 @@ void NvmeDevice::SubmitRead(ReadRequest req) {
 
   // Copy the data now (deterministic; the store is logically immutable
   // between updates) but deliver the completion at the simulated time.
+  const Bytes first_block = req.offset / kBlockSize;
   if (req.sub_block) {
     const Bytes begin = req.offset & ~(kDwordBytes - 1);
     std::memcpy(req.dest.data(), store_.data() + begin, req.dest.size());
   } else {
-    const Bytes first_block = req.offset / kBlockSize;
     const Bytes begin = first_block * kBlockSize;
     const Bytes avail = store_.size() - begin;
     const Bytes n = std::min<Bytes>(req.dest.size(), avail);
@@ -122,6 +160,34 @@ void NvmeDevice::SubmitRead(ReadRequest req) {
       // Tail of the last block extends past the backing store: zero-fill,
       // as a real device would return zeroes for never-written space.
       std::memset(req.dest.data() + n, 0, req.dest.size() - n);
+    }
+  }
+
+  // Bit-rot windows mutate the PAYLOAD copy, never the backing store —
+  // silent corruption in flight. With checksums off this serves garbage
+  // (the motivating failure); with them on the block verify below catches
+  // it at bounce-buffer fill.
+  bool rotted = false;
+  if (injector_ != nullptr) {
+    rotted = injector_->CorruptReadPayload(device_index_, req.dest);
+  }
+  if (rotted && !req.sub_block && !block_crc_.empty()) {
+    uint64_t bad = 0;
+    const size_t blocks = req.dest.size() / kBlockSize;
+    for (size_t i = 0; i < blocks; ++i) {
+      const size_t b = first_block + i;
+      if (b >= block_crc_.size()) break;  // unstamped partial/backing tail
+      if (BlockCrc(req.dest.data() + i * kBlockSize, kBlockSize) != block_crc_[b]) {
+        ++bad;
+      }
+    }
+    if (bad > 0) {
+      checksum_failed_reads_->Add(1);
+      blocks_corrupt_->Add(bad);
+      loop_->ScheduleAt(done, [cb = std::move(req.on_complete), lat]() mutable {
+        if (cb) cb(DataLossError("block checksum mismatch (bit rot)"), lat);
+      });
+      return;
     }
   }
 

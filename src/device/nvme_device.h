@@ -75,6 +75,24 @@ class NvmeDevice {
   /// callback (scheduled immediately) so callers have one error path.
   void SubmitRead(ReadRequest req);
 
+  /// Enables per-4KB-block checksums (TuningConfig::enable_checksums):
+  /// every backing block gets a CRC stamped at (re)write time, and every
+  /// BLOCK-path read verifies its payload after the DMA copy — i.e. at
+  /// bounce-buffer fill, after any bit-rot window mutated it. A mismatch
+  /// completes the read with kDataLoss (transient: the backing media is
+  /// intact, so retries redraw the corruption) instead of serving garbage.
+  /// Sub-block (SGL) payloads are not block-shaped and stay unverified.
+  /// Off (the default) leaves reads byte-identical: verification of a
+  /// clean payload has no timing or RNG footprint either way.
+  void set_checksums(bool enabled);
+  [[nodiscard]] bool checksums() const { return !block_crc_.empty(); }
+
+  /// Direct view of the backing store for OFFLINE copies — replication
+  /// staging and refresh-time FM migration read source bytes here instead
+  /// of modeling serving-path IO (the same convention as load-time writes,
+  /// which are offline too). Never used on the serving path.
+  [[nodiscard]] std::span<const uint8_t> backing() const { return store_; }
+
   /// Installs (or clears, with nullptr) a scripted fault injector
   /// (src/fault): error-burst windows fail reads at completion time, stall
   /// windows defer completions, fail-slow windows stretch service time
@@ -107,6 +125,9 @@ class NvmeDevice {
   FaultInjector* injector_ = nullptr;
   int device_index_ = -1;
   std::vector<uint8_t> store_;
+  /// Per-4KB-block CRCs over the backing store; empty = checksums off.
+  /// A partial tail block (backing not block-multiple) stays unstamped.
+  std::vector<uint32_t> block_crc_;
   StatsRegistry stats_;
   Histogram read_latency_;
 
@@ -117,6 +138,8 @@ class NvmeDevice {
   Counter* sub_block_reads_ = nullptr;
   Counter* writes_ = nullptr;
   Counter* written_bytes_ = nullptr;
+  Counter* checksum_failed_reads_ = nullptr;
+  Counter* blocks_corrupt_ = nullptr;
 };
 
 }  // namespace sdm

@@ -9,6 +9,7 @@ FaultInjector::FaultInjector(FaultPlan plan, EventLoop* loop, uint64_t seed)
       loop_(loop),
       rng_(seed ^ 0xfa'17'0000ULL),
       injected_errors_(stats_.GetCounter("injected_errors")),
+      injected_bit_rot_(stats_.GetCounter("injected_bit_rot")),
       injected_drops_(stats_.GetCounter("injected_drops")),
       stalled_completions_(stats_.GetCounter("stalled_completions")),
       partitioned_transfers_(stats_.GetCounter("partitioned_transfers")) {
@@ -28,6 +29,24 @@ bool FaultInjector::DrawReadError(int device) {
     }
   }
   return false;
+}
+
+bool FaultInjector::CorruptReadPayload(int device, std::span<uint8_t> payload) {
+  if (payload.empty()) return false;
+  const SimTime now = loop_->Now();
+  bool mutated = false;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind != FaultKind::kBitRot) continue;
+    if (!Targets(w, device) || !Active(w, now)) continue;
+    // One hit draw per active window, one byte-position draw per hit: the
+    // draw count stays a pure function of (plan, time, hits) — replay-exact.
+    if (rng_.NextBernoulli(w.probability)) {
+      payload[rng_.NextBounded(payload.size())] ^= 0xFF;
+      injected_bit_rot_->Add(1);
+      mutated = true;
+    }
+  }
+  return mutated;
 }
 
 double FaultInjector::ServiceMultiplier(int device) const {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/event_loop.h"
 #include "common/rng.h"
@@ -36,6 +37,13 @@ class FaultInjector {
   /// Consumes an Rng draw only while an error-burst window targeting the
   /// device is active.
   [[nodiscard]] bool DrawReadError(int device);
+
+  /// Silent corruption: while a bit-rot window targeting `device` is
+  /// active, one Bernoulli draw per window decides whether this read's
+  /// payload rots; on a hit one payload byte (chosen by the injector's own
+  /// Rng) is XOR-flipped in place. The read still completes OK — only a
+  /// checksum verify can tell. Returns true if `payload` was mutated.
+  bool CorruptReadPayload(int device, std::span<uint8_t> payload);
 
   /// Multiplier on device service time at Now() (1.0 when no fail-slow
   /// window targets the device). Overlapping windows compound.
@@ -72,6 +80,7 @@ class FaultInjector {
   Rng rng_;
   StatsRegistry stats_;
   Counter* injected_errors_ = nullptr;
+  Counter* injected_bit_rot_ = nullptr;
   Counter* injected_drops_ = nullptr;
   Counter* stalled_completions_ = nullptr;
   Counter* partitioned_transfers_ = nullptr;

@@ -18,7 +18,12 @@
 //  - kFabricDrop:      per-transfer Bernoulli loss on a FabricLink (the
 //                      transfer vanishes; only IO deadlines recover it);
 //  - kFabricPartition: the link carries nothing until the window closes;
-//                      transfers queue and deliver at heal time.
+//                      transfers queue and deliver at heal time;
+//  - kBitRot:          per-read Bernoulli SILENT corruption — the read
+//                      completes OK but a payload byte is flipped (drawn
+//                      from the injector's own Rng, so replay-exact). The
+//                      backing media stays intact: only checksummed reads
+//                      (TuningConfig::enable_checksums) can detect it.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +40,7 @@ enum class FaultKind : uint8_t {
   kStall,
   kFabricDrop,
   kFabricPartition,
+  kBitRot,
 };
 
 [[nodiscard]] inline const char* ToString(FaultKind k) {
@@ -44,6 +50,7 @@ enum class FaultKind : uint8_t {
     case FaultKind::kStall: return "stall";
     case FaultKind::kFabricDrop: return "fabric_drop";
     case FaultKind::kFabricPartition: return "fabric_partition";
+    case FaultKind::kBitRot: return "bit_rot";
   }
   return "unknown";
 }
@@ -57,7 +64,7 @@ struct FaultWindow {
   /// every link).
   int device = -1;
   /// kErrorBurst: per-read error probability. kFabricDrop: per-transfer
-  /// drop probability.
+  /// drop probability. kBitRot: per-read payload-corruption probability.
   double probability = 0;
   /// kFailSlow: multiplier on device service time (>= 1).
   double latency_multiplier = 1;
@@ -90,6 +97,11 @@ struct FaultPlan {
   }
   FaultPlan& FabricPartition(SimTime begin, SimTime end, int device = -1) {
     windows.push_back({FaultKind::kFabricPartition, begin, end, device, 0, 1});
+    return *this;
+  }
+  FaultPlan& BitRot(SimTime begin, SimTime end, double probability,
+                    int device = -1) {
+    windows.push_back({FaultKind::kBitRot, begin, end, device, probability, 1});
     return *this;
   }
 };

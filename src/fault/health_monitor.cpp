@@ -33,11 +33,14 @@ void HealthMonitor::Record(size_t endpoint, bool ok) {
   e.next = (e.next + 1) % e.outcomes.size();
 
   const bool sick = Sick(endpoint);
-  if (sick && !was_sick_[endpoint]) {
+  const bool edge = sick && !was_sick_[endpoint];
+  if (edge) {
     sick_transitions_->Add(1);
     e.probe_clock = 0;
   }
   was_sick_[endpoint] = sick ? 1 : 0;
+  // Notify after the state flip so the listener observes Sick() == true.
+  if (edge && sick_listener_) sick_listener_(endpoint);
 }
 
 bool HealthMonitor::Sick(size_t endpoint) const {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/stats.h"
@@ -51,6 +52,13 @@ class HealthMonitor {
   /// !AdmitProbe().
   [[nodiscard]] bool AdmitProbe(size_t endpoint);
 
+  /// Called synchronously from Record() on every healthy->sick edge with
+  /// the endpoint index — the trigger the ReplicationManager (src/fault)
+  /// re-replicates on. At most one listener; never invoked when disabled.
+  void SetSickTransitionListener(std::function<void(size_t)> listener) {
+    sick_listener_ = std::move(listener);
+  }
+
   [[nodiscard]] size_t endpoint_count() const { return endpoints_.size(); }
   [[nodiscard]] const HealthMonitorConfig& config() const { return config_; }
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
@@ -71,6 +79,7 @@ class HealthMonitor {
   Counter* probes_admitted_ = nullptr;
   Counter* sheds_ = nullptr;
   std::vector<uint8_t> was_sick_;  ///< per-endpoint edge detector
+  std::function<void(size_t)> sick_listener_;
 };
 
 }  // namespace sdm

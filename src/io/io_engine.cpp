@@ -82,17 +82,28 @@ void IoEngine::SubmitBatch(std::span<ReadOp> ops) {
   if (fabric_ != nullptr) {
     // One doorbell message carries every SQE of the batch across the
     // request direction; each completion's payload crosses back on its own.
+    // Service-local ops (both endpoints on the device side, e.g.
+    // re-replication copy chunks) dispatch directly: only serving-path IO
+    // traverses — and is billed to — the host fabric.
     const SimTime accepted_at = loop_->Now();
     auto batch = std::make_shared<std::vector<ReadOp>>();
     batch->reserve(ops.size());
+    std::vector<ReadOp> local;
     for (ReadOp& op : ops) {
+      if (op.service_local) {
+        local.push_back(std::move(op));
+        continue;
+      }
       op.cb = WrapFabricCompletion(
           NvmeDevice::BusBytes(op.offset, op.length, op.sub_block), accepted_at,
           std::move(op.cb));
       batch->push_back(std::move(op));
     }
-    fabric_->Request(kFabricSqeBytes * batch->size(),
-                     [this, batch] { SubmitBatchLocal(std::span<ReadOp>(*batch)); });
+    if (!local.empty()) SubmitBatchLocal(std::span<ReadOp>(local));
+    if (!batch->empty()) {
+      fabric_->Request(kFabricSqeBytes * batch->size(),
+                       [this, batch] { SubmitBatchLocal(std::span<ReadOp>(*batch)); });
+    }
     return;
   }
   SubmitBatchLocal(ops);

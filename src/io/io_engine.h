@@ -94,6 +94,11 @@ class IoEngine {
     Callback cb;
     uint32_t merged_reads = 1;
     Bytes bytes_saved = 0;
+    /// Both endpoints of this op live on the device side (re-replication
+    /// copy chunks): when the engine sits behind a fabric link, the op
+    /// dispatches locally instead of paying — and being counted as — host
+    /// fabric traffic.
+    bool service_local = false;
   };
 
   /// Submits `ops` as one ring doorbell: the first SQE pays the full

@@ -43,6 +43,8 @@ BatchScheduler::BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* 
   deadline_expired_ = stats_.GetCounter("deadline_expired");
   hedges_issued_ = stats_.GetCounter("hedges_issued");
   hedges_won_ = stats_.GetCounter("hedges_won");
+  replica_hedges_ = stats_.GetCounter("replica_hedges");
+  replica_hedge_wins_ = stats_.GetCounter("replica_hedge_wins");
 }
 
 CrossRequestIoStats CrossRequestIoStats::Since(const CrossRequestIoStats& base) const {
@@ -61,6 +63,7 @@ CrossRequestIoStats CrossRequestIoStats::Since(const CrossRequestIoStats& base) 
   d.deadline_expired = deadline_expired - base.deadline_expired;
   d.hedges_issued = hedges_issued - base.hedges_issued;
   d.hedges_won = hedges_won - base.hedges_won;
+  d.replica_hedges = replica_hedges - base.replica_hedges;
   return d;
 }
 
@@ -93,6 +96,7 @@ CrossRequestIoStats BatchScheduler::Snapshot() const {
   s.deadline_expired = deadline_expired_->value();
   s.hedges_issued = hedges_issued_->value();
   s.hedges_won = hedges_won_->value();
+  s.replica_hedges = replica_hedges_->value();
   return s;
 }
 
@@ -202,6 +206,7 @@ BatchScheduler::Admission BatchScheduler::EnqueueDemand(ReadRequest& req) {
   p.tenant = req.tenant;
   p.rows = req.rows;
   p.per_row_bus = req.per_row_bus;
+  p.service_local = req.service_local;
   p.subscribers.push_back(std::move(req.cb));
   pending_.push_back(std::move(p));
 
@@ -256,6 +261,7 @@ BatchScheduler::Admission BatchScheduler::EnqueueLane(ReadRequest& req, size_t l
       // one (that would inflate a foreground read for low-priority bytes).
       lane_singleflight->Add(1);
       RecordJoin(req, p.kind, p.tenant);
+      p.service_local = p.service_local && req.service_local;
       p.subscribers.push_back(std::move(req.cb));
       return Admission::kJoinedPending;
     }
@@ -288,10 +294,12 @@ BatchScheduler::Admission BatchScheduler::EnqueueLane(ReadRequest& req, size_t l
         promoted.kind = Kind::kBackground;
         promoted.budget_kind = Kind::kBackground;
         lane.pending_bytes += promoted.budget_bytes;
+        promoted.service_local = promoted.service_local && req.service_local;
         promoted.subscribers.push_back(std::move(req.cb));
         lane.pending.push_back(std::move(promoted));
         ArmLaneDrain(lane_idx);
       } else {
+        q.service_local = q.service_local && req.service_local;
         q.subscribers.push_back(std::move(req.cb));
       }
       return Admission::kJoinedPending;
@@ -310,6 +318,7 @@ BatchScheduler::Admission BatchScheduler::EnqueueLane(ReadRequest& req, size_t l
     if (covered) {
       lane_singleflight->Add(1);
       RecordJoin(req, p.kind, p.tenant);
+      p.service_local = p.service_local && req.service_local;
       p.subscribers.push_back(std::move(req.cb));
       return Admission::kJoinedPending;
     }
@@ -332,6 +341,7 @@ BatchScheduler::Admission BatchScheduler::EnqueueLane(ReadRequest& req, size_t l
     p.last_block = std::max(p.last_block, req.last_block);
     p.rows += req.rows;
     p.per_row_bus += req.per_row_bus;
+    p.service_local = p.service_local && req.service_local;
     p.subscribers.push_back(std::move(req.cb));
     p.budget_bytes += delta;
     lane.pending_bytes += delta;
@@ -378,6 +388,7 @@ BatchScheduler::Admission BatchScheduler::AdmitToLane(ReadRequest& req, size_t l
   p.budget_kind = req.kind;
   p.rows = req.rows;
   p.per_row_bus = req.per_row_bus;
+  p.service_local = req.service_local;
   p.subscribers.push_back(std::move(req.cb));
   lane.pending_bytes += bus;
   lane.pending.push_back(std::move(p));
@@ -466,6 +477,7 @@ bool BatchScheduler::TryAbsorbIntoPending(ReadRequest& req, Admission* admission
       cross_request_merges_->Add(1);
       *admission = Admission::kMergedPending;
     }
+    p.service_local = p.service_local && req.service_local;
     p.subscribers.push_back(std::move(req.cb));
     if (!covered) FuseOverlappingPending(i);
     return true;
@@ -515,6 +527,7 @@ bool BatchScheduler::TryPromoteLane(ReadRequest& req, size_t lane_idx,
       cross_request_merges_->Add(1);
       *admission = Admission::kNewRead;
     }
+    p.service_local = p.service_local && req.service_local;
     p.subscribers.push_back(std::move(req.cb));
     pending_.push_back(std::move(p));
     FuseOverlappingPending(pending_.size() - 1);
@@ -560,6 +573,7 @@ void BatchScheduler::FuseOverlappingPending(size_t i) {
           lanes_[LaneIndex(q.budget_kind)].pending_bytes -= q.budget_bytes;
         }
       }
+      p.service_local = p.service_local && q.service_local;
       for (Completion& cb : q.subscribers) p.subscribers.push_back(std::move(cb));
       cross_request_merges_->Add(1);
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(j));
@@ -734,6 +748,7 @@ void BatchScheduler::Flush() {
     op.dest = std::span<uint8_t>(read->buf->data(), read->buf->size());
     op.merged_reads = std::max<uint32_t>(1, p.rows);
     op.bytes_saved = p.per_row_bus > bus ? p.per_row_bus - bus : 0;
+    op.service_local = p.service_local;
     op.cb = [this, read](Status status, SimDuration /*lat*/) {
       CompleteRead(read, std::move(status));
     };
@@ -774,7 +789,12 @@ void BatchScheduler::SettleRead(const std::shared_ptr<InFlightRead>& read,
   if (read->budget_bytes > 0) {
     lanes_[LaneIndex(read->budget_kind)].inflight_bytes -= read->budget_bytes;
   }
-  if (status.ok() && read->kind == Kind::kDemand) {
+  // Hedge accounting: exactly ONE sample per logical demand read enters the
+  // p99 population — the winner's. A losing original finds the read settled
+  // (CompleteRead's early return) and records nothing; a replica-served win
+  // is excluded outright, since its latency describes the replica's device,
+  // not the one this scheduler's hedge threshold watches.
+  if (status.ok() && read->kind == Kind::kDemand && !read->suppress_latency_sample) {
     demand_latency_.Record(loop_->Now() - read->issued_at);
   }
   for (Completion& cb : read->subscribers) {
@@ -822,11 +842,27 @@ void BatchScheduler::MaybeHedge(const std::shared_ptr<InFlightRead>& read) {
   hedges_issued_->Add(1);
   const Bytes length = read->span_end - read->span_begin;
   read->hedge_buf = arena_->Acquire(read->buf->size());
-  engine_->SubmitRead(read->span_begin, length, read->sub_block,
-                      std::span<uint8_t>(read->hedge_buf->data(), read->hedge_buf->size()),
-                      [this, read](Status status, SimDuration /*lat*/) {
-                        CompleteHedge(read, std::move(status));
-                      });
+  // Cross-replica hedging: when the span has a healthy replica, the
+  // duplicate goes THERE — a slow primary is often slow (or sick) for every
+  // read, so re-queueing on it mostly doubles its load. The replica holds
+  // byte-identical content at a block-aligned shift, so the hedge buffer
+  // still maps subscribers' primary-space offsets via read->base.
+  IoEngine* engine = engine_;
+  Bytes offset = read->span_begin;
+  if (replica_peer_fn_) {
+    if (const auto peer = replica_peer_fn_(read->span_begin, read->span_end);
+        peer.has_value()) {
+      engine = peer->engine;
+      offset = static_cast<Bytes>(static_cast<int64_t>(read->span_begin) + peer->shift);
+      read->hedge_on_replica = true;
+      replica_hedges_->Add(1);
+    }
+  }
+  engine->SubmitRead(offset, length, read->sub_block,
+                     std::span<uint8_t>(read->hedge_buf->data(), read->hedge_buf->size()),
+                     [this, read](Status status, SimDuration /*lat*/) {
+                       CompleteHedge(read, std::move(status));
+                     });
 }
 
 void BatchScheduler::CompleteHedge(const std::shared_ptr<InFlightRead>& read,
@@ -842,6 +878,10 @@ void BatchScheduler::CompleteHedge(const std::shared_ptr<InFlightRead>& read,
     return;
   }
   hedges_won_->Add(1);
+  if (read->hedge_on_replica) {
+    replica_hedge_wins_->Add(1);
+    read->suppress_latency_sample = true;
+  }
   SettleRead(read, status, read->hedge_buf->data());
   read->hedge_buf.reset();
   // read->buf stays held for the original's late completion (see

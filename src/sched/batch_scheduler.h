@@ -71,6 +71,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/event_loop.h"
@@ -101,6 +102,7 @@ struct CrossRequestIoStats {
   uint64_t deadline_expired = 0;  ///< reads abandoned past the IO deadline
   uint64_t hedges_issued = 0;     ///< duplicate reads submitted for slow IOs
   uint64_t hedges_won = 0;        ///< hedges that delivered before the original
+  uint64_t replica_hedges = 0;    ///< hedges routed to a replica device
   /// Mean SQEs (all lanes) per ring doorbell (0 when no doorbell rang yet).
   [[nodiscard]] double BatchOccupancy() const {
     return flushes == 0 ? 0
@@ -209,6 +211,11 @@ class BatchScheduler {
     uint32_t rows = 0;
     /// Bus bytes the per-row path would have moved for those rows.
     Bytes per_row_bus = 0;
+    /// Both endpoints of this read live on the device side (e.g. a
+    /// re-replication copy chunk): on a fabric-attached stack the SQE and
+    /// its payload never cross the host fabric. Cleared if any serving-path
+    /// request merges into the same SQE — its payload must reach a host.
+    bool service_local = false;
     Completion cb;
   };
 
@@ -231,6 +238,29 @@ class BatchScheduler {
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   Admission Enqueue(ReadRequest req);
+
+  /// Cross-replica hedging (self-healing layer, src/fault): where a slow
+  /// demand read's duplicate may go instead of the same — possibly sick —
+  /// device. `shift` is the block-aligned offset delta from primary space
+  /// to the replica's bytes on `engine`'s device.
+  struct ReplicaPeer {
+    IoEngine* engine = nullptr;
+    int64_t shift = 0;
+  };
+  /// Installs the span -> replica resolver consulted at hedge time; the
+  /// default (none) hedges on this scheduler's own engine as before.
+  void set_replica_peer(
+      std::function<std::optional<ReplicaPeer>(Bytes begin, Bytes end)> fn) {
+    replica_peer_fn_ = std::move(fn);
+  }
+
+  /// Demand-read latency samples recorded so far. Exactly one sample lands
+  /// per successful logical demand read — the winner of a hedge race, and
+  /// never a replica-served hedge (whose latency would pollute THIS
+  /// device's p99 estimate that arms the hedge timer).
+  [[nodiscard]] uint64_t demand_latency_samples() const {
+    return demand_latency_.count();
+  }
 
   /// Whether a demand run with this shape would be admitted WITHOUT a new
   /// device read (joined or merged into existing pending/in-flight work).
@@ -301,6 +331,9 @@ class BatchScheduler {
     Kind budget_kind = Kind::kDemand;
     uint32_t rows = 0;
     Bytes per_row_bus = 0;
+    /// AND of every participant's ReadRequest::service_local: the SQE may
+    /// skip the host fabric only if NO subscriber needs the payload host-side.
+    bool service_local = false;
     std::vector<Completion> subscribers;
   };
 
@@ -318,6 +351,10 @@ class BatchScheduler {
     SimTime issued_at;       ///< doorbell time (deadline/hedge anchors)
     bool expired = false;    ///< deadline fired; subscribers already served
     bool hedged = false;     ///< a duplicate submission is in flight
+    bool hedge_on_replica = false;  ///< the duplicate went to a replica device
+    /// Set when a replica-served hedge wins: its latency reflects the OTHER
+    /// device and must not enter this scheduler's demand-p99 population.
+    bool suppress_latency_sample = false;
     std::shared_ptr<BufferArena::Buffer> buf;
     /// The hedge's own bounce buffer: the original device read may still
     /// land in `buf` (the device memcpy targets it at dispatch), so the
@@ -443,6 +480,10 @@ class BatchScheduler {
   Counter* deadline_expired_ = nullptr;
   Counter* hedges_issued_ = nullptr;
   Counter* hedges_won_ = nullptr;
+  Counter* replica_hedges_ = nullptr;
+  Counter* replica_hedge_wins_ = nullptr;
+
+  std::function<std::optional<ReplicaPeer>(Bytes, Bytes)> replica_peer_fn_;
 
   /// Observed demand-read completion latency (doorbell -> delivery), the
   /// population behind the adaptive hedge threshold.

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "fault/replication_manager.h"
 #include "serving/arrival_loop.h"
 #include "serving/sharded_cluster.h"
 
@@ -211,6 +212,8 @@ DisaggregatedRunReport ClusterSimulation::RunDisaggregated(double total_qps,
     uint64_t cache_miss0 = 0;
     TenantIoShare share0;
     SimDuration queue_time0;
+    uint64_t replica0 = 0;
+    uint64_t repairs0 = 0;
   };
   std::vector<Snapshot> snaps(n);
   for (size_t i = 0; i < n; ++i) {
@@ -220,11 +223,17 @@ DisaggregatedRunReport ClusterSimulation::RunDisaggregated(double total_qps,
     }
     snaps[i].share0 = fabric_->host_io_share(dhosts_[i].id);
     snaps[i].queue_time0 = fabric_->host_throttle_queue_time(dhosts_[i].id);
+    snaps[i].replica0 = dhosts_[i].engine->lookups().stats().CounterValue("replica_reads");
+    snaps[i].repairs0 = dhosts_[i].engine->lookups().stats().CounterValue("read_repairs");
   }
   uint64_t sm_reads0 = 0;
+  uint64_t corrupt0 = 0;
   for (size_t d = 0; d < service.device_count(); ++d) {
     sm_reads0 += service.device(d).stats().CounterValue("reads");
+    corrupt0 += service.device(d).stats().CounterValue("blocks_corrupt");
   }
+  const ReplicationManager* repl = service.replication();
+  const uint64_t replicated0 = repl != nullptr ? repl->extents_replicated() : 0;
   const CrossRequestIoStats io0 = service.cross_request_io_stats();
   const FabricLinkStats fab0 = fabric_->fabric_stats();
 
@@ -268,6 +277,14 @@ DisaggregatedRunReport ClusterSimulation::RunDisaggregated(double total_qps,
     hr.run.rows_failed = st.rows_failed;
     report.queries_degraded += st.degraded;
     report.rows_failed += st.rows_failed;
+    hr.run.replica_reads =
+        dhosts_[i].engine->lookups().stats().CounterValue("replica_reads") -
+        snaps[i].replica0;
+    hr.run.read_repairs =
+        dhosts_[i].engine->lookups().stats().CounterValue("read_repairs") -
+        snaps[i].repairs0;
+    report.replica_reads += hr.run.replica_reads;
+    report.read_repairs += hr.run.read_repairs;
     hr.share = fabric_->host_io_share(dhosts_[i].id).Since(snaps[i].share0);
     hr.run.singleflight_hits = hr.share.singleflight_hits;
     hr.throttle_queue_time =
@@ -285,10 +302,14 @@ DisaggregatedRunReport ClusterSimulation::RunDisaggregated(double total_qps,
 
   report.sm_unique_bytes = service.sm_used_bytes();
   uint64_t sm_reads1 = 0;
+  uint64_t corrupt1 = 0;
   for (size_t d = 0; d < service.device_count(); ++d) {
     sm_reads1 += service.device(d).stats().CounterValue("reads");
+    corrupt1 += service.device(d).stats().CounterValue("blocks_corrupt");
   }
   report.sm_device_reads = sm_reads1 - sm_reads0;
+  report.blocks_corrupt = corrupt1 - corrupt0;
+  if (repl != nullptr) report.extents_replicated = repl->extents_replicated() - replicated0;
   report.io = service.cross_request_io_stats().Since(io0);
   const FabricLinkStats fab1 = fabric_->fabric_stats();
   report.fabric.requests = fab1.requests - fab0.requests;
@@ -302,12 +323,12 @@ DisaggregatedRunReport ClusterSimulation::RunDisaggregated(double total_qps,
 }
 
 std::string DisaggregatedRunReport::Summary() const {
-  char buf[448];
+  char buf[560];
   std::snprintf(
       buf, sizeof(buf),
       "hosts=%zu qps=%.0f hit=%.1f%% reads=%llu sf=%llu xhost=%llu dedup=%.1fMiB "
       "fabric=%.1fMiB(resp) fq=%.0fus occ=%.1f drop=%llu part=%llu ddl=%llu "
-      "hedge=%llu/%llu deg=%llu rowsf=%llu",
+      "hedge=%llu/%llu deg=%llu rowsf=%llu rot=%llu rrd=%llu rep=%llu xrep=%llu",
       hosts.size(), aggregate_qps, mean_hit_rate * 100,
       static_cast<unsigned long long>(sm_device_reads),
       static_cast<unsigned long long>(io.singleflight_hits),
@@ -320,7 +341,11 @@ std::string DisaggregatedRunReport::Summary() const {
       static_cast<unsigned long long>(io.hedges_won),
       static_cast<unsigned long long>(io.hedges_issued),
       static_cast<unsigned long long>(queries_degraded),
-      static_cast<unsigned long long>(rows_failed));
+      static_cast<unsigned long long>(rows_failed),
+      static_cast<unsigned long long>(blocks_corrupt),
+      static_cast<unsigned long long>(read_repairs),
+      static_cast<unsigned long long>(replica_reads),
+      static_cast<unsigned long long>(extents_replicated));
   return buf;
 }
 

@@ -110,6 +110,11 @@ struct DisaggregatedRunReport {
   // ---- Robustness (src/fault), this run only ----
   uint64_t queries_degraded = 0;  ///< completed queries with zero-filled rows
   uint64_t rows_failed = 0;       ///< zero-filled rows across the cluster
+  // ---- Self-healing storage (src/fault), this run only ----
+  uint64_t blocks_corrupt = 0;      ///< 4KB blocks failing their checksum
+  uint64_t replica_reads = 0;       ///< demand reads failed over to a replica
+  uint64_t read_repairs = 0;        ///< terminally-failed reads served from a replica
+  uint64_t extents_replicated = 0;  ///< extents re-replicated off sick endpoints
 
   [[nodiscard]] std::string Summary() const;
 };

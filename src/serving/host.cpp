@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "fault/replication_manager.h"
 
 namespace sdm {
 
@@ -158,12 +159,18 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
   const uint64_t lk_retries0 = engine_->lookups().stats().CounterValue("io_retries");
   const uint64_t rows_failed0 = engine_->lookups().stats().CounterValue("rows_failed");
   const uint64_t shed0 = engine_->lookups().stats().CounterValue("shed_lookups");
+  const uint64_t replica0 = engine_->lookups().stats().CounterValue("replica_reads");
+  const uint64_t repairs0 = engine_->lookups().stats().CounterValue("read_repairs");
   uint64_t dev_errors0 = 0;
   uint64_t reader_retries0 = 0;
+  uint64_t corrupt0 = 0;
   for (size_t d = 0; d < store_->sm_device_count(); ++d) {
     dev_errors0 += store_->io_engine(d).stats().CounterValue("errors");
     reader_retries0 += store_->reader(d).retries();
+    corrupt0 += store_->sm_device(d).stats().CounterValue("blocks_corrupt");
   }
+  const ReplicationManager* repl = store_->device_service().replication();
+  const uint64_t replicated0 = repl != nullptr ? repl->extents_replicated() : 0;
   // CPU accounting is cumulative across runs; snapshot for per-run deltas.
   uint64_t cpu0 = static_cast<uint64_t>(engine_->lookups().cpu_time().nanos()) +
                   engine_->stats().CounterValue("cpu_ns");
@@ -252,12 +259,17 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
   r.io_retries = engine_->lookups().stats().CounterValue("io_retries") - lk_retries0;
   r.rows_failed = engine_->lookups().stats().CounterValue("rows_failed") - rows_failed0;
   r.lookups_shed = engine_->lookups().stats().CounterValue("shed_lookups") - shed0;
+  r.replica_reads = engine_->lookups().stats().CounterValue("replica_reads") - replica0;
+  r.read_repairs = engine_->lookups().stats().CounterValue("read_repairs") - repairs0;
   for (size_t d = 0; d < store_->sm_device_count(); ++d) {
     r.io_errors += store_->io_engine(d).stats().CounterValue("errors");
     r.reader_retries += store_->reader(d).retries();
+    r.blocks_corrupt += store_->sm_device(d).stats().CounterValue("blocks_corrupt");
   }
   r.io_errors -= dev_errors0;
   r.reader_retries -= reader_retries0;
+  r.blocks_corrupt -= corrupt0;
+  if (repl != nullptr) r.extents_replicated = repl->extents_replicated() - replicated0;
   r.deadline_expired = xreq.deadline_expired;
   r.hedges_issued = xreq.hedges_issued;
   r.hedges_won = xreq.hedges_won;
@@ -310,7 +322,7 @@ std::string HostRunReport::Summary() const {
                 "iops=%.0f amp=%.2f cpu/q=%.0fus sf=%llu xmerge=%llu occ=%.1f "
                 "pf=%llu pfhit=%.1f%% pfwaste=%lluKiB "
                 "err=%llu retry=%llu+%llu ddl=%llu hedge=%llu/%llu deg=%llu "
-                "rowsf=%llu shed=%llu",
+                "rowsf=%llu shed=%llu rot=%llu rrd=%llu rep=%llu xrep=%llu",
                 achieved_qps, offered_qps, p50.millis(), p95.millis(), p99.millis(),
                 row_cache_hit_rate * 100, pooled_hit_rate * 100, sm_iops,
                 sm_read_amplification, avg_cpu_per_query.micros(),
@@ -327,7 +339,11 @@ std::string HostRunReport::Summary() const {
                 static_cast<unsigned long long>(hedges_issued),
                 static_cast<unsigned long long>(queries_degraded),
                 static_cast<unsigned long long>(rows_failed),
-                static_cast<unsigned long long>(lookups_shed));
+                static_cast<unsigned long long>(lookups_shed),
+                static_cast<unsigned long long>(blocks_corrupt),
+                static_cast<unsigned long long>(read_repairs),
+                static_cast<unsigned long long>(replica_reads),
+                static_cast<unsigned long long>(extents_replicated));
   return buf;
 }
 

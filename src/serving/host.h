@@ -96,6 +96,11 @@ struct HostRunReport {
   uint64_t queries_degraded = 0;  ///< completed queries with zero-filled rows
   uint64_t rows_failed = 0;       ///< zero-filled rows across those queries
   uint64_t lookups_shed = 0;      ///< lookups short-circuited by the health monitor
+  // ---- Self-healing storage (src/fault), this run only ----
+  uint64_t blocks_corrupt = 0;      ///< 4KB blocks failing their checksum (bit rot)
+  uint64_t replica_reads = 0;       ///< demand reads failed over to an extent replica
+  uint64_t read_repairs = 0;        ///< terminally-failed reads served from a replica
+  uint64_t extents_replicated = 0;  ///< extents re-replicated off sick endpoints
   SimDuration avg_cpu_per_query;
   /// Max QPS one host CPU-second supports (1 / cpu_per_query); the compute
   /// term of Eq. 5.

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "core/model_loader.h"
+#include "fault/replication_manager.h"
 
 namespace sdm {
 
@@ -147,6 +148,34 @@ Status ShardedClusterRuntime::LoadModel(const ModelConfig& model) {
     WorkloadConfig wcfg = base_config_.workload;
     wcfg.seed = base_config_.workload.seed ^ Mix64(0x7e0a + i);
     h.workload = std::make_unique<QueryGenerator>(model, wcfg);
+
+    // Self-healing control plane: health is observed HOST-side (the slice's
+    // monitor scores this host's completions), but re-replication runs on
+    // the device shard, which owns the media. A sickness edge crosses the
+    // fabric as a control message — one lookahead-respecting post, like any
+    // doorbell.
+    if (base_config_.tuning.enable_replication) {
+      const size_t host_lp = 1 + i;
+      h.slice->health().SetSickTransitionListener([this, host_lp](size_t endpoint) {
+        runtime_.Post(host_lp, kDeviceLp,
+                      runtime_.loop(host_lp).Now() + base_config_.tuning.fabric_latency,
+                      [this, endpoint] {
+                        stack_->replication()->OnEndpointSick(endpoint);
+                      });
+      });
+    }
+  }
+
+  // Published replica routes propagate back to every host slice the same
+  // way (device LP -> host LPs), so failover decisions stay shard-local.
+  if (ReplicationManager* repl = stack_->replication(); repl != nullptr) {
+    repl->SetPublishHook([this](uint64_t id, SharedDeviceService::ReplicaLocation loc) {
+      for (size_t i = 0; i < hosts_.size(); ++i) {
+        runtime_.Post(kDeviceLp, 1 + i,
+                      runtime_.loop(kDeviceLp).Now() + base_config_.tuning.fabric_latency,
+                      [this, i, id, loc] { hosts_[i].slice->AddReplicaRoute(id, loc); });
+      }
+    });
   }
   loaded_ = true;
   return Status::Ok();
@@ -229,12 +258,12 @@ size_t ShardedClusterRuntime::RouteTarget(size_t source, UserId user) const {
 }
 
 CrossRequestIoStats ShardedClusterRuntime::SliceIoStats() const {
-  // Scheduler effectiveness lives host-side in sharded mode; the device
-  // stack's own (idle) schedulers contribute nothing.
+  // Scheduler effectiveness lives host-side in sharded mode — plus the
+  // device stack's own schedulers, idle except for the self-healing layer's
+  // re-replication copy chunks riding their background lanes (included so
+  // the single-loop oracle sees the same flush/background totals).
   CrossRequestIoStats agg;
-  for (const HostShard& h : hosts_) {
-    if (h.slice == nullptr) continue;
-    const CrossRequestIoStats one = h.slice->cross_request_io_stats();
+  auto add = [&agg](const CrossRequestIoStats& one) {
     agg.device_reads += one.device_reads;
     agg.cross_request_merges += one.cross_request_merges;
     agg.singleflight_hits += one.singleflight_hits;
@@ -249,7 +278,12 @@ CrossRequestIoStats ShardedClusterRuntime::SliceIoStats() const {
     agg.deadline_expired += one.deadline_expired;
     agg.hedges_issued += one.hedges_issued;
     agg.hedges_won += one.hedges_won;
+  };
+  for (const HostShard& h : hosts_) {
+    if (h.slice == nullptr) continue;
+    add(h.slice->cross_request_io_stats());
   }
+  add(stack_->cross_request_io_stats());
   return agg;
 }
 
@@ -288,6 +322,8 @@ DisaggregatedRunReport ShardedClusterRuntime::Run(double total_qps,
     SimDuration queue_time0;
     uint64_t xhost_hits0 = 0;
     Bytes xhost_bytes0 = 0;
+    uint64_t replica0 = 0;
+    uint64_t repairs0 = 0;
   };
   std::vector<Snapshot> snaps(n);
   for (size_t i = 0; i < n; ++i) {
@@ -299,11 +335,19 @@ DisaggregatedRunReport ShardedClusterRuntime::Run(double total_qps,
     snaps[i].queue_time0 = hosts_[i].slice->throttle_queue_time(0);
     snaps[i].xhost_hits0 = endpoint_->cross_host_hits(i);
     snaps[i].xhost_bytes0 = endpoint_->cross_host_bytes_saved(i);
+    snaps[i].replica0 =
+        hosts_[i].engine->lookups().stats().CounterValue("replica_reads");
+    snaps[i].repairs0 =
+        hosts_[i].engine->lookups().stats().CounterValue("read_repairs");
   }
   uint64_t sm_reads0 = 0;
+  uint64_t corrupt0 = 0;
   for (size_t d = 0; d < stack_->device_count(); ++d) {
     sm_reads0 += stack_->device(d).stats().CounterValue("reads");
+    corrupt0 += stack_->device(d).stats().CounterValue("blocks_corrupt");
   }
+  const ReplicationManager* repl = stack_->replication();
+  const uint64_t replicated0 = repl != nullptr ? repl->extents_replicated() : 0;
   const CrossRequestIoStats io0 = SliceIoStats();
   const FabricLinkStats fab0 = FabricStats();
 
@@ -388,6 +432,14 @@ DisaggregatedRunReport ShardedClusterRuntime::Run(double total_qps,
     hr.run.rows_failed = st.rows_failed;
     report.queries_degraded += st.degraded;
     report.rows_failed += st.rows_failed;
+    hr.run.replica_reads =
+        hosts_[i].engine->lookups().stats().CounterValue("replica_reads") -
+        snaps[i].replica0;
+    hr.run.read_repairs =
+        hosts_[i].engine->lookups().stats().CounterValue("read_repairs") -
+        snaps[i].repairs0;
+    report.replica_reads += hr.run.replica_reads;
+    report.read_repairs += hr.run.read_repairs;
     hr.share = hosts_[i].slice->tenant_io_share(0).Since(snaps[i].share0);
     // Cross-host joins happen at the device endpoint in sharded mode (the
     // slice scheduler only sees this host); overlay its ledger so the
@@ -411,10 +463,14 @@ DisaggregatedRunReport ShardedClusterRuntime::Run(double total_qps,
 
   report.sm_unique_bytes = stack_->sm_used_bytes();
   uint64_t sm_reads1 = 0;
+  uint64_t corrupt1 = 0;
   for (size_t d = 0; d < stack_->device_count(); ++d) {
     sm_reads1 += stack_->device(d).stats().CounterValue("reads");
+    corrupt1 += stack_->device(d).stats().CounterValue("blocks_corrupt");
   }
   report.sm_device_reads = sm_reads1 - sm_reads0;
+  report.blocks_corrupt = corrupt1 - corrupt0;
+  if (repl != nullptr) report.extents_replicated = repl->extents_replicated() - replicated0;
   report.io = SliceIoStats().Since(io0);
   const FabricLinkStats fab1 = FabricStats();
   report.fabric.requests = fab1.requests - fab0.requests;

@@ -1,10 +1,12 @@
 #include "tenant/shared_device_service.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "fault/fault_injector.h"
+#include "fault/replication_manager.h"
 
 namespace sdm {
 
@@ -46,6 +48,10 @@ SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* l
       }
       sm_.push_back(std::make_unique<NvmeDevice>(spec, config_.sm_backing_bytes[i],
                                                  loop_, rng.Next()));
+      // Per-4KB-block checksums, stamped at write and verified at
+      // bounce-buffer fill (self-healing integrity layer). Off = byte-
+      // identical device behaviour.
+      if (config_.tuning.enable_checksums) sm_.back()->set_checksums(true);
     }
     IoEngineConfig ecfg;
     ecfg.queue_depth = config_.tuning.io_queue_depth;
@@ -88,6 +94,121 @@ SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* l
   hcfg.window = config_.tuning.health_window;
   hcfg.probe_interval = config_.tuning.health_probe_interval;
   health_ = std::make_unique<HealthMonitor>(hcfg, ports);
+
+  if (config_.tuning.enable_replication) {
+    // Cross-replica hedging: a scheduler whose demand read crosses its p99
+    // deadline may hedge onto the span's replica instead of re-queueing on
+    // the (possibly sick) primary.
+    for (size_t i = 0; i < schedulers_.size(); ++i) {
+      schedulers_[i]->set_replica_peer(
+          [this, i](Bytes begin, Bytes end)
+              -> std::optional<BatchScheduler::ReplicaPeer> {
+            const auto route = ReplicaRouteForSpan(i, begin, end);
+            if (!route.has_value()) return std::nullopt;
+            return BatchScheduler::ReplicaPeer{engines_[route->device].get(),
+                                               route->shift};
+          });
+    }
+    if (!remote()) {
+      // The stack owns the devices, so it owns the re-replication engine;
+      // sharded slices instead forward their sickness transitions to the
+      // device shard's manager (src/serving wires that path).
+      replication_ = std::make_unique<ReplicationManager>(this, loop_);
+      health_->SetSickTransitionListener(
+          [this](size_t endpoint) { replication_->OnEndpointSick(endpoint); });
+    }
+  }
+}
+
+SharedDeviceService::~SharedDeviceService() = default;
+
+void SharedDeviceService::RecordExtentDemand(uint64_t id) {
+  if (id == 0) return;
+  if (auto it = extent_infos_.find(id); it != extent_infos_.end()) ++it->second.heat;
+}
+
+std::optional<SharedDeviceService::ReplicaRoute> SharedDeviceService::FindReplicaRoute(
+    uint64_t id, size_t avoid_device) const {
+  const auto it = extent_infos_.find(id);
+  if (it == extent_infos_.end()) return std::nullopt;
+  for (const ReplicaLocation& loc : it->second.replicas) {
+    if (loc.device == avoid_device || health_->Sick(loc.device)) continue;
+    return ReplicaRoute{loc.device, static_cast<int64_t>(loc.offset) -
+                                        static_cast<int64_t>(it->second.offset)};
+  }
+  return std::nullopt;
+}
+
+void SharedDeviceService::AddReplicaRoute(uint64_t id, ReplicaLocation loc) {
+  if (auto it = extent_infos_.find(id); it != extent_infos_.end()) {
+    it->second.replicas.push_back(loc);
+  }
+}
+
+std::vector<uint64_t> SharedDeviceService::HottestExtentsOn(size_t device,
+                                                            size_t max) const {
+  std::vector<std::pair<uint64_t, uint64_t>> heat_id;  // (heat, id)
+  for (const auto& [id, info] : extent_infos_) {
+    if (info.device != device || !info.replicas.empty()) continue;
+    heat_id.emplace_back(info.heat, id);
+  }
+  std::sort(heat_id.begin(), heat_id.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  std::vector<uint64_t> out;
+  for (const auto& [heat, id] : heat_id) {
+    if (out.size() >= max) break;
+    out.push_back(id);
+  }
+  return out;
+}
+
+Result<size_t> SharedDeviceService::FindReplicaTarget(size_t source) const {
+  std::optional<size_t> best;
+  for (size_t i = 0; i < sm_.size(); ++i) {
+    if (i == source || health_->Sick(i)) continue;
+    if (!best.has_value() || sm_used_[i] < sm_used_[*best]) best = i;
+  }
+  if (!best.has_value()) {
+    return ResourceExhaustedError("no healthy replica target device available");
+  }
+  return *best;
+}
+
+Result<SharedDeviceService::ReplicaLocation> SharedDeviceService::AllocateReplica(
+    uint64_t id, size_t target) {
+  assert(!remote() && "replica space lives on the device-owning stack");
+  const auto it = extent_infos_.find(id);
+  if (it == extent_infos_.end()) return NotFoundError("unknown extent id");
+  const ExtentInfo& info = it->second;
+  // Round the bump cursor up to the next offset congruent with the primary
+  // offset mod kBlockSize: routed spans then shift by a whole number of
+  // blocks and keep their block geometry (and checksum block boundaries).
+  const Bytes base = sm_used_[target];
+  const Bytes want = info.offset % kBlockSize;
+  const Bytes off = base + (want + kBlockSize - base % kBlockSize) % kBlockSize;
+  if (off + info.size > sm_[target]->backing_size()) {
+    return ResourceExhaustedError("replica target device over-committed");
+  }
+  sm_used_[target] = off + info.size;
+  return ReplicaLocation{target, off};
+}
+
+std::optional<SharedDeviceService::ExtentSpan> SharedDeviceService::ExtentInfoFor(
+    uint64_t id) const {
+  const auto it = extent_infos_.find(id);
+  if (it == extent_infos_.end()) return std::nullopt;
+  return ExtentSpan{it->second.device, it->second.offset, it->second.size};
+}
+
+std::optional<SharedDeviceService::ReplicaRoute> SharedDeviceService::ReplicaRouteForSpan(
+    size_t device, Bytes begin, Bytes end) const {
+  for (const auto& [id, info] : extent_infos_) {
+    if (info.device != device || info.replicas.empty()) continue;
+    if (begin < info.offset || end > info.offset + info.size) continue;
+    return FindReplicaRoute(id, device);
+  }
+  return std::nullopt;
 }
 
 void SharedDeviceService::InstallFaultInjector(FaultInjector* injector) {
@@ -108,7 +229,17 @@ Result<SharedDeviceService::Extent> SharedDeviceService::PlaceTable(
     // registry; place there under this HOST's identity so replicas dedup
     // across hosts exactly like the single-loop path. Load-time only.
     (void)tenant;  // the local single-tenant id; the stack keys on the host
-    return config_.remote.stack->PlaceTable(config_.remote.tenant, table_name, bytes);
+    auto placed =
+        config_.remote.stack->PlaceTable(config_.remote.tenant, table_name, bytes);
+    if (placed.ok() && placed.value().id != 0) {
+      // Mirror the extent into this slice's private routing view (load-time
+      // only); replica routes arrive later as cross-shard AddReplicaRoute
+      // posts, and demand heat accrues here, never on the stack.
+      const Extent& e = placed.value();
+      extent_infos_.try_emplace(e.id,
+                                ExtentInfo{e.device, e.offset, bytes.size(), 0, {}});
+    }
+    return placed;
   }
   if (sm_.empty()) return FailedPreconditionError("no SM devices configured");
 
@@ -144,6 +275,9 @@ Result<SharedDeviceService::Extent> SharedDeviceService::PlaceTable(
   auto wrote = sm_[best]->Write(ext.offset, bytes);
   if (!wrote.ok()) return wrote.status();
   ext.write_time = wrote.value();
+  ext.id = next_extent_id_++;
+  extent_infos_.emplace(ext.id,
+                        ExtentInfo{ext.device, ext.offset, bytes.size(), 0, {}});
   sm_used_[best] += bytes.size();
   // A same-tenant duplicate (owner re-placing an identical table) keeps its
   // fresh extent PRIVATE: the registry entry — and any co-tenants attached

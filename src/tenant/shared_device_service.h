@@ -39,8 +39,10 @@
 // service must outlive every attached store.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <span>
 #include <string>
@@ -62,6 +64,7 @@ namespace sdm {
 
 class FaultInjector;
 class RemoteDeviceChannel;
+class ReplicationManager;
 class SharedDeviceService;
 
 struct SharedDeviceConfig {
@@ -104,9 +107,12 @@ class SharedDeviceService {
     /// wrote (no new device space, no write time).
     bool shared = false;
     SimDuration write_time;
+    /// Registry id for replica routing and demand heat (0 = untracked).
+    uint64_t id = 0;
   };
 
   SharedDeviceService(SharedDeviceConfig config, EventLoop* loop);
+  ~SharedDeviceService();
 
   SharedDeviceService(const SharedDeviceService&) = delete;
   SharedDeviceService& operator=(const SharedDeviceService&) = delete;
@@ -132,6 +138,66 @@ class SharedDeviceService {
   /// name, otherwise allocates on the least-filled device and writes.
   [[nodiscard]] Result<Extent> PlaceTable(TenantId tenant, const std::string& table_name,
                                           std::span<const uint8_t> bytes);
+
+  // ---- Self-healing: extent heat, replicas, routing (src/fault) ------------
+
+  /// One replica of an extent's bytes on another device. Replica offsets
+  /// preserve the primary offset modulo the 4KB block, so routing a span to
+  /// its replica is a block-aligned shift.
+  struct ReplicaLocation {
+    size_t device = 0;
+    Bytes offset = 0;
+  };
+  /// A routable replica: read the primary-space span shifted by `shift`
+  /// (always a multiple of kBlockSize) on `device`.
+  struct ReplicaRoute {
+    size_t device = 0;
+    int64_t shift = 0;
+  };
+  /// Where an extent's primary bytes live (the ReplicationManager's copy
+  /// source).
+  struct ExtentSpan {
+    size_t device = 0;
+    Bytes offset = 0;
+    Bytes size = 0;
+  };
+
+  /// Bumps demand heat on extent `id` (no-op for 0/unknown). Lookup engines
+  /// call this once per lookup that reaches the IO phase; the heat ranking
+  /// decides which extents a sick endpoint re-replicates first. On a
+  /// sharded slice this records into the SLICE's private view — serving
+  /// threads never touch the device shard's registry.
+  void RecordExtentDemand(uint64_t id);
+
+  /// Healthiest replica route for `id` avoiding `avoid_device`; nullopt
+  /// when the extent has no replica on a non-sick device.
+  [[nodiscard]] std::optional<ReplicaRoute> FindReplicaRoute(uint64_t id,
+                                                             size_t avoid_device) const;
+
+  /// Publishes a replica of `id` at `loc` so FindReplicaRoute can reach it.
+  /// Unknown ids are ignored (a sharded slice only tracks extents its own
+  /// host placed or attached to).
+  void AddReplicaRoute(uint64_t id, ReplicaLocation loc);
+
+  /// Extent ids resident on `device`, hottest demand first (ties broken by
+  /// id for determinism); extents that already have a replica are excluded.
+  [[nodiscard]] std::vector<uint64_t> HottestExtentsOn(size_t device, size_t max) const;
+
+  /// Least-filled non-sick device other than `source` — the replica target.
+  [[nodiscard]] Result<size_t> FindReplicaTarget(size_t source) const;
+
+  /// Bump-allocates space for a replica of `id` on `target`, preserving the
+  /// primary offset modulo the block size (routed spans keep their block
+  /// geometry). Local stacks only. Does not publish the route — the
+  /// ReplicationManager does, after the copy lands.
+  [[nodiscard]] Result<ReplicaLocation> AllocateReplica(uint64_t id, size_t target);
+
+  /// Primary span of extent `id` (copy source for re-replication).
+  [[nodiscard]] std::optional<ExtentSpan> ExtentInfoFor(uint64_t id) const;
+
+  /// The re-replication engine (nullptr unless this is a local stack with
+  /// tuning.enable_replication).
+  [[nodiscard]] ReplicationManager* replication() { return replication_.get(); }
 
   // ---- Device stack --------------------------------------------------------
 
@@ -197,6 +263,21 @@ class SharedDeviceService {
     Extent extent;
     std::set<TenantId> owners;  ///< tenants attached to these bytes
   };
+  /// Replica-routing view of one placed extent. Local stacks hold the
+  /// authoritative registry; sharded slices mirror entries for the extents
+  /// their host placed (routes arrive via AddReplicaRoute posts).
+  struct ExtentInfo {
+    size_t device = 0;
+    Bytes offset = 0;
+    Bytes size = 0;
+    uint64_t heat = 0;  ///< lookups that reached the IO phase on this extent
+    std::vector<ReplicaLocation> replicas;
+  };
+
+  /// Replica-aware hedge target for a span on `device` (installed on the
+  /// schedulers when replication is enabled).
+  [[nodiscard]] std::optional<ReplicaRoute> ReplicaRouteForSpan(size_t device, Bytes begin,
+                                                                Bytes end) const;
 
   SharedDeviceConfig config_;
   EventLoop* loop_;
@@ -214,6 +295,9 @@ class SharedDeviceService {
   std::vector<Bytes> sm_used_;  // per-device bump allocator
   std::map<ExtentKey, ExtentEntry> extents_;
   Bytes dedup_saved_ = 0;
+  uint64_t next_extent_id_ = 1;
+  std::map<uint64_t, ExtentInfo> extent_infos_;
+  std::unique_ptr<ReplicationManager> replication_;
 };
 
 }  // namespace sdm

@@ -467,6 +467,86 @@ TEST(BatchScheduler, HedgeRescuesAFailSlowRead) {
   EXPECT_EQ(rig.DeviceReads(), 8u);  // 6 primes + original + hedge
 }
 
+TEST(BatchScheduler, HedgeRaceContributesExactlyOneLatencySample) {
+  BatchSchedulerConfig cfg;
+  cfg.cross_request = true;
+  cfg.max_batch_delay = SimDuration(0);
+  cfg.hedge_latency_factor = 2.0;
+  cfg.hedge_min_samples = 4;
+  SchedulerRig rig(cfg);
+
+  int ok = 0;
+  for (int i = 0; i < 6; ++i) {
+    const Bytes begin = static_cast<Bytes>(i) * kBlockSize + 100;
+    (void)rig.sched->Enqueue(rig.Request(begin, begin + 100, &ok));
+    rig.loop.RunUntilIdle();
+  }
+  ASSERT_EQ(ok, 6);
+  ASSERT_EQ(rig.sched->demand_latency_samples(), 6u);
+
+  FaultPlan plan;
+  plan.FailSlow(rig.loop.Now(), rig.loop.Now() + Micros(1), /*multiplier=*/500.0);
+  FaultInjector injector(plan, &rig.loop, /*seed=*/99);
+  rig.device->set_fault_injector(&injector, 0);
+
+  (void)rig.sched->Enqueue(rig.Request(10 * kBlockSize + 100, 10 * kBlockSize + 200, &ok));
+  rig.loop.RunUntilIdle();
+  ASSERT_EQ(ok, 7);
+  ASSERT_EQ(rig.sched->stats().CounterValue("hedges_won"), 1u);
+  // One logical read, two device attempts: the race lands exactly ONE
+  // latency sample (the winner's). Double-sampling would drag the hedge
+  // timer's own p99 estimate toward the duplicates it creates.
+  EXPECT_EQ(rig.sched->demand_latency_samples(), 7u);
+}
+
+TEST(BatchScheduler, ReplicaHedgeWinsWithoutPollutingLatencyStats) {
+  BatchSchedulerConfig cfg;
+  cfg.cross_request = true;
+  cfg.max_batch_delay = SimDuration(0);
+  cfg.hedge_latency_factor = 2.0;
+  cfg.hedge_min_samples = 4;
+  SchedulerRig rig(cfg);
+
+  // A replica device holding byte-identical content at shift 0.
+  NvmeDevice replica(MakeOptaneSsdSpec(), 64 * kKiB, &rig.loop, 2);
+  std::vector<uint8_t> image(64 * kKiB);
+  for (size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<uint8_t>((i * 7 + 3) & 0xFF);
+  }
+  ASSERT_TRUE(replica.Write(0, image).ok());
+  IoEngine replica_engine(&replica, &rig.loop, IoEngineConfig{});
+  rig.sched->set_replica_peer([&](Bytes, Bytes) {
+    return std::optional<BatchScheduler::ReplicaPeer>(
+        BatchScheduler::ReplicaPeer{&replica_engine, 0});
+  });
+
+  int ok = 0;
+  for (int i = 0; i < 6; ++i) {
+    const Bytes begin = static_cast<Bytes>(i) * kBlockSize + 100;
+    (void)rig.sched->Enqueue(rig.Request(begin, begin + 100, &ok));
+    rig.loop.RunUntilIdle();
+  }
+  ASSERT_EQ(ok, 6);
+
+  // The primary stays 500x slow for the whole race; the hedge goes to the
+  // healthy replica and wins.
+  FaultPlan plan;
+  plan.FailSlow(rig.loop.Now(), rig.loop.Now() + Millis(100), /*multiplier=*/500.0);
+  FaultInjector injector(plan, &rig.loop, /*seed=*/7);
+  rig.device->set_fault_injector(&injector, 0);
+
+  (void)rig.sched->Enqueue(rig.Request(10 * kBlockSize + 100, 10 * kBlockSize + 200, &ok));
+  rig.loop.RunUntilIdle();
+  ASSERT_EQ(ok, 7);
+  EXPECT_EQ(rig.sched->stats().CounterValue("replica_hedges"), 1u);
+  EXPECT_EQ(rig.sched->stats().CounterValue("replica_hedge_wins"), 1u);
+  EXPECT_EQ(rig.sched->stats().CounterValue("hedges_won"), 1u);
+  EXPECT_EQ(replica.stats().CounterValue("reads"), 1u);
+  // A replica-served win records NO sample: its latency describes the
+  // replica, and feeding it back would disarm THIS device's hedge timer.
+  EXPECT_EQ(rig.sched->demand_latency_samples(), 6u);
+}
+
 // ---------------------------------------------------------------------------
 // LookupEngine integration.
 // ---------------------------------------------------------------------------

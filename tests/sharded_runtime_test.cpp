@@ -171,12 +171,13 @@ ModelConfig ShardedModel() {
 DisaggregatedRunReport RunCluster(size_t hosts, const HostSimConfig& cfg,
                                   RoutingPolicy policy, size_t num_shards,
                                   double qps, uint64_t queries,
-                                  const FaultPlan* plan = nullptr) {
+                                  const FaultPlan* plan = nullptr,
+                                  const ModelConfig* model = nullptr) {
   DisaggregatedConfig dc;
   dc.enabled = true;
   dc.num_shards = num_shards;
   ClusterSimulation cluster(hosts, cfg, policy, dc);
-  EXPECT_TRUE(cluster.LoadModel(ShardedModel()).ok());
+  EXPECT_TRUE(cluster.LoadModel(model != nullptr ? *model : ShardedModel()).ok());
   if (plan != nullptr) {
     if (num_shards >= 2) {
       EXPECT_TRUE(
@@ -213,6 +214,10 @@ void ExpectReportsEqual(const DisaggregatedRunReport& a,
     EXPECT_EQ(x.io_errors, y.io_errors);
     EXPECT_EQ(x.queries_degraded, y.queries_degraded);
     EXPECT_EQ(x.rows_failed, y.rows_failed);
+    EXPECT_EQ(x.blocks_corrupt, y.blocks_corrupt);
+    EXPECT_EQ(x.replica_reads, y.replica_reads);
+    EXPECT_EQ(x.read_repairs, y.read_repairs);
+    EXPECT_EQ(x.extents_replicated, y.extents_replicated);
     EXPECT_EQ(a.hosts[i].share.demand_reads, b.hosts[i].share.demand_reads);
     EXPECT_EQ(a.hosts[i].share.demand_bytes, b.hosts[i].share.demand_bytes);
     EXPECT_EQ(a.hosts[i].share.cross_tenant_hits,
@@ -239,6 +244,10 @@ void ExpectReportsEqual(const DisaggregatedRunReport& a,
   EXPECT_EQ(a.fabric.partition_deferred, b.fabric.partition_deferred);
   EXPECT_EQ(a.queries_degraded, b.queries_degraded);
   EXPECT_EQ(a.rows_failed, b.rows_failed);
+  EXPECT_EQ(a.blocks_corrupt, b.blocks_corrupt);
+  EXPECT_EQ(a.replica_reads, b.replica_reads);
+  EXPECT_EQ(a.read_repairs, b.read_repairs);
+  EXPECT_EQ(a.extents_replicated, b.extents_replicated);
 }
 
 // Serial load: at 2 QPS across the cluster, arrivals are ~500ms apart while
@@ -370,10 +379,86 @@ TEST(ShardedCluster, RejectsFabricDropPlans) {
   plan.FabricDrop(At(Seconds(1)), At(Seconds(2)), 0.5);
   const Status s = cluster.sharded_runtime()->InstallFaultPlan(plan, 7);
   EXPECT_FALSE(s.ok());
+  // The rejection names the workaround: drop experiments run single-loop.
+  EXPECT_NE(s.message().find("num_shards=1"), std::string::npos) << s.ToString();
   // Deterministic kinds still install.
   FaultPlan ok_plan;
   ok_plan.FabricPartition(At(Seconds(1)), At(Seconds(2)));
   EXPECT_TRUE(cluster.sharded_runtime()->InstallFaultPlan(ok_plan, 7).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing layer under the sharded runtime.
+// ---------------------------------------------------------------------------
+
+/// The sharded profile with the self-healing layer armed. sub_block stays
+/// false (inherited): the checksum layer verifies whole-block bounce fills
+/// only. The large retry backoff makes replication copy-chunk retries
+/// straddle the 2s error burst instead of exhausting inside it, so the
+/// copy job deterministically survives to publish its route.
+HostSimConfig HealingHostConfig() {
+  HostSimConfig cfg = ShardedHostConfig();
+  cfg.tuning.enable_checksums = true;
+  cfg.tuning.enable_health_monitor = true;
+  cfg.tuning.enable_replication = true;
+  cfg.tuning.health_window = 8;
+  cfg.tuning.health_probe_interval = 16;
+  cfg.tuning.retry_backoff_base = Millis(300);
+  return cfg;
+}
+
+/// One user table per SSD: the sick device owns exactly one extent, so the
+/// heat-ranked single-loop picker and the sharded device shard's
+/// (heat-blind, id-ordered) picker choose identical replication sets.
+ModelConfig HealingModel() { return MakeTinyUniformModel(64, 2, 1, 4000); }
+
+TEST(ShardedCluster, SelfHealingSerialLoadMatchesSingleLoop) {
+  // ONE host: the single-loop path shares one fabric-service health monitor
+  // across all hosts while the sharded path keeps per-slice monitors, so
+  // health state only agrees mode-to-mode when a single host feeds it. The
+  // 2s error burst drives device 0 sick, the replication manager copies its
+  // extent to device 1 (copy retries outlast the burst), demand reads fail
+  // over to the replica, and recovery probes eventually wash the primary
+  // healthy — identically in both modes under serial load.
+  //
+  // Arrivals sit 2s apart (not the usual 500ms): a burst-hit read's full
+  // retry + read-repair chain spans up to ~3 backoffs of 300ms, and serial
+  // equality needs every chain to retire before the next arrival.
+  const HostSimConfig cfg = HealingHostConfig();
+  const ModelConfig model = HealingModel();
+  FaultPlan plan;
+  plan.ErrorBurst(At(Seconds(1)), At(Seconds(3)), /*probability=*/1.0,
+                  /*device=*/0);
+  const DisaggregatedRunReport single =
+      RunCluster(1, cfg, RoutingPolicy::kLocal, 1, /*qps=*/0.5, kSerialQueries,
+                 &plan, &model);
+  const DisaggregatedRunReport sharded =
+      RunCluster(1, cfg, RoutingPolicy::kLocal, 2, /*qps=*/0.5, kSerialQueries,
+                 &plan, &model);
+  // The healing layer actually engaged: the sick extent re-replicated and
+  // demand reads served from the replica.
+  EXPECT_GT(single.extents_replicated, 0u);
+  EXPECT_GT(single.replica_reads, 0u);
+  ExpectReportsEqual(single, sharded);
+}
+
+TEST(ShardedCluster, SelfHealingReportInvariantAcrossShardCounts) {
+  // The same healing storm over two hosts: every num_shards >= 2 must agree
+  // field-for-field, the healing counters included (K-invariance does not
+  // need the single-loop oracle's one-host restriction).
+  const HostSimConfig cfg = HealingHostConfig();
+  const ModelConfig model = HealingModel();
+  FaultPlan plan;
+  plan.ErrorBurst(At(Seconds(1)), At(Seconds(3)), /*probability=*/1.0,
+                  /*device=*/0);
+  const DisaggregatedRunReport k2 =
+      RunCluster(2, cfg, RoutingPolicy::kUserSticky, 2, kSerialQps,
+                 kSerialQueries, &plan, &model);
+  const DisaggregatedRunReport k4 =
+      RunCluster(2, cfg, RoutingPolicy::kUserSticky, 4, kSerialQps,
+                 kSerialQueries, &plan, &model);
+  EXPECT_GT(k2.extents_replicated, 0u);
+  ExpectReportsEqual(k2, k4);
 }
 
 TEST(ShardedCluster, NumShardsOneKeepsTheSingleLoopPath) {
