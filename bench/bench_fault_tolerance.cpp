@@ -94,11 +94,46 @@ struct LegResult {
   uint64_t rows_failed = 0;
 };
 
-LegResult RunStorm(bool responses) {
+/// Writes an export artifact; fatal on failure so CI never uploads an
+/// empty file silently.
+void WriteDoc(const std::string& path, const std::string& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+}
+
+/// With `trace_out` set, the run carries full-fat observability (metrics,
+/// per-query tracing, SLO watchdogs on p99 and degraded queries) and writes
+/// the Chrome trace to `trace_out` plus `.metrics.json` / `.slo.json`
+/// siblings — the CI artifact leg, and a live check that instrumenting the
+/// storm does not move a single counter.
+LegResult RunStorm(bool responses, const std::string* trace_out = nullptr) {
   DisaggregatedConfig dc;
   dc.enabled = true;
-  ClusterSimulation cluster(kHosts, StormHostConfig(responses),
-                            RoutingPolicy::kLocal, dc);
+  HostSimConfig cfg = StormHostConfig(responses);
+  if (trace_out != nullptr) {
+    cfg.tuning.obs.enable_metrics = true;
+    cfg.tuning.obs.enable_tracing = true;
+    SloRule p99;
+    p99.name = "storm-p99";
+    p99.metric = "host0/query/latency_ns";
+    p99.stat = SloRule::Stat::kP99;
+    p99.op = SloRule::Op::kAbove;
+    p99.threshold = static_cast<double>(Millis(2).nanos());
+    p99.for_windows = 3;
+    SloRule degraded;
+    degraded.name = "degraded-queries";
+    degraded.metric = "host0/query/degraded";
+    degraded.stat = SloRule::Stat::kValue;
+    degraded.op = SloRule::Op::kAbove;
+    degraded.threshold = 0;
+    cfg.tuning.obs.slo_rules = {p99, degraded};
+  }
+  ClusterSimulation cluster(kHosts, cfg, RoutingPolicy::kLocal, dc);
   Status st = cluster.LoadModel(StormModel());
   if (!st.ok()) {
     std::fprintf(stderr, "LoadModel: %s\n", st.ToString().c_str());
@@ -110,6 +145,11 @@ LegResult RunStorm(bool responses) {
 
   LegResult leg;
   leg.report = cluster.RunDisaggregated(kTotalQps, kStormQueries);
+  if (trace_out != nullptr) {
+    WriteDoc(*trace_out, cluster.ObsTraceJson());
+    WriteDoc(*trace_out + ".metrics.json", cluster.ObsMetricsJson());
+    WriteDoc(*trace_out + ".slo.json", cluster.ObsSloJson());
+  }
   for (const auto& h : leg.report.hosts) {
     leg.completed += h.run.queries_completed;
     leg.served += h.run.queries_served;
@@ -236,10 +276,32 @@ std::string FaultFreeFingerprint(bool install_empty) {
 int main(int argc, char** argv) {
   bench::QuietLogs quiet;
   bench::JsonReporter json(argc, argv, "fault_tolerance");
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) trace_out = arg.substr(12);
+  }
 
   bench::Section("Fault storm: 1% error burst + 10x fail-slow + fabric partition");
   const LegResult ablation = RunStorm(/*responses=*/false);
   const LegResult responses = RunStorm(/*responses=*/true);
+
+  if (!trace_out.empty()) {
+    bench::Section("Traced storm: Chrome trace / metrics / SLO artifacts");
+    const LegResult traced = RunStorm(/*responses=*/true, &trace_out);
+    // Observability must be timing-inert under the storm too: the traced
+    // rerun has to reproduce the untraced leg counter for counter.
+    if (traced.completed != responses.completed ||
+        traced.degraded != responses.degraded ||
+        traced.rows_failed != responses.rows_failed ||
+        traced.p99_ms != responses.p99_ms) {
+      std::fprintf(stderr, "traced storm diverged from untraced storm\n");
+      return 1;
+    }
+    bench::Note(bench::Fmt("wrote %s (+.metrics.json, +.slo.json); "
+                           "traced run matched untraced counters",
+                           trace_out.c_str()));
+  }
 
   bench::Table t({"leg", "completed", "availability%", "p99 ms", "degraded",
                   "rows zero-filled", "deadline", "hedges won", "shed"});

@@ -13,6 +13,7 @@
 #include "dlrm/mlp.h"
 #include "dlrm/model_zoo.h"
 #include "embedding/quantization.h"
+#include "obs/observability.h"
 #include "trace/trace_gen.h"
 
 #include "common/logging.h"
@@ -251,12 +252,25 @@ BENCHMARK(BM_MlpForward);
 // End-to-end simulated lookup (wall-clock cost of the simulator itself).
 // ---------------------------------------------------------------------------
 
+/// arg 0: observability off (0), metrics only (1), metrics + tracing (2).
+/// The CI overhead gate compares 0 vs 2 — the instrumented hot path (one
+/// null check per site when off, a handful of counter bumps plus span
+/// records when on) must stay within a few percent of the bare path.
 void BM_SimulatedLookup(benchmark::State& state) {
+  const bool obs_on = state.range(0) != 0;
   EventLoop loop;
+  ObsConfig ocfg;
+  ocfg.enable_metrics = obs_on;
+  ocfg.enable_tracing = state.range(0) >= 2;
+  Observability obs(ocfg);
   SdmStoreConfig cfg;
   cfg.fm_capacity = 8 * kMiB;
   cfg.sm_specs = {MakeOptaneSsdSpec()};
   cfg.sm_backing_bytes = {16 * kMiB};
+  if (obs_on) {
+    cfg.obs = &obs;
+    cfg.obs_prefix = "host0/";
+  }
   SdmStore store(cfg, &loop);
   const ModelConfig model = MakeTinyUniformModel(16, 2, 1, 2000);
   auto report = ModelLoader::Load(model, {}, &store);
@@ -277,7 +291,7 @@ void BM_SimulatedLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(done);
   }
 }
-BENCHMARK(BM_SimulatedLookup);
+BENCHMARK(BM_SimulatedLookup)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace sdm

@@ -53,6 +53,11 @@ int64_t Histogram::BucketUpperBound(size_t bucket) const {
 }
 
 void Histogram::Record(int64_t value) {
+  // Clamp into the tracked domain [1, max_value] BEFORE touching the summary
+  // stats, not just the bucket index — otherwise a negative or oversized
+  // sample corrupts mean()/min()/max() (and quantiles, which are capped at
+  // observed_max_) while the bucket counts stay clamped.
+  value = std::clamp<int64_t>(value, 1, max_value_);
   buckets_[BucketFor(value)]++;
   count_++;
   sum_ += static_cast<double>(value);

@@ -1,0 +1,30 @@
+#include "common/kv_format.h"
+
+#include <cstdio>
+
+namespace sdm {
+
+void KvFormatter::AppendSeparator() {
+  if (!out_.empty()) out_.push_back(' ');
+}
+
+KvFormatter& KvFormatter::Kv(const char* key, const char* fmt, ...) {
+  AppendSeparator();
+  out_.append(key);
+  out_.push_back('=');
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out_.append(buf);
+  return *this;
+}
+
+KvFormatter& KvFormatter::Raw(const std::string& token) {
+  AppendSeparator();
+  out_.append(token);
+  return *this;
+}
+
+}  // namespace sdm

@@ -1,0 +1,32 @@
+// Shared key=value report formatter.
+//
+// Every run report used to hand-roll one giant snprintf with a 500-byte
+// buffer and a 20-argument tail that had to be kept in sync with its format
+// string. KvFormatter builds the same "key=value key=value ..." line token by
+// token: each value keeps its own printf spec (reports pin exact output), and
+// the key sits next to its arguments instead of 15 lines away.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace sdm {
+
+class KvFormatter {
+ public:
+  /// Appends "key=<formatted args>" as one space-separated token.
+  KvFormatter& Kv(const char* key, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  /// Appends a pre-formatted token verbatim (e.g. a report's name prefix).
+  KvFormatter& Raw(const std::string& token);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void AppendSeparator();
+
+  std::string out_;
+};
+
+}  // namespace sdm

@@ -9,6 +9,7 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_emit_mutex;
+LogSink g_sink;  // guarded by g_emit_mutex; empty = stderr default
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -39,7 +40,20 @@ void SetGlobalLevel(LogLevel level) {
 
 void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(level, Basename(file), line, msg);
+    return;
+  }
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file), line, msg.c_str());
 }
 
 }  // namespace sdm::log_internal
+
+namespace sdm {
+
+void SetLogSink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(log_internal::g_emit_mutex);
+  log_internal::g_sink = std::move(sink);
+}
+
+}  // namespace sdm

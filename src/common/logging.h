@@ -1,10 +1,13 @@
 // Tiny leveled logger.
 //
-// Kept deliberately simple: a single global level, stderr sink, and a
-// streaming macro. Benchmarks set the level to kWarn so hot paths stay quiet.
+// Kept deliberately simple: a single global level, a pluggable sink
+// (default stderr), and a streaming macro. Benchmarks set the level to kWarn
+// so hot paths stay quiet; tests install a capturing sink to assert on
+// WARN-level records instead of scraping stderr.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -12,13 +15,22 @@ namespace sdm {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Receives every emitted record (already level-filtered).
+using LogSink = std::function<void(LogLevel level, const char* file, int line,
+                                   const std::string& msg)>;
+
+/// Installs a process-wide sink; an empty sink restores the stderr default.
+/// Emission is serialized, so the sink never runs concurrently with itself.
+void SetLogSink(LogSink sink);
+
 namespace log_internal {
 
 /// Process-wide minimum level that will be emitted.
 [[nodiscard]] LogLevel GlobalLevel();
 void SetGlobalLevel(LogLevel level);
 
-/// Emits one formatted record to stderr. Thread-safe (single write call).
+/// Emits one formatted record to the installed sink (stderr by default).
+/// Thread-safe (sink runs under one mutex).
 void Emit(LogLevel level, const char* file, int line, const std::string& msg);
 
 /// Stream collector whose destructor emits the record.

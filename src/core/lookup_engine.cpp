@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <unordered_map>
 
@@ -108,6 +109,43 @@ LookupEngine::LookupEngine(SdmStore* store) : store_(store), loop_(store->loop()
   if (store->sm_device_count() > 0) {
     memcpy_bytes_per_sec_ = store->reader(0).memcpy_bytes_per_sec();
   }
+  Observability* obs = store->obs();
+  const std::string& prefix = store->obs_prefix();
+  obs_lookups_ = ObsCounter(obs, prefix + "lookup/requests");
+  obs_cache_rows_ = ObsCounter(obs, prefix + "lookup/cache_rows");
+  obs_sm_rows_ = ObsCounter(obs, prefix + "lookup/sm_rows");
+  obs_degraded_ = ObsCounter(obs, prefix + "lookup/degraded");
+  obs_shed_ = ObsCounter(obs, prefix + "lookup/shed");
+  obs_lat_ = ObsHist(obs, prefix + "lookup/latency_ns");
+  obs_spans_ = ObsSpans(obs);
+  if (obs_spans_ != nullptr) {
+    std::string process = prefix;
+    if (!process.empty() && process.back() == '/') process.pop_back();
+    if (process.empty()) process = "host";
+    obs_track_ = obs_spans_->Track(process, "lookup");
+  }
+}
+
+void LookupEngine::RecordObsCompletion(const RequestState& st) {
+  const SimTime now = loop_->Now();
+  if (obs_lookups_ != nullptr) {
+    obs_lookups_->Add(now);
+    obs_cache_rows_->Add(now, st.trace.rows_from_cache);
+    obs_sm_rows_->Add(now, st.trace.rows_from_sm);
+    if (st.trace.degraded) obs_degraded_->Add(now);
+    obs_lat_->Record(now, st.trace.latency);
+  }
+  if (obs_spans_ != nullptr && st.request.traced) {
+    // One stack-formatted arg blob; string temporaries per traced lookup
+    // would dominate the recording cost.
+    char args[96];
+    std::snprintf(args, sizeof(args),
+                  "{\"rows\":%zu,\"sm_rows\":%zu,\"device_reads\":%zu}",
+                  static_cast<size_t>(st.trace.rows_requested),
+                  static_cast<size_t>(st.trace.rows_from_sm),
+                  static_cast<size_t>(st.trace.device_reads));
+    obs_spans_->Span(obs_track_, "lookup", st.start, now, args);
+  }
 }
 
 SimDuration LookupEngine::CopyCost(Bytes bytes) const {
@@ -141,6 +179,7 @@ void LookupEngine::Lookup(LookupRequest request, LookupCallback cb) {
                            [this, st, out = std::vector<float>(*hit)]() mutable {
                              st->trace.latency = loop_->Now() - st->start;
                              latency_.Record(st->trace.latency);
+                             RecordObsCompletion(*st);
                              st->cb(Status::Ok(), std::move(out), st->trace);
                            });
       return;
@@ -317,6 +356,7 @@ void LookupEngine::StartIoPhase(std::shared_ptr<RequestState> st) {
         st->io_shift = route->shift;
       } else {
         shed_lookups_->Add(1);
+        if (obs_shed_ != nullptr) obs_shed_->Add(loop_->Now());
         for (auto& slot : st->slots) slot.needs_io = false;  // source stays kNone
         st->first_error = UnavailableError("lookup shed: SM endpoint unhealthy");
         FinishRequest(st);
@@ -885,6 +925,7 @@ void LookupEngine::FinishRequest(const std::shared_ptr<RequestState>& st) {
   loop_->ScheduleAfter(tail, [this, st, out = std::move(out)]() mutable {
     st->trace.latency = loop_->Now() - st->start;
     latency_.Record(st->trace.latency);
+    RecordObsCompletion(*st);
     st->cb(Status::Ok(), std::move(out), st->trace);
   });
 }

@@ -38,6 +38,10 @@ struct LookupRequest {
   TableId table{};
   std::vector<RowIndex> indices;  ///< in the unpruned index domain
   PoolingMode mode = PoolingMode::kSum;
+  /// Query tracing (src/obs): set by the inference layer on sampled
+  /// queries; the engine records a lookup span when tracing is on. Purely
+  /// observational — never changes scheduling.
+  bool traced = false;
 };
 
 /// Per-request execution trace (for tests, tuning, and the benches).
@@ -157,6 +161,9 @@ class LookupEngine {
   std::optional<SharedDeviceService::ReplicaRoute> RepairRoute(TableId table_id,
                                                                size_t failed_device);
   void FinishRequest(const std::shared_ptr<RequestState>& st);
+  /// Windowed metrics + (sampled) lookup span at request completion; called
+  /// from both completion tails once trace.latency is final.
+  void RecordObsCompletion(const RequestState& st);
   /// Modeled CPU time of copying `bytes` (shared with DirectIoReader's
   /// memcpy_bytes_per_sec so the two paths charge the same throughput).
   [[nodiscard]] SimDuration CopyCost(Bytes bytes) const;
@@ -187,6 +194,16 @@ class LookupEngine {
   Counter* shed_lookups_ = nullptr;
   Counter* replica_reads_ = nullptr;
   Counter* read_repairs_ = nullptr;
+
+  // ---- Observability (src/obs); all null when off ----
+  WindowedCounter* obs_lookups_ = nullptr;
+  WindowedCounter* obs_cache_rows_ = nullptr;
+  WindowedCounter* obs_sm_rows_ = nullptr;
+  WindowedCounter* obs_degraded_ = nullptr;
+  WindowedCounter* obs_shed_ = nullptr;
+  WindowedHistogram* obs_lat_ = nullptr;
+  SpanRecorder* obs_spans_ = nullptr;
+  SpanRecorder::TrackId obs_track_ = 0;
 };
 
 }  // namespace sdm

@@ -28,6 +28,8 @@ SdmStore::SdmStore(SdmStoreConfig config, EventLoop* loop)
     dcfg.sm_backing_bytes = config_.sm_backing_bytes;
     dcfg.tuning = config_.tuning;
     dcfg.seed = config_.seed;
+    dcfg.obs = config_.obs;
+    dcfg.obs_prefix = config_.obs_prefix;
     owned_service_ = std::make_unique<SharedDeviceService>(std::move(dcfg), loop_);
     device_service_ = owned_service_.get();
     if (device_service_->tenant_count() == 0) {
@@ -164,6 +166,9 @@ Status SdmStore::FinishLoading() {
     }
     prefetcher_ = std::make_unique<Prefetcher>(pfcfg, row_cache_.get(),
                                                block_cache_.get(), std::move(scheds));
+    if (config_.obs != nullptr) {
+      prefetcher_->set_obs(config_.obs, loop_, config_.obs_prefix);
+    }
     for (const TableRuntime& t : tables_) {
       if (t.tier != MemoryTier::kSm) continue;
       // A cache-bypassing table (kPerTableCacheEnablement) has nowhere to

@@ -43,6 +43,7 @@
 #include "io/direct_reader.h"
 #include "io/io_engine.h"
 #include "io/throttle.h"
+#include "obs/observability.h"
 #include "prefetch/prefetcher.h"
 #include "sched/batch_scheduler.h"
 #include "tenant/shared_device_service.h"
@@ -72,6 +73,15 @@ struct SdmStoreConfig {
   /// This shard's identity on the shared device (from RegisterTenant).
   TenantId tenant_id = 0;
   TenantClass tenant_class = TenantClass::kForeground;
+
+  // ---- Observability (src/obs) ----
+  /// The per-event-loop observability instance this store's components
+  /// record into (null = off). Owned by the simulation layer and shared by
+  /// everything on the same loop; never crosses a shard boundary.
+  Observability* obs = nullptr;
+  /// Source prefix for metric names and trace tracks ("host0/", ...). Kept
+  /// runtime-shape-independent so sharded and single-loop exports match.
+  std::string obs_prefix;
 };
 
 /// Runtime state of one loaded table.
@@ -183,6 +193,10 @@ class SdmStore {
   [[nodiscard]] EventLoop* loop() { return loop_; }
   [[nodiscard]] const TuningConfig& tuning() const { return config_.tuning; }
   [[nodiscard]] const SdmStoreConfig& config() const { return config_; }
+
+  // ---- Observability (src/obs) ----
+  [[nodiscard]] Observability* obs() const { return config_.obs; }
+  [[nodiscard]] const std::string& obs_prefix() const { return config_.obs_prefix; }
 
   // ---- FM accounting --------------------------------------------------------
 

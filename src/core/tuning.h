@@ -19,6 +19,7 @@
 #include "common/result.h"
 #include "io/io_engine.h"
 #include "io/throttle.h"
+#include "obs/obs_config.h"
 #include "prefetch/prefetch_predictor.h"
 
 namespace sdm {
@@ -186,6 +187,12 @@ struct TuningConfig {
   /// rows_failed + sheds a table must accumulate to count as chronically
   /// degraded for the placement feedback above.
   uint64_t degraded_rows_min = 64;
+
+  // ---- Observability (src/obs) ----
+  /// Windowed time-series metrics, sampled query tracing, and SLO watchdog
+  /// rules. All default off (no Observability object is created); when on,
+  /// observation is timing-inert — serving results stay byte-identical.
+  ObsConfig obs;
 
   // ---- Cache organization (§4.3) ----
   bool enable_row_cache = true;

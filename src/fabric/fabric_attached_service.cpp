@@ -12,6 +12,11 @@ FabricAttachedService::FabricAttachedService(FabricServiceConfig config, EventLo
   for (size_t d = 0; d < service_.device_count(); ++d) {
     links_.push_back(std::make_unique<FabricLink>(link_config_, loop));
     service_.io_engine(d).set_fabric_link(links_.back().get());
+    if (service_.config().obs != nullptr) {
+      links_.back()->set_obs(
+          service_.config().obs,
+          service_.config().obs_prefix + "dev" + std::to_string(d) + "/");
+    }
   }
 }
 

@@ -21,6 +21,7 @@
 
 #include "common/event_loop.h"
 #include "common/types.h"
+#include "obs/observability.h"
 
 namespace sdm {
 
@@ -95,13 +96,18 @@ class FabricLink {
   using Delivery = std::function<void(SimTime at, EventLoop::Callback cb)>;
   void set_remote_delivery(Delivery deliver_to) { delivery_ = std::move(deliver_to); }
 
+  /// Observability (src/obs): windowed metrics under `<name>fabric/` and one
+  /// trace track for transfer spans. Null obs keeps every handle null.
+  void set_obs(Observability* obs, const std::string& name);
+
  private:
   /// One direction's serialization state.
   struct Direction {
     SimTime busy_until{};
   };
 
-  void Traverse(Direction& dir, Bytes payload, EventLoop::Callback deliver);
+  void Traverse(Direction& dir, Bytes payload, EventLoop::Callback deliver,
+                const char* span_name);
 
   FabricLinkConfig config_;
   EventLoop* loop_;
@@ -111,6 +117,14 @@ class FabricLink {
   Direction request_dir_;
   Direction response_dir_;
   FabricLinkStats stats_;
+
+  // ---- Observability (src/obs); all null when off ----
+  WindowedCounter* obs_transfers_ = nullptr;
+  WindowedCounter* obs_bytes_ = nullptr;
+  WindowedCounter* obs_dropped_ = nullptr;
+  WindowedCounter* obs_deferred_ = nullptr;
+  SpanRecorder* obs_spans_ = nullptr;
+  SpanRecorder::TrackId obs_track_ = 0;
 };
 
 }  // namespace sdm

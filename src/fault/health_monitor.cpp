@@ -18,6 +18,19 @@ HealthMonitor::HealthMonitor(HealthMonitorConfig config, size_t endpoints)
   }
 }
 
+void HealthMonitor::set_obs(Observability* obs, EventLoop* loop,
+                            const std::string& name) {
+  obs_loop_ = loop;
+  obs_sick_ = ObsCounter(obs, name + "health/sick_transitions");
+  obs_sheds_ = ObsCounter(obs, name + "health/sheds");
+  obs_spans_ = ObsSpans(obs);
+  if (obs_spans_ != nullptr) {
+    std::string process = name;
+    if (!process.empty() && process.back() == '/') process.pop_back();
+    obs_track_ = obs_spans_->Track(process, "health");
+  }
+}
+
 void HealthMonitor::Record(size_t endpoint, bool ok) {
   if (!config_.enabled) return;
   assert(endpoint < endpoints_.size());
@@ -36,7 +49,16 @@ void HealthMonitor::Record(size_t endpoint, bool ok) {
   const bool edge = sick && !was_sick_[endpoint];
   if (edge) {
     sick_transitions_->Add(1);
+    if (obs_sick_ != nullptr) obs_sick_->Add(obs_loop_->Now());
+    if (obs_spans_ != nullptr) {
+      obs_spans_->Instant(obs_track_, "sick", obs_loop_->Now(),
+                          "{\"endpoint\":" + std::to_string(endpoint) + "}");
+    }
     e.probe_clock = 0;
+  }
+  if (!sick && was_sick_[endpoint] && obs_spans_ != nullptr) {
+    obs_spans_->Instant(obs_track_, "recovered", obs_loop_->Now(),
+                        "{\"endpoint\":" + std::to_string(endpoint) + "}");
   }
   was_sick_[endpoint] = sick ? 1 : 0;
   // Notify after the state flip so the listener observes Sick() == true.
@@ -64,6 +86,7 @@ bool HealthMonitor::AdmitProbe(size_t endpoint) {
     probes_admitted_->Add(1);
   } else {
     sheds_->Add(1);
+    if (obs_sheds_ != nullptr) obs_sheds_->Add(obs_loop_->Now());
   }
   return admit;
 }

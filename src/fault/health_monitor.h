@@ -19,7 +19,9 @@
 #include <functional>
 #include <vector>
 
+#include "common/event_loop.h"
 #include "common/stats.h"
+#include "obs/observability.h"
 
 namespace sdm {
 
@@ -63,6 +65,12 @@ class HealthMonitor {
   [[nodiscard]] const HealthMonitorConfig& config() const { return config_; }
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
 
+  /// Observability (src/obs): windowed metrics under `<name>health/` plus
+  /// sick/recovered trace instants. The monitor has no clock of its own, so
+  /// the caller lends it `loop` for timestamps. Does NOT use the (single)
+  /// sick-transition listener slot — that belongs to the ReplicationManager.
+  void set_obs(Observability* obs, EventLoop* loop, const std::string& name);
+
  private:
   struct Endpoint {
     std::vector<uint8_t> outcomes;  ///< ring buffer, 1 = error
@@ -80,6 +88,13 @@ class HealthMonitor {
   Counter* sheds_ = nullptr;
   std::vector<uint8_t> was_sick_;  ///< per-endpoint edge detector
   std::function<void(size_t)> sick_listener_;
+
+  // ---- Observability (src/obs); all null when off ----
+  EventLoop* obs_loop_ = nullptr;
+  WindowedCounter* obs_sick_ = nullptr;
+  WindowedCounter* obs_sheds_ = nullptr;
+  SpanRecorder* obs_spans_ = nullptr;
+  SpanRecorder::TrackId obs_track_ = 0;
 };
 
 }  // namespace sdm

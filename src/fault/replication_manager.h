@@ -68,6 +68,10 @@ class ReplicationManager {
   [[nodiscard]] uint64_t bytes_copied() const { return bytes_copied_->value(); }
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
 
+  /// Observability (src/obs): windowed metrics under `<name>repl/` and
+  /// replicate/abandon trace instants. Null obs keeps every handle null.
+  void set_obs(Observability* obs, const std::string& name);
+
  private:
   struct CopyJob {
     uint64_t extent = 0;
@@ -99,6 +103,13 @@ class ReplicationManager {
   Counter* extents_abandoned_ = nullptr;
   Counter* bytes_copied_ = nullptr;
   Counter* chunk_retries_ = nullptr;
+
+  // ---- Observability (src/obs); all null when off ----
+  WindowedCounter* obs_replicated_ = nullptr;
+  WindowedCounter* obs_abandoned_ = nullptr;
+  WindowedCounter* obs_bytes_ = nullptr;
+  SpanRecorder* obs_spans_ = nullptr;
+  SpanRecorder::TrackId obs_track_ = 0;
 };
 
 }  // namespace sdm

@@ -35,6 +35,19 @@ IoEngine::IoEngine(NvmeDevice* device, EventLoop* loop, IoEngineConfig config)
   bytes_saved_ = stats_.GetCounter("bytes_saved");
 }
 
+void IoEngine::set_obs(Observability* obs, const std::string& name) {
+  obs_submitted_ = ObsCounter(obs, name + "io/submitted");
+  obs_errors_ = ObsCounter(obs, name + "io/errors");
+  obs_spilled_ = ObsCounter(obs, name + "io/spilled");
+  obs_lat_ = ObsHist(obs, name + "io/latency_ns");
+  obs_spans_ = ObsSpans(obs);
+  if (obs_spans_ != nullptr) {
+    std::string process = name;
+    if (!process.empty() && process.back() == '/') process.pop_back();
+    obs_track_ = obs_spans_->Track(process, "io");
+  }
+}
+
 void IoEngine::SubmitRead(Bytes offset, Bytes length, bool sub_block,
                           std::span<uint8_t> dest, Callback cb) {
   if (remote_ != nullptr) {
@@ -63,10 +76,12 @@ void IoEngine::SubmitRead(Bytes offset, Bytes length, bool sub_block,
 void IoEngine::SubmitReadLocal(Bytes offset, Bytes length, bool sub_block,
                                std::span<uint8_t> dest, Callback cb) {
   submitted_->Add(1);
+  if (obs_submitted_ != nullptr) obs_submitted_->Add(loop_->Now());
   cpu_ns_->Add(static_cast<uint64_t>(config_.cpu_submit_cost.nanos()));
   Pending p{offset, length, sub_block, dest, std::move(cb), loop_->Now()};
   if (outstanding_ >= config_.queue_depth) {
     spilled_->Add(1);
+    if (obs_spilled_ != nullptr) obs_spilled_->Add(loop_->Now());
     pending_.push_back(std::move(p));
     return;
   }
@@ -127,6 +142,7 @@ void IoEngine::SubmitBatchLocal(std::span<ReadOp> ops) {
   batches_->Add(1);
   batch_sqes_->Add(ops.size());
   submitted_->Add(ops.size());
+  if (obs_submitted_ != nullptr) obs_submitted_->Add(loop_->Now(), ops.size());
   // One doorbell for the whole batch; SQEs after the first are nearly free.
   cpu_ns_->Add(static_cast<uint64_t>(
       config_.cpu_submit_cost.nanos() +
@@ -138,6 +154,7 @@ void IoEngine::SubmitBatchLocal(std::span<ReadOp> ops) {
               loop_->Now()};
     if (outstanding_ >= config_.queue_depth) {
       spilled_->Add(1);
+      if (obs_spilled_ != nullptr) obs_spilled_->Add(loop_->Now());
       pending_.push_back(std::move(p));
       continue;
     }
@@ -157,6 +174,7 @@ void IoEngine::SubmitRemote(std::span<ReadOp> ops, bool batched) {
     batch_sqes_->Add(ops.size());
   }
   submitted_->Add(ops.size());
+  if (obs_submitted_ != nullptr) obs_submitted_->Add(loop_->Now(), ops.size());
   cpu_ns_->Add(static_cast<uint64_t>(
       config_.cpu_submit_cost.nanos() +
       config_.cpu_submit_cost_batch_sqe.nanos() * static_cast<int64_t>(ops.size() - 1)));
@@ -190,7 +208,10 @@ void IoEngine::OnRemoteComplete(SimTime accepted_at, std::span<uint8_t> dest,
   cpu_ns_->Add(static_cast<uint64_t>(
       (interrupt ? config_.cpu_complete_cost_interrupt : config_.cpu_complete_cost_polling)
           .nanos()));
-  if (!status.ok()) errors_->Add(1);
+  if (!status.ok()) {
+    errors_->Add(1);
+    if (obs_errors_ != nullptr) obs_errors_->Add(loop_->Now());
+  }
   completed_->Add(1);
   if (status.ok() && !payload.empty()) {
     // The payload crossed shards in message-owned storage; land it in the
@@ -200,6 +221,10 @@ void IoEngine::OnRemoteComplete(SimTime accepted_at, std::span<uint8_t> dest,
   }
   const SimDuration e2e = loop_->Now() - accepted_at;
   latency_.Record(e2e);
+  if (obs_lat_ != nullptr) obs_lat_->Record(loop_->Now(), e2e);
+  if (obs_spans_ != nullptr) {
+    obs_spans_->Span(obs_track_, "io.read", accepted_at, loop_->Now());
+  }
   if (cb) cb(std::move(status), e2e);
 }
 
@@ -235,12 +260,19 @@ void IoEngine::OnDeviceComplete(SimTime submitted_at, Status status, Callback cb
   cpu_ns_->Add(static_cast<uint64_t>(reap_cpu.nanos()));
   const SimDuration delivery = interrupt ? config_.interrupt_delay : SimDuration(0);
 
-  if (!status.ok()) errors_->Add(1);
+  if (!status.ok()) {
+    errors_->Add(1);
+    if (obs_errors_ != nullptr) obs_errors_->Add(loop_->Now());
+  }
   completed_->Add(1);
 
   auto finish = [this, submitted_at, status = std::move(status), cb = std::move(cb)]() mutable {
     const SimDuration e2e = loop_->Now() - submitted_at;
     latency_.Record(e2e);
+    if (obs_lat_ != nullptr) obs_lat_->Record(loop_->Now(), e2e);
+    if (obs_spans_ != nullptr) {
+      obs_spans_->Span(obs_track_, "io.read", submitted_at, loop_->Now());
+    }
     if (cb) cb(std::move(status), e2e);
   };
   if (delivery > SimDuration(0)) {

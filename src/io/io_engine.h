@@ -27,6 +27,7 @@
 #include "common/histogram.h"
 #include "common/stats.h"
 #include "device/nvme_device.h"
+#include "obs/observability.h"
 
 namespace sdm {
 
@@ -147,6 +148,10 @@ class IoEngine {
 
   [[nodiscard]] const StatsRegistry& stats() const { return stats_; }
 
+  /// Observability (src/obs): windowed metrics under `<name>io/` and one
+  /// device-service trace track. Null obs keeps every handle null.
+  void set_obs(Observability* obs, const std::string& name);
+
  private:
   struct Pending {
     Bytes offset;
@@ -195,6 +200,14 @@ class IoEngine {
   Counter* batch_sqes_ = nullptr;
   Counter* coalesced_reads_ = nullptr;
   Counter* bytes_saved_ = nullptr;
+
+  // ---- Observability (src/obs); all null when off ----
+  WindowedCounter* obs_submitted_ = nullptr;
+  WindowedCounter* obs_errors_ = nullptr;
+  WindowedCounter* obs_spilled_ = nullptr;
+  WindowedHistogram* obs_lat_ = nullptr;  ///< submit -> delivery, end to end
+  SpanRecorder* obs_spans_ = nullptr;
+  SpanRecorder::TrackId obs_track_ = 0;
 };
 
 }  // namespace sdm

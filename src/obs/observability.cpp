@@ -1,0 +1,101 @@
+#include "obs/observability.h"
+
+#include <algorithm>
+
+namespace sdm {
+
+Observability::Observability(const ObsConfig& config) {
+  if (config.enable_metrics) {
+    metrics_ = std::make_unique<MetricsRegistry>(config.metrics_interval);
+    if (!config.slo_rules.empty()) {
+      slo_ = std::make_unique<SloWatchdog>(config.slo_rules);
+      metrics_->SetWindowListener([watchdog = slo_.get()](
+                                      const std::string& name, const WindowSample& w) {
+        watchdog->OnWindow(name, w);
+      });
+    }
+  }
+  if (config.enable_tracing) {
+    spans_ = std::make_unique<SpanRecorder>(config.trace_sample_every,
+                                            config.trace_max_spans);
+  }
+}
+
+void Observability::Finalize() {
+  if (metrics_ != nullptr) metrics_->Finalize();
+}
+
+std::string Observability::MetricsJson() const {
+  Observability* self = const_cast<Observability*>(this);
+  return MergedMetricsJson(std::span<Observability* const>(&self, 1));
+}
+
+std::string Observability::TraceJson() const {
+  Observability* self = const_cast<Observability*>(this);
+  return MergedTraceJson(std::span<Observability* const>(&self, 1));
+}
+
+std::string Observability::SloJson() const {
+  Observability* self = const_cast<Observability*>(this);
+  return MergedSloJson(std::span<Observability* const>(&self, 1));
+}
+
+std::string Observability::MergedMetricsJson(
+    std::span<Observability* const> instances) {
+  int64_t interval_ns = 0;
+  std::vector<MetricsRegistry::SeriesRef> series;
+  for (Observability* obs : instances) {
+    if (obs == nullptr || obs->metrics() == nullptr) continue;
+    interval_ns = obs->metrics()->interval_ns();
+    obs->metrics()->CollectSeries(&series);
+  }
+  // Per-LP registries carry disjoint source-prefixed names; the global sort
+  // makes the merged document identical to the single-registry one.
+  std::sort(series.begin(), series.end(),
+            [](const MetricsRegistry::SeriesRef& a, const MetricsRegistry::SeriesRef& b) {
+              return *a.name < *b.name;
+            });
+  std::string out;
+  out.append("{\"interval_ns\":");
+  obs_internal::AppendJsonNumber(&out, static_cast<double>(interval_ns));
+  out.append(",\"series\":[");
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    MetricsRegistry::AppendSeriesJson(&out, series[i]);
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string Observability::MergedTraceJson(std::span<Observability* const> instances) {
+  std::vector<const SpanRecorder*> recorders;
+  for (Observability* obs : instances) {
+    if (obs != nullptr && obs->spans() != nullptr) recorders.push_back(obs->spans());
+  }
+  return SpanRecorder::ExportChromeTrace(recorders);
+}
+
+std::string Observability::MergedSloJson(std::span<Observability* const> instances) {
+  std::vector<const SloEvent*> events;
+  for (Observability* obs : instances) {
+    if (obs == nullptr || obs->slo() == nullptr) continue;
+    for (const SloEvent& e : obs->slo()->events()) events.push_back(&e);
+  }
+  // Event order within one watchdog follows metric-flush order; the export
+  // re-sorts so documents match across runtime shapes.
+  std::sort(events.begin(), events.end(), [](const SloEvent* a, const SloEvent* b) {
+    if (a->t_ns != b->t_ns) return a->t_ns < b->t_ns;
+    if (a->rule != b->rule) return a->rule < b->rule;
+    return a->fired < b->fired;
+  });
+  std::string out;
+  out.append("{\"events\":[");
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    SloWatchdog::AppendEventJson(&out, *events[i]);
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace sdm

@@ -1,0 +1,87 @@
+#include "obs/slo_watchdog.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace sdm {
+
+namespace {
+
+double ExtractStat(SloRule::Stat stat, const WindowSample& w) {
+  switch (stat) {
+    case SloRule::Stat::kValue: return w.value;
+    case SloRule::Stat::kCount: return static_cast<double>(w.count);
+    case SloRule::Stat::kMean: return w.mean;
+    case SloRule::Stat::kP50: return static_cast<double>(w.p50);
+    case SloRule::Stat::kP95: return static_cast<double>(w.p95);
+    case SloRule::Stat::kP99: return static_cast<double>(w.p99);
+    case SloRule::Stat::kMax: return static_cast<double>(w.max);
+  }
+  return 0;
+}
+
+}  // namespace
+
+SloWatchdog::SloWatchdog(std::vector<SloRule> rules) {
+  rules_.reserve(rules.size());
+  for (SloRule& r : rules) {
+    if (r.for_windows < 1) r.for_windows = 1;
+    rules_.push_back(RuleState{std::move(r), 0, false});
+  }
+}
+
+void SloWatchdog::OnWindow(const std::string& metric, const WindowSample& w) {
+  for (RuleState& state : rules_) {
+    if (state.rule.metric != metric) continue;
+    const double value = ExtractStat(state.rule.stat, w);
+    const bool breach = state.rule.op == SloRule::Op::kAbove
+                            ? value > state.rule.threshold
+                            : value < state.rule.threshold;
+    if (breach) {
+      ++state.consecutive;
+      if (state.consecutive >= state.rule.for_windows && !state.firing) {
+        state.firing = true;
+        events_.push_back(SloEvent{w.window_start_ns, state.rule.name, value,
+                                   state.rule.threshold, state.consecutive, true});
+        SDM_LOG_WARN << "SLO breach: " << state.rule.name << " (" << metric
+                     << " = " << value << " vs " << state.rule.threshold << " for "
+                     << state.consecutive << " windows) at t=" << w.window_start_ns
+                     << "ns";
+      }
+    } else {
+      if (state.firing) {
+        events_.push_back(SloEvent{w.window_start_ns, state.rule.name, value,
+                                   state.rule.threshold, state.consecutive, false});
+        SDM_LOG_WARN << "SLO recovered: " << state.rule.name << " (" << metric
+                     << " = " << value << ") at t=" << w.window_start_ns << "ns";
+      }
+      state.firing = false;
+      state.consecutive = 0;
+    }
+  }
+}
+
+size_t SloWatchdog::firing() const {
+  size_t n = 0;
+  for (const RuleState& state : rules_) n += state.firing ? 1 : 0;
+  return n;
+}
+
+void SloWatchdog::AppendEventJson(std::string* out, const SloEvent& e) {
+  out->append("{\"t_ns\":");
+  obs_internal::AppendJsonNumber(out, static_cast<double>(e.t_ns));
+  out->append(",\"rule\":\"");
+  out->append(e.rule);
+  out->append("\",\"value\":");
+  obs_internal::AppendJsonNumber(out, e.value);
+  out->append(",\"threshold\":");
+  obs_internal::AppendJsonNumber(out, e.threshold);
+  out->append(",\"consecutive\":");
+  obs_internal::AppendJsonNumber(out, e.consecutive);
+  out->append(",\"fired\":");
+  out->append(e.fired ? "true" : "false");
+  out->push_back('}');
+}
+
+}  // namespace sdm

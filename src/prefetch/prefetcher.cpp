@@ -49,7 +49,15 @@ bool Prefetcher::ClaimHit(TableId table, RowIndex row) {
   if (it->second.unclaimed.erase(row) == 0) return false;
   ++stats_.rows_hit;
   stats_.bytes_hit += it->second.info.row_bytes;
+  if (obs_rows_hit_ != nullptr) obs_rows_hit_->Add(obs_loop_->Now());
   return true;
+}
+
+void Prefetcher::set_obs(Observability* obs, EventLoop* loop, const std::string& name) {
+  obs_loop_ = loop;
+  obs_rows_issued_ = ObsCounter(obs, name + "prefetch/rows_issued");
+  obs_rows_hit_ = ObsCounter(obs, name + "prefetch/rows_hit");
+  obs_dropped_ = ObsCounter(obs, name + "prefetch/dropped_runs");
 }
 
 size_t Prefetcher::unclaimed_rows() const {
@@ -169,10 +177,14 @@ void Prefetcher::IssueRuns(TableState& st, std::vector<IoPlanner::Miss> misses,
     if (admission == BatchScheduler::Admission::kDropped) {
       ++stats_.dropped_runs;
       stats_.dropped_rows += run_rows.size();
+      if (obs_dropped_ != nullptr) obs_dropped_->Add(obs_loop_->Now());
       continue;
     }
     for (const RowIndex r : run_rows) st.unclaimed.insert(r);
     stats_.rows_issued += run_rows.size();
+    if (obs_rows_issued_ != nullptr) {
+      obs_rows_issued_->Add(obs_loop_->Now(), run_rows.size());
+    }
     if (admission == BatchScheduler::Admission::kNewRead) {
       *insert_blocks = true;
       ++stats_.reads_issued;

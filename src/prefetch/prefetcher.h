@@ -131,6 +131,10 @@ class Prefetcher {
   /// Rows speculated but not yet claimed by demand (across all tables).
   [[nodiscard]] size_t unclaimed_rows() const;
 
+  /// Observability (src/obs): windowed metrics under `<name>prefetch/`. The
+  /// prefetcher has no clock of its own, so the caller lends it `loop`.
+  void set_obs(Observability* obs, EventLoop* loop, const std::string& name);
+
  private:
   struct TableState {
     TableInfo info;
@@ -158,6 +162,12 @@ class Prefetcher {
   std::vector<BatchScheduler*> schedulers_;
   std::map<TableId, TableState> tables_;
   PrefetchStats stats_;
+
+  // ---- Observability (src/obs); all null when off ----
+  EventLoop* obs_loop_ = nullptr;
+  WindowedCounter* obs_rows_issued_ = nullptr;
+  WindowedCounter* obs_rows_hit_ = nullptr;
+  WindowedCounter* obs_dropped_ = nullptr;
 };
 
 }  // namespace sdm

@@ -47,6 +47,24 @@ BatchScheduler::BatchScheduler(IoEngine* engine, BufferArena* arena, EventLoop* 
   replica_hedge_wins_ = stats_.GetCounter("replica_hedge_wins");
 }
 
+void BatchScheduler::set_obs(Observability* obs, const std::string& name) {
+  obs_sqes_ = ObsCounter(obs, name + "sched/sqes");
+  obs_singleflight_ = ObsCounter(obs, name + "sched/singleflight");
+  obs_merges_ = ObsCounter(obs, name + "sched/merges");
+  obs_hedges_ = ObsCounter(obs, name + "sched/hedges");
+  obs_expired_ = ObsCounter(obs, name + "sched/expired");
+  obs_pf_dropped_ = ObsCounter(obs, name + "sched/prefetch_dropped");
+  obs_bg_parked_ = ObsCounter(obs, name + "sched/background_parked");
+  obs_inflight_ = ObsGauge(obs, name + "sched/inflight");
+  obs_read_lat_ = ObsHist(obs, name + "sched/read_latency_ns");
+  obs_spans_ = ObsSpans(obs);
+  if (obs_spans_ != nullptr) {
+    std::string process = name;
+    if (!process.empty() && process.back() == '/') process.pop_back();
+    obs_track_ = obs_spans_->Track(process, "sched");
+  }
+}
+
 CrossRequestIoStats CrossRequestIoStats::Since(const CrossRequestIoStats& base) const {
   CrossRequestIoStats d;
   d.device_reads = device_reads - base.device_reads;
@@ -329,9 +347,11 @@ BatchScheduler::Admission BatchScheduler::EnqueueLane(ReadRequest& req, size_t l
     if (lane.pending_bytes + lane.inflight_bytes + delta > policy.max_inflight_bytes) {
       if (policy.droppable) {
         prefetch_dropped_->Add(1);
+        if (obs_pf_dropped_ != nullptr) obs_pf_dropped_->Add(loop_->Now());
         return Admission::kDropped;
       }
       background_parked_->Add(1);
+      if (obs_bg_parked_ != nullptr) obs_bg_parked_->Add(loop_->Now());
       lane.parked.push_back(std::move(req));
       return Admission::kNewRead;
     }
@@ -357,6 +377,7 @@ BatchScheduler::Admission BatchScheduler::EnqueueLane(ReadRequest& req, size_t l
       lane.pending.size() >= kMaxLaneSqes) {
     if (policy.droppable) {
       prefetch_dropped_->Add(1);
+      if (obs_pf_dropped_ != nullptr) obs_pf_dropped_->Add(loop_->Now());
       return Admission::kDropped;
     }
     // Same escape hatch as DrainParked: a run larger than the whole budget
@@ -366,6 +387,7 @@ BatchScheduler::Admission BatchScheduler::EnqueueLane(ReadRequest& req, size_t l
         lane.pending.empty() && lane.inflight_bytes == 0 && lane.parked.empty();
     if (!lane_idle) {
       background_parked_->Add(1);
+      if (obs_bg_parked_ != nullptr) obs_bg_parked_->Add(loop_->Now());
       lane.parked.push_back(std::move(req));
       return Admission::kNewRead;
     }
@@ -410,6 +432,7 @@ bool BatchScheduler::TryJoinInFlight(ReadRequest& req) {
       continue;
     }
     singleflight_hits_->Add(1);
+    if (obs_singleflight_ != nullptr) obs_singleflight_->Add(loop_->Now());
     singleflight_bytes_saved_->Add(
         NvmeDevice::BusBytes(req.span_begin, req.span_end - req.span_begin, req.sub_block));
     // Demand catching up with speculation: the prefetch read proved useful
@@ -469,12 +492,14 @@ bool BatchScheduler::TryAbsorbIntoPending(ReadRequest& req, Admission* admission
     p.per_row_bus += req.per_row_bus;
     if (covered) {
       singleflight_hits_->Add(1);
+      if (obs_singleflight_ != nullptr) obs_singleflight_->Add(loop_->Now());
       singleflight_bytes_saved_->Add(NvmeDevice::BusBytes(
           req.span_begin, req.span_end - req.span_begin, req.sub_block));
       RecordJoin(req, p.kind, p.tenant);
       *admission = Admission::kJoinedPending;
     } else {
       cross_request_merges_->Add(1);
+      if (obs_merges_ != nullptr) obs_merges_->Add(loop_->Now());
       *admission = Admission::kMergedPending;
     }
     p.service_local = p.service_local && req.service_local;
@@ -516,6 +541,7 @@ bool BatchScheduler::TryPromoteLane(ReadRequest& req, size_t lane_idx,
     (lane_kind == Kind::kPrefetch ? prefetch_promoted_ : background_promoted_)->Add(1);
     if (covered) {
       singleflight_hits_->Add(1);
+      if (obs_singleflight_ != nullptr) obs_singleflight_->Add(loop_->Now());
       singleflight_bytes_saved_->Add(NvmeDevice::BusBytes(
           req.span_begin, req.span_end - req.span_begin, req.sub_block));
       RecordJoin(req, lane_kind, p.tenant);
@@ -525,6 +551,7 @@ bool BatchScheduler::TryPromoteLane(ReadRequest& req, size_t lane_idx,
       p.budget_bytes = 0;
       p.budget_kind = Kind::kDemand;
       cross_request_merges_->Add(1);
+      if (obs_merges_ != nullptr) obs_merges_->Add(loop_->Now());
       *admission = Admission::kNewRead;
     }
     p.service_local = p.service_local && req.service_local;
@@ -576,6 +603,7 @@ void BatchScheduler::FuseOverlappingPending(size_t i) {
       p.service_local = p.service_local && q.service_local;
       for (Completion& cb : q.subscribers) p.subscribers.push_back(std::move(cb));
       cross_request_merges_->Add(1);
+      if (obs_merges_ != nullptr) obs_merges_->Add(loop_->Now());
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(j));
       if (j < i) --i;
       changed = true;
@@ -755,6 +783,10 @@ void BatchScheduler::Flush() {
     ops.push_back(std::move(op));
   }
   engine_->SubmitBatch(ops);
+  if (obs_sqes_ != nullptr) obs_sqes_->Add(loop_->Now(), batch.size());
+  if (obs_inflight_ != nullptr) {
+    obs_inflight_->Set(loop_->Now(), static_cast<double>(in_flight_.size()));
+  }
 
   // Lane overflow (doorbell was full): drain on the background timers.
   for (size_t lane = 0; lane < kNumLanes; ++lane) {
@@ -789,6 +821,16 @@ void BatchScheduler::SettleRead(const std::shared_ptr<InFlightRead>& read,
   if (read->budget_bytes > 0) {
     lanes_[LaneIndex(read->budget_kind)].inflight_bytes -= read->budget_bytes;
   }
+  if (obs_spans_ != nullptr) {
+    const char* span_name = read->kind == Kind::kPrefetch      ? "sqe.prefetch"
+                            : read->kind == Kind::kBackground  ? "sqe.background"
+                                                               : "sqe.demand";
+    obs_spans_->Span(obs_track_, span_name, read->issued_at, loop_->Now(),
+                     "{\"bytes\":" + std::to_string(read->buf->size()) + "}");
+  }
+  if (obs_inflight_ != nullptr) {
+    obs_inflight_->Set(loop_->Now(), static_cast<double>(in_flight_.size()));
+  }
   // Hedge accounting: exactly ONE sample per logical demand read enters the
   // p99 population — the winner's. A losing original finds the read settled
   // (CompleteRead's early return) and records nothing; a replica-served win
@@ -796,6 +838,9 @@ void BatchScheduler::SettleRead(const std::shared_ptr<InFlightRead>& read,
   // not the one this scheduler's hedge threshold watches.
   if (status.ok() && read->kind == Kind::kDemand && !read->suppress_latency_sample) {
     demand_latency_.Record(loop_->Now() - read->issued_at);
+    if (obs_read_lat_ != nullptr) {
+      obs_read_lat_->Record(loop_->Now(), loop_->Now() - read->issued_at);
+    }
   }
   for (Completion& cb : read->subscribers) {
     cb(status, data, read->base);
@@ -823,6 +868,8 @@ void BatchScheduler::ExpireRead(const std::shared_ptr<InFlightRead>& read) {
     return;  // completed (or hedge-settled) in time
   }
   deadline_expired_->Add(1);
+  if (obs_expired_ != nullptr) obs_expired_->Add(loop_->Now());
+  if (obs_spans_ != nullptr) obs_spans_->Instant(obs_track_, "deadline_expired", loop_->Now());
   read->expired = true;
   // NOTE: read->buf is NOT released here. A spilled op may still be
   // dispatched later and the device memcpy targets that buffer; the late
@@ -840,6 +887,8 @@ void BatchScheduler::MaybeHedge(const std::shared_ptr<InFlightRead>& read) {
   }
   read->hedged = true;
   hedges_issued_->Add(1);
+  if (obs_hedges_ != nullptr) obs_hedges_->Add(loop_->Now());
+  if (obs_spans_ != nullptr) obs_spans_->Instant(obs_track_, "hedge", loop_->Now());
   const Bytes length = read->span_end - read->span_begin;
   read->hedge_buf = arena_->Acquire(read->buf->size());
   // Cross-replica hedging: when the span has a healthy replica, the

@@ -79,6 +79,7 @@
 #include "common/stats.h"
 #include "io/buffer_arena.h"
 #include "io/io_engine.h"
+#include "obs/observability.h"
 
 namespace sdm {
 
@@ -308,6 +309,11 @@ class BatchScheduler {
   /// deployment lives on (§4).
   [[nodiscard]] double BatchOccupancy() const { return Snapshot().BatchOccupancy(); }
 
+  /// Observability (src/obs): registers this scheduler's windowed metrics
+  /// under `<name>sched/` and its trace track. Null (or metrics-off) obs
+  /// leaves every handle null, so recording stays a dead branch.
+  void set_obs(Observability* obs, const std::string& name);
+
  private:
   using Kind = ReadRequest::Kind;
 
@@ -488,6 +494,19 @@ class BatchScheduler {
   /// Observed demand-read completion latency (doorbell -> delivery), the
   /// population behind the adaptive hedge threshold.
   Histogram demand_latency_;
+
+  // ---- Observability (src/obs); all null when off ----
+  WindowedCounter* obs_sqes_ = nullptr;         ///< SQEs issued, all lanes
+  WindowedCounter* obs_singleflight_ = nullptr; ///< demand runs served by sharing
+  WindowedCounter* obs_merges_ = nullptr;
+  WindowedCounter* obs_hedges_ = nullptr;
+  WindowedCounter* obs_expired_ = nullptr;
+  WindowedCounter* obs_pf_dropped_ = nullptr;
+  WindowedCounter* obs_bg_parked_ = nullptr;
+  WindowedGauge* obs_inflight_ = nullptr;
+  WindowedHistogram* obs_read_lat_ = nullptr;   ///< doorbell -> settle, demand
+  SpanRecorder* obs_spans_ = nullptr;
+  SpanRecorder::TrackId obs_track_ = 0;
 };
 
 }  // namespace sdm

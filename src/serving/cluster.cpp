@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/kv_format.h"
 #include "fault/replication_manager.h"
 #include "serving/arrival_loop.h"
 #include "serving/sharded_cluster.h"
@@ -77,6 +78,13 @@ ClusterSimulation::ClusterSimulation(size_t num_hosts, const HostSimConfig& host
   fcfg.link.latency = base_config_.tuning.fabric_latency;
   fcfg.link.bandwidth_bytes_per_sec = base_config_.tuning.fabric_bandwidth_bytes_per_sec;
   fcfg.link.queueing = base_config_.tuning.fabric_queueing;
+  if (base_config_.tuning.obs.enabled()) {
+    // One instance for the whole single-loop cluster; the shared device
+    // stack records under "svc/", host i's store under "host<i>/".
+    obs_ = std::make_unique<Observability>(base_config_.tuning.obs);
+    fcfg.device.obs = obs_.get();
+    fcfg.device.obs_prefix = "svc/";
+  }
   fabric_ = std::make_unique<FabricAttachedService>(std::move(fcfg), &dloop_);
   dhosts_.resize(num_hosts);
   for (size_t i = 0; i < num_hosts; ++i) {
@@ -130,6 +138,10 @@ Status ClusterSimulation::LoadModel(const ModelConfig& model) {
     scfg.shared_device = &fabric_->device_service();
     scfg.tenant_id = h.id;
     scfg.tenant_class = TenantClass::kForeground;
+    if (obs_ != nullptr) {
+      scfg.obs = obs_.get();
+      scfg.obs_prefix = "host" + std::to_string(i) + "/";
+    }
     h.store = std::make_unique<SdmStore>(scfg, &dloop_);
 
     auto report = ModelLoader::Load(model, base_config_.loader, h.store.get());
@@ -322,31 +334,51 @@ DisaggregatedRunReport ClusterSimulation::RunDisaggregated(double total_qps,
   return report;
 }
 
+std::string ClusterSimulation::ObsMetricsJson() {
+  if (sharded_ != nullptr) return sharded_->ObsMetricsJson();
+  if (obs_ == nullptr) return "{}";
+  obs_->Finalize();
+  return obs_->MetricsJson();
+}
+
+std::string ClusterSimulation::ObsTraceJson() {
+  if (sharded_ != nullptr) return sharded_->ObsTraceJson();
+  if (obs_ == nullptr) return "{}";
+  obs_->Finalize();
+  return obs_->TraceJson();
+}
+
+std::string ClusterSimulation::ObsSloJson() {
+  if (sharded_ != nullptr) return sharded_->ObsSloJson();
+  if (obs_ == nullptr) return "{}";
+  obs_->Finalize();
+  return obs_->SloJson();
+}
+
 std::string DisaggregatedRunReport::Summary() const {
-  char buf[560];
-  std::snprintf(
-      buf, sizeof(buf),
-      "hosts=%zu qps=%.0f hit=%.1f%% reads=%llu sf=%llu xhost=%llu dedup=%.1fMiB "
-      "fabric=%.1fMiB(resp) fq=%.0fus occ=%.1f drop=%llu part=%llu ddl=%llu "
-      "hedge=%llu/%llu deg=%llu rowsf=%llu rot=%llu rrd=%llu rep=%llu xrep=%llu",
-      hosts.size(), aggregate_qps, mean_hit_rate * 100,
-      static_cast<unsigned long long>(sm_device_reads),
-      static_cast<unsigned long long>(io.singleflight_hits),
-      static_cast<unsigned long long>(cross_host_hits),
-      AsMiB(sm_logical_bytes - sm_unique_bytes), AsMiB(fabric.response_bytes),
-      fabric.queue_time.micros(), io.BatchOccupancy(),
-      static_cast<unsigned long long>(fabric.dropped),
-      static_cast<unsigned long long>(fabric.partition_deferred),
-      static_cast<unsigned long long>(io.deadline_expired),
-      static_cast<unsigned long long>(io.hedges_won),
-      static_cast<unsigned long long>(io.hedges_issued),
-      static_cast<unsigned long long>(queries_degraded),
-      static_cast<unsigned long long>(rows_failed),
-      static_cast<unsigned long long>(blocks_corrupt),
-      static_cast<unsigned long long>(read_repairs),
-      static_cast<unsigned long long>(replica_reads),
-      static_cast<unsigned long long>(extents_replicated));
-  return buf;
+  KvFormatter f;
+  f.Kv("hosts", "%zu", hosts.size())
+      .Kv("qps", "%.0f", aggregate_qps)
+      .Kv("hit", "%.1f%%", mean_hit_rate * 100)
+      .Kv("reads", "%llu", static_cast<unsigned long long>(sm_device_reads))
+      .Kv("sf", "%llu", static_cast<unsigned long long>(io.singleflight_hits))
+      .Kv("xhost", "%llu", static_cast<unsigned long long>(cross_host_hits))
+      .Kv("dedup", "%.1fMiB", AsMiB(sm_logical_bytes - sm_unique_bytes))
+      .Kv("fabric", "%.1fMiB(resp)", AsMiB(fabric.response_bytes))
+      .Kv("fq", "%.0fus", fabric.queue_time.micros())
+      .Kv("occ", "%.1f", io.BatchOccupancy())
+      .Kv("drop", "%llu", static_cast<unsigned long long>(fabric.dropped))
+      .Kv("part", "%llu", static_cast<unsigned long long>(fabric.partition_deferred))
+      .Kv("ddl", "%llu", static_cast<unsigned long long>(io.deadline_expired))
+      .Kv("hedge", "%llu/%llu", static_cast<unsigned long long>(io.hedges_won),
+          static_cast<unsigned long long>(io.hedges_issued))
+      .Kv("deg", "%llu", static_cast<unsigned long long>(queries_degraded))
+      .Kv("rowsf", "%llu", static_cast<unsigned long long>(rows_failed))
+      .Kv("rot", "%llu", static_cast<unsigned long long>(blocks_corrupt))
+      .Kv("rrd", "%llu", static_cast<unsigned long long>(read_repairs))
+      .Kv("rep", "%llu", static_cast<unsigned long long>(replica_reads))
+      .Kv("xrep", "%llu", static_cast<unsigned long long>(extents_replicated));
+  return f.str();
 }
 
 }  // namespace sdm

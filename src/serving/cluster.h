@@ -170,6 +170,15 @@ class ClusterSimulation {
   /// The parallel runtime behind num_shards >= 2 (null otherwise).
   [[nodiscard]] ShardedClusterRuntime* sharded_runtime() { return sharded_.get(); }
 
+  /// Observability exports (src/obs): non-empty iff tuning.obs.enabled().
+  /// Disaggregated modes export the whole cluster — the sharded runtime
+  /// merges its per-LP buffers into documents bit-identical across worker
+  /// counts. Isolated mode returns "{}": each host there owns a private
+  /// Observability (use host(i).ObsMetricsJson()).
+  [[nodiscard]] std::string ObsMetricsJson();
+  [[nodiscard]] std::string ObsTraceJson();
+  [[nodiscard]] std::string ObsSloJson();
+
  private:
   struct DisaggregatedHost {  // a host shard on the common loop
     TenantId id = 0;  ///< host identity on the fabric service's ledger
@@ -187,6 +196,7 @@ class ClusterSimulation {
   StickyRouter router_;
   // ---- Disaggregated mode (src/fabric) ----
   EventLoop dloop_;  ///< the one loop every host shard runs on
+  std::unique_ptr<Observability> obs_;  ///< single-loop mode; outlives the stacks
   std::unique_ptr<FabricAttachedService> fabric_;
   std::vector<DisaggregatedHost> dhosts_;
   // ---- Sharded parallel mode (src/serving/sharded_cluster.h) ----

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/kv_format.h"
 #include "common/logging.h"
 #include "fault/replication_manager.h"
 
@@ -96,6 +97,11 @@ Status HostSimulation::LoadModel(const ModelConfig& model) {
   }
   scfg.tuning = config_.tuning;
   scfg.seed = config_.seed;
+  if (config_.tuning.obs.enabled()) {
+    obs_ = std::make_unique<Observability>(config_.tuning.obs);
+    scfg.obs = obs_.get();
+    scfg.obs_prefix = "host0/";
+  }
   store_ = std::make_unique<SdmStore>(scfg, &loop_);
 
   auto report = ModelLoader::Load(model_, config_.loader, store_.get());
@@ -289,6 +295,24 @@ HostRunReport HostSimulation::RunInternal(double target_qps, uint64_t num_querie
   return r;
 }
 
+std::string HostSimulation::ObsMetricsJson() {
+  if (obs_ == nullptr) return "{}";
+  obs_->Finalize();
+  return obs_->MetricsJson();
+}
+
+std::string HostSimulation::ObsTraceJson() {
+  if (obs_ == nullptr) return "{}";
+  obs_->Finalize();
+  return obs_->TraceJson();
+}
+
+std::string HostSimulation::ObsSloJson() {
+  if (obs_ == nullptr) return "{}";
+  obs_->Finalize();
+  return obs_->SloJson();
+}
+
 double HostSimulation::FindMaxQps(SimDuration sla, bool use_p99, uint64_t queries_per_probe,
                                   double qps_lo, double qps_hi) {
   assert(loaded_);
@@ -316,35 +340,36 @@ double HostSimulation::FindMaxQps(SimDuration sla, bool use_p99, uint64_t querie
 }
 
 std::string HostRunReport::Summary() const {
-  char buf[560];
-  std::snprintf(buf, sizeof(buf),
-                "qps=%.0f/%.0f p50=%.2fms p95=%.2fms p99=%.2fms hit=%.1f%% pooled=%.1f%% "
-                "iops=%.0f amp=%.2f cpu/q=%.0fus sf=%llu xmerge=%llu occ=%.1f "
-                "pf=%llu pfhit=%.1f%% pfwaste=%lluKiB "
-                "err=%llu retry=%llu+%llu ddl=%llu hedge=%llu/%llu deg=%llu "
-                "rowsf=%llu shed=%llu rot=%llu rrd=%llu rep=%llu xrep=%llu",
-                achieved_qps, offered_qps, p50.millis(), p95.millis(), p99.millis(),
-                row_cache_hit_rate * 100, pooled_hit_rate * 100, sm_iops,
-                sm_read_amplification, avg_cpu_per_query.micros(),
-                static_cast<unsigned long long>(singleflight_hits),
-                static_cast<unsigned long long>(cross_request_merges), batch_occupancy,
-                static_cast<unsigned long long>(prefetch_issued),
-                prefetch_hit_rate * 100,
-                static_cast<unsigned long long>(prefetch_wasted_bytes / kKiB),
-                static_cast<unsigned long long>(io_errors),
-                static_cast<unsigned long long>(io_retries),
-                static_cast<unsigned long long>(reader_retries),
-                static_cast<unsigned long long>(deadline_expired),
-                static_cast<unsigned long long>(hedges_won),
-                static_cast<unsigned long long>(hedges_issued),
-                static_cast<unsigned long long>(queries_degraded),
-                static_cast<unsigned long long>(rows_failed),
-                static_cast<unsigned long long>(lookups_shed),
-                static_cast<unsigned long long>(blocks_corrupt),
-                static_cast<unsigned long long>(read_repairs),
-                static_cast<unsigned long long>(replica_reads),
-                static_cast<unsigned long long>(extents_replicated));
-  return buf;
+  KvFormatter f;
+  f.Kv("qps", "%.0f/%.0f", achieved_qps, offered_qps)
+      .Kv("p50", "%.2fms", p50.millis())
+      .Kv("p95", "%.2fms", p95.millis())
+      .Kv("p99", "%.2fms", p99.millis())
+      .Kv("hit", "%.1f%%", row_cache_hit_rate * 100)
+      .Kv("pooled", "%.1f%%", pooled_hit_rate * 100)
+      .Kv("iops", "%.0f", sm_iops)
+      .Kv("amp", "%.2f", sm_read_amplification)
+      .Kv("cpu/q", "%.0fus", avg_cpu_per_query.micros())
+      .Kv("sf", "%llu", static_cast<unsigned long long>(singleflight_hits))
+      .Kv("xmerge", "%llu", static_cast<unsigned long long>(cross_request_merges))
+      .Kv("occ", "%.1f", batch_occupancy)
+      .Kv("pf", "%llu", static_cast<unsigned long long>(prefetch_issued))
+      .Kv("pfhit", "%.1f%%", prefetch_hit_rate * 100)
+      .Kv("pfwaste", "%lluKiB", static_cast<unsigned long long>(prefetch_wasted_bytes / kKiB))
+      .Kv("err", "%llu", static_cast<unsigned long long>(io_errors))
+      .Kv("retry", "%llu+%llu", static_cast<unsigned long long>(io_retries),
+          static_cast<unsigned long long>(reader_retries))
+      .Kv("ddl", "%llu", static_cast<unsigned long long>(deadline_expired))
+      .Kv("hedge", "%llu/%llu", static_cast<unsigned long long>(hedges_won),
+          static_cast<unsigned long long>(hedges_issued))
+      .Kv("deg", "%llu", static_cast<unsigned long long>(queries_degraded))
+      .Kv("rowsf", "%llu", static_cast<unsigned long long>(rows_failed))
+      .Kv("shed", "%llu", static_cast<unsigned long long>(lookups_shed))
+      .Kv("rot", "%llu", static_cast<unsigned long long>(blocks_corrupt))
+      .Kv("rrd", "%llu", static_cast<unsigned long long>(read_repairs))
+      .Kv("rep", "%llu", static_cast<unsigned long long>(replica_reads))
+      .Kv("xrep", "%llu", static_cast<unsigned long long>(extents_replicated));
+  return f.str();
 }
 
 }  // namespace sdm

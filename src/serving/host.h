@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/model_loader.h"
+#include "obs/observability.h"
 #include "serving/inference_engine.h"
 
 namespace sdm {
@@ -136,6 +137,15 @@ class HostSimulation {
   [[nodiscard]] const HostSimConfig& config() const { return config_; }
   [[nodiscard]] const LoadReport& load_report() const { return load_report_; }
 
+  /// Observability (src/obs): non-null iff tuning.obs.enabled() at
+  /// LoadModel. Metric names carry the "host0/" source prefix.
+  [[nodiscard]] Observability* obs() { return obs_.get(); }
+  /// Exports close open metric windows first (idempotent); empty documents
+  /// when the corresponding subsystem is off.
+  [[nodiscard]] std::string ObsMetricsJson();
+  [[nodiscard]] std::string ObsTraceJson();
+  [[nodiscard]] std::string ObsSloJson();
+
   /// Finds the highest QPS whose p-latency stays under `sla` (binary
   /// search over Run; `use_p99` picks the percentile — §2.3's p95 vs p99).
   [[nodiscard]] double FindMaxQps(SimDuration sla, bool use_p99, uint64_t queries_per_probe,
@@ -147,6 +157,7 @@ class HostSimulation {
 
   HostSimConfig config_;
   EventLoop loop_;
+  std::unique_ptr<Observability> obs_;  ///< must outlive store_/engine_
   std::unique_ptr<SdmStore> store_;
   std::unique_ptr<InferenceEngine> engine_;
   std::unique_ptr<QueryGenerator> workload_;

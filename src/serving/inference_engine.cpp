@@ -1,6 +1,7 @@
 #include "serving/inference_engine.h"
 
 #include <cassert>
+#include <cstdio>
 
 namespace sdm {
 
@@ -9,6 +10,7 @@ struct InferenceEngine::QueryState {
   QueryCallback cb;
   SimTime arrival;
   SimTime start;
+  bool traced = false;  ///< span-sampled query; propagates to its lookups
 
   size_t next_operator = 0;  // serial mode cursor
   size_t operators_done = 0;
@@ -29,6 +31,20 @@ InferenceEngine::InferenceEngine(SdmStore* store, const ModelConfig& model,
   queries_ = stats_.GetCounter("queries");
   errors_ = stats_.GetCounter("errors");
   cpu_ns_ = stats_.GetCounter("cpu_ns");
+
+  Observability* obs = store->obs();
+  const std::string& prefix = store->obs_prefix();
+  obs_queries_ = ObsCounter(obs, prefix + "query/requests");
+  obs_degraded_ = ObsCounter(obs, prefix + "query/degraded");
+  obs_queue_depth_ = ObsGauge(obs, prefix + "query/queue_depth");
+  obs_lat_ = ObsHist(obs, prefix + "query/latency_ns");
+  obs_spans_ = ObsSpans(obs);
+  if (obs_spans_ != nullptr) {
+    std::string process = prefix;
+    if (!process.empty() && process.back() == '/') process.pop_back();
+    if (process.empty()) process = "host";
+    obs_track_ = obs_spans_->Track(process, "queries");
+  }
 }
 
 void InferenceEngine::Submit(const Query& query, QueryCallback cb) {
@@ -36,9 +52,17 @@ void InferenceEngine::Submit(const Query& query, QueryCallback cb) {
   st->query = query;
   st->cb = std::move(cb);
   st->arrival = loop_->Now();
+  // Sample by submission sequence (not completion order) so the traced set
+  // is the same queries in every run regardless of queueing.
+  st->traced = obs_spans_ != nullptr &&
+               (submit_seq_++ % obs_spans_->sample_every()) == 0;
   if (in_flight_ >= config_.max_concurrent_queries) {
     admission_queue_.push_back(PendingQuery{std::move(st->query), std::move(st->cb),
-                                            st->arrival});
+                                            st->arrival, st->traced});
+    if (obs_queue_depth_ != nullptr) {
+      obs_queue_depth_->Set(loop_->Now(),
+                            static_cast<double>(admission_queue_.size()));
+    }
     return;
   }
   ++in_flight_;
@@ -49,10 +73,15 @@ void InferenceEngine::AdmitFromQueue() {
   if (admission_queue_.empty() || in_flight_ >= config_.max_concurrent_queries) return;
   PendingQuery p = std::move(admission_queue_.front());
   admission_queue_.pop_front();
+  if (obs_queue_depth_ != nullptr) {
+    obs_queue_depth_->Set(loop_->Now(),
+                          static_cast<double>(admission_queue_.size()));
+  }
   auto st = std::make_shared<QueryState>();
   st->query = std::move(p.query);
   st->cb = std::move(p.cb);
   st->arrival = p.arrival;
+  st->traced = p.traced;
   ++in_flight_;
   Start(std::move(st));
 }
@@ -85,6 +114,7 @@ void InferenceEngine::LaunchOperator(const std::shared_ptr<QueryState>& st, size
   LookupRequest req;
   req.table = MakeTableId(static_cast<uint32_t>(table_idx));
   req.indices = st->query.indices[table_idx];
+  req.traced = st->traced;
   if (req.indices.empty()) {
     // Feature absent for this sample: completes instantly with a zero
     // contribution; still counts as an operator.
@@ -146,6 +176,20 @@ void InferenceEngine::FinishQuery(const std::shared_ptr<QueryState>& st) {
     user_path_.Record(st->trace.user_path);
     item_path_.Record(st->trace.item_path);
     queries_->Add(1);
+    if (obs_queries_ != nullptr) {
+      obs_queries_->Add(loop_->Now());
+      if (st->trace.degraded) obs_degraded_->Add(loop_->Now());
+      obs_lat_->Record(loop_->Now(), st->trace.total);
+    }
+    if (obs_spans_ != nullptr && st->traced) {
+      char args[96];
+      std::snprintf(args, sizeof(args),
+                    "{\"queue_ns\":%lld,\"sm_rows\":%zu,\"degraded\":%s}",
+                    static_cast<long long>(st->trace.queue_time.nanos()),
+                    static_cast<size_t>(st->trace.sm_rows),
+                    st->trace.degraded ? "true" : "false");
+      obs_spans_->Span(obs_track_, "query", st->arrival, loop_->Now(), args);
+    }
     --in_flight_;
     assert(in_flight_ >= 0);
     st->cb(Status::Ok(), st->trace);

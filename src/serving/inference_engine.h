@@ -23,6 +23,7 @@
 #include "common/histogram.h"
 #include "core/lookup_engine.h"
 #include "dlrm/dlrm_model.h"
+#include "obs/observability.h"
 #include "trace/trace_gen.h"
 
 namespace sdm {
@@ -122,6 +123,7 @@ class InferenceEngine {
     Query query;
     QueryCallback cb;
     SimTime arrival;
+    bool traced = false;  ///< sampled at Submit, before any queueing
   };
   std::deque<PendingQuery> admission_queue_;
 
@@ -132,6 +134,19 @@ class InferenceEngine {
   Counter* queries_ = nullptr;
   Counter* errors_ = nullptr;
   Counter* cpu_ns_ = nullptr;
+
+  // ---- Observability (src/obs); all null when off. Handles resolve from
+  // the store's Observability in the ctor; query tracing samples every
+  // SpanRecorder::sample_every()'th submission (by stable submit sequence,
+  // so the sample set is identical run to run) and marks its lookups
+  // `traced` so the engine records their spans too. ----
+  WindowedCounter* obs_queries_ = nullptr;
+  WindowedCounter* obs_degraded_ = nullptr;
+  WindowedGauge* obs_queue_depth_ = nullptr;
+  WindowedHistogram* obs_lat_ = nullptr;
+  SpanRecorder* obs_spans_ = nullptr;
+  SpanRecorder::TrackId obs_track_ = 0;
+  uint64_t submit_seq_ = 0;
 };
 
 }  // namespace sdm

@@ -43,6 +43,13 @@ ShardedClusterRuntime::ShardedClusterRuntime(size_t num_hosts,
   assert(device_lp == kDeviceLp);
   (void)device_lp;
 
+  if (base_config_.tuning.obs.enabled()) {
+    // One instance per LP so recording never crosses a thread boundary;
+    // Merged*Json folds them back into one document at export time.
+    obs_.resize(1 + num_hosts);
+    for (auto& o : obs_) o = std::make_unique<Observability>(base_config_.tuning.obs);
+  }
+
   // Device stack: configured exactly like the single-loop fabric service's
   // (same specs, tuning, seed — so NvmeDevice seeds match bit-for-bit).
   SharedDeviceConfig dcfg;
@@ -52,6 +59,10 @@ ShardedClusterRuntime::ShardedClusterRuntime(size_t num_hosts,
   }
   dcfg.tuning = base_config_.tuning;
   dcfg.seed = base_config_.seed;
+  if (!obs_.empty()) {
+    dcfg.obs = obs_[kDeviceLp].get();
+    dcfg.obs_prefix = "svc/";
+  }
   stack_ = std::make_unique<SharedDeviceService>(std::move(dcfg),
                                                  &runtime_.loop(kDeviceLp));
   endpoint_ = std::make_unique<ShardDeviceEndpoint>(stack_.get(), num_hosts);
@@ -82,12 +93,21 @@ ShardedClusterRuntime::ShardedClusterRuntime(size_t num_hosts,
       req->set_remote_delivery([this, host_lp](SimTime at, EventLoop::Callback cb) {
         runtime_.Post(host_lp, kDeviceLp, at, std::move(cb));
       });
+      if (!obs_.empty()) {
+        // Each direction records on the LP that transmits on it.
+        req->set_obs(obs_[host_lp].get(),
+                     "host" + std::to_string(i) + "/dev" + std::to_string(p) + "/");
+      }
       h.request_links.push_back(std::move(req));
 
       auto resp = std::make_unique<FabricLink>(lcfg, &runtime_.loop(kDeviceLp));
       resp->set_remote_delivery([this, host_lp](SimTime at, EventLoop::Callback cb) {
         runtime_.Post(kDeviceLp, host_lp, at, std::move(cb));
       });
+      if (!obs_.empty()) {
+        resp->set_obs(obs_[kDeviceLp].get(), "svc/host" + std::to_string(i) +
+                                                 "/dev" + std::to_string(p) + "/");
+      }
       response_links_.push_back(std::move(resp));
     }
   }
@@ -117,6 +137,10 @@ Status ShardedClusterRuntime::LoadModel(const ModelConfig& model) {
     slice_cfg.remote.stack = stack_.get();
     slice_cfg.remote.channel = h.channel.get();
     slice_cfg.remote.tenant = h.stack_id;
+    if (!obs_.empty()) {
+      slice_cfg.obs = obs_[1 + i].get();
+      slice_cfg.obs_prefix = "host" + std::to_string(i) + "/";
+    }
     h.slice = std::make_unique<SharedDeviceService>(std::move(slice_cfg),
                                                     &runtime_.loop(1 + i));
     const TenantId local_id =
@@ -132,6 +156,10 @@ Status ShardedClusterRuntime::LoadModel(const ModelConfig& model) {
     scfg.shared_device = h.slice.get();
     scfg.tenant_id = local_id;
     scfg.tenant_class = TenantClass::kForeground;
+    if (!obs_.empty()) {
+      scfg.obs = obs_[1 + i].get();
+      scfg.obs_prefix = "host" + std::to_string(i) + "/";
+    }
     h.store = std::make_unique<SdmStore>(scfg, &runtime_.loop(1 + i));
 
     auto report = ModelLoader::Load(model, base_config_.loader, h.store.get());
@@ -303,6 +331,36 @@ FabricLinkStats ShardedClusterRuntime::FabricStats() const {
   }
   for (const auto& link : response_links_) add(link->stats());
   return agg;
+}
+
+std::string ShardedClusterRuntime::ObsMetricsJson() {
+  if (obs_.empty()) return "{}";
+  std::vector<Observability*> all;
+  all.reserve(obs_.size());
+  for (auto& o : obs_) {
+    o->Finalize();
+    all.push_back(o.get());
+  }
+  return Observability::MergedMetricsJson(all);
+}
+
+std::string ShardedClusterRuntime::ObsTraceJson() {
+  if (obs_.empty()) return "{}";
+  std::vector<Observability*> all;
+  all.reserve(obs_.size());
+  for (auto& o : obs_) all.push_back(o.get());
+  return Observability::MergedTraceJson(all);
+}
+
+std::string ShardedClusterRuntime::ObsSloJson() {
+  if (obs_.empty()) return "{}";
+  std::vector<Observability*> all;
+  all.reserve(obs_.size());
+  for (auto& o : obs_) {
+    o->Finalize();
+    all.push_back(o.get());
+  }
+  return Observability::MergedSloJson(all);
 }
 
 DisaggregatedRunReport ShardedClusterRuntime::Run(double total_qps,

@@ -96,6 +96,15 @@ class ShardedClusterRuntime {
   /// Runtime introspection: windows, cross-shard messages, event counts.
   [[nodiscard]] const ShardedRuntime& runtime() const { return runtime_; }
 
+  /// Observability exports (src/obs): one Observability per LP (the device
+  /// shard records under "svc/", host i under "host<i>/"), merged at export
+  /// time — the documents are bit-identical for every worker count because
+  /// recording is LP-local and the merge orders by name / virtual time, not
+  /// by thread interleaving. "{}" when tuning.obs is off.
+  [[nodiscard]] std::string ObsMetricsJson();
+  [[nodiscard]] std::string ObsTraceJson();
+  [[nodiscard]] std::string ObsSloJson();
+
  private:
   static constexpr size_t kDeviceLp = 0;
 
@@ -138,6 +147,10 @@ class ShardedClusterRuntime {
   StickyRouter router_;
   size_t num_shards_;
   ShardedRuntime runtime_;
+  /// Per-LP observability (index = LP id; empty when obs is off). Declared
+  /// before the stacks so the recorders outlive every instrumented
+  /// component.
+  std::vector<std::unique_ptr<Observability>> obs_;
   std::unique_ptr<SharedDeviceService> stack_;  ///< device shard (LP 0)
   std::unique_ptr<ShardDeviceEndpoint> endpoint_;
   std::unique_ptr<FaultInjector> device_injector_;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/kv_format.h"
 #include "common/rng.h"
 #include "serving/arrival_loop.h"
 
@@ -64,6 +65,11 @@ Status MultiTenantHost::AddTenant(const ModelConfig& model, Bytes fm_share,
     }
     dcfg.tuning = base_config_.tuning;
     dcfg.seed = seed_;
+    if (base_config_.tuning.obs.enabled()) {
+      obs_ = std::make_unique<Observability>(base_config_.tuning.obs);
+      dcfg.obs = obs_.get();
+      dcfg.obs_prefix = "svc/";
+    }
     service_ = std::make_unique<SharedDeviceService>(std::move(dcfg), &loop_);
   }
 
@@ -79,6 +85,10 @@ Status MultiTenantHost::AddTenant(const ModelConfig& model, Bytes fm_share,
   scfg.shared_device = service_.get();
   scfg.tenant_id = shard.id;
   scfg.tenant_class = cls;
+  if (obs_ != nullptr) {
+    scfg.obs = obs_.get();
+    scfg.obs_prefix = "tenant" + std::to_string(shards_.size()) + "/";
+  }
   shard.store = std::make_unique<SdmStore>(scfg, &loop_);
 
   auto report = ModelLoader::Load(model, base_config_.loader, shard.store.get());
@@ -236,19 +246,37 @@ MultiTenantReport MultiTenantHost::RunShared(double qps, uint64_t queries) {
 }
 
 std::string TenantReport::Summary() const {
-  char buf[320];
-  std::snprintf(
-      buf, sizeof(buf),
-      "%s [%s] qps=%.0f/%.0f p95=%.2fms p99=%.2fms hit=%.1f%% sf=%llu xsf=%llu "
-      "fg=%lluKiB bg=%lluKiB tq=%.0fus",
-      model_name.c_str(), ToString(cls), run.achieved_qps, run.offered_qps,
-      run.p95.millis(), run.p99.millis(), run.row_cache_hit_rate * 100,
-      static_cast<unsigned long long>(singleflight_hits),
-      static_cast<unsigned long long>(cross_tenant_hits),
-      static_cast<unsigned long long>(fg_lane_bytes / kKiB),
-      static_cast<unsigned long long>(bg_lane_bytes / kKiB),
-      throttle_queue_time.micros());
-  return buf;
+  KvFormatter f;
+  f.Raw(model_name)
+      .Raw(std::string("[") + ToString(cls) + "]")
+      .Kv("qps", "%.0f/%.0f", run.achieved_qps, run.offered_qps)
+      .Kv("p95", "%.2fms", run.p95.millis())
+      .Kv("p99", "%.2fms", run.p99.millis())
+      .Kv("hit", "%.1f%%", run.row_cache_hit_rate * 100)
+      .Kv("sf", "%llu", static_cast<unsigned long long>(singleflight_hits))
+      .Kv("xsf", "%llu", static_cast<unsigned long long>(cross_tenant_hits))
+      .Kv("fg", "%lluKiB", static_cast<unsigned long long>(fg_lane_bytes / kKiB))
+      .Kv("bg", "%lluKiB", static_cast<unsigned long long>(bg_lane_bytes / kKiB))
+      .Kv("tq", "%.0fus", throttle_queue_time.micros());
+  return f.str();
+}
+
+std::string MultiTenantHost::ObsMetricsJson() {
+  if (obs_ == nullptr) return "{}";
+  obs_->Finalize();
+  return obs_->MetricsJson();
+}
+
+std::string MultiTenantHost::ObsTraceJson() {
+  if (obs_ == nullptr) return "{}";
+  obs_->Finalize();
+  return obs_->TraceJson();
+}
+
+std::string MultiTenantHost::ObsSloJson() {
+  if (obs_ == nullptr) return "{}";
+  obs_->Finalize();
+  return obs_->SloJson();
 }
 
 std::string MultiTenantReport::Summary() const {

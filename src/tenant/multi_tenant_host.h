@@ -97,6 +97,14 @@ class MultiTenantHost {
   /// Shared-mode shard store (isolated mode: the tenant sim's store).
   [[nodiscard]] SdmStore& tenant_store(size_t i);
 
+  /// Observability exports (src/obs), shared mode only: the device stack
+  /// records under "svc/", tenant i's store under "tenant<i>/". "{}" when
+  /// tuning.obs is off or in isolated mode (each private host owns its
+  /// Observability there).
+  [[nodiscard]] std::string ObsMetricsJson();
+  [[nodiscard]] std::string ObsTraceJson();
+  [[nodiscard]] std::string ObsSloJson();
+
  private:
   struct Shard {  // shared mode: a real tenant shard on the common loop
     ModelConfig model;
@@ -120,6 +128,7 @@ class MultiTenantHost {
   uint64_t seed_;
   bool shared_mode_;
   EventLoop loop_;  ///< shared-mode loop (unused in isolated mode)
+  std::unique_ptr<Observability> obs_;  ///< shared mode; outlives the stacks
   std::unique_ptr<SharedDeviceService> service_;  ///< lazily built (shared mode)
   std::vector<Shard> shards_;
   std::vector<IsolatedTenant> isolated_;

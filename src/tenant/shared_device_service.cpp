@@ -85,6 +85,12 @@ SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* l
     bcfg.hedge_min_samples = config_.tuning.hedge_min_samples;
     schedulers_.push_back(std::make_unique<BatchScheduler>(engines_.back().get(),
                                                            &buffer_arena_, loop_, bcfg));
+    if (config_.obs != nullptr) {
+      const std::string dev_name =
+          config_.obs_prefix + "dev" + std::to_string(i) + "/";
+      engines_.back()->set_obs(config_.obs, dev_name);
+      schedulers_.back()->set_obs(config_.obs, dev_name);
+    }
   }
   sm_used_.assign(sm_.size(), 0);
 
@@ -94,6 +100,9 @@ SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* l
   hcfg.window = config_.tuning.health_window;
   hcfg.probe_interval = config_.tuning.health_probe_interval;
   health_ = std::make_unique<HealthMonitor>(hcfg, ports);
+  if (config_.obs != nullptr) {
+    health_->set_obs(config_.obs, loop_, config_.obs_prefix);
+  }
 
   if (config_.tuning.enable_replication) {
     // Cross-replica hedging: a scheduler whose demand read crosses its p99
@@ -114,6 +123,9 @@ SharedDeviceService::SharedDeviceService(SharedDeviceConfig config, EventLoop* l
       // sharded slices instead forward their sickness transitions to the
       // device shard's manager (src/serving wires that path).
       replication_ = std::make_unique<ReplicationManager>(this, loop_);
+      if (config_.obs != nullptr) {
+        replication_->set_obs(config_.obs, config_.obs_prefix);
+      }
       health_->SetSickTransitionListener(
           [this](size_t endpoint) { replication_->OnEndpointSick(endpoint); });
     }

@@ -57,6 +57,7 @@
 #include "io/io_engine.h"
 #include "fault/health_monitor.h"
 #include "io/throttle.h"
+#include "obs/observability.h"
 #include "sched/batch_scheduler.h"
 #include "tenant/tenant.h"
 
@@ -95,6 +96,14 @@ struct SharedDeviceConfig {
     TenantId tenant = 0;
   };
   RemoteStack remote;
+
+  // ---- Observability (src/obs) ----
+  /// Per-loop observability instance for the stack's components (null =
+  /// off). Must live on the same event loop as this service.
+  Observability* obs = nullptr;
+  /// Source prefix for the stack's metric names and trace tracks; devices
+  /// get "<prefix>dev<i>/" ("svc/dev0/" on a fabric-attached stack).
+  std::string obs_prefix;
 };
 
 class SharedDeviceService {

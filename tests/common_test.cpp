@@ -2,13 +2,18 @@
 // event loop, thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/event_loop.h"
 #include "common/histogram.h"
+#include "common/kv_format.h"
+#include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -321,6 +326,114 @@ TEST(Histogram, SummaryStringContainsFields) {
   const std::string s = h.SummaryString();
   EXPECT_NE(s.find("count=1"), std::string::npos);
   EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(Histogram, LowValuesClampIntoTheTrackedDomain) {
+  // Zero and negative samples must clamp to 1 BEFORE the summary stats see
+  // them: otherwise mean()/min() go negative while the bucket counts stay
+  // clamped, and quantiles (capped at observed_max_) disagree with count().
+  Histogram h;
+  h.Record(0);
+  h.Record(-5'000);
+  h.Record(int64_t{-1} << 40);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 1);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 1);
+}
+
+TEST(Histogram, QuantilesAreMonotoneInQ) {
+  // Property: for ANY recorded population, ValueAtQuantile must be a
+  // non-decreasing function of q — a sweep can never report p95 < p50.
+  Rng rng(1234);
+  Histogram h;
+  for (int i = 0; i < 5'000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextLogNormal(/*median=*/50'000, /*sigma=*/2.0)));
+  }
+  int64_t prev = h.ValueAtQuantile(0.0);
+  for (double q = 0.01; q <= 1.0 + 1e-9; q += 0.01) {
+    const int64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, RandomSamplesStayWithinRelativeErrorBound) {
+  // Property over a random heavy-tailed population: every reported quantile
+  // lies within the log-bucket resolution (1/32 relative, plus integer
+  // slack) of the exact order statistic.
+  Rng rng(99);
+  std::vector<int64_t> values;
+  Histogram h;
+  for (int i = 0; i < 2'000; ++i) {
+    const int64_t v =
+        std::max<int64_t>(1, static_cast<int64_t>(rng.NextExponential(1.0) * 1e6));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}) {
+    const size_t rank =
+        std::min(values.size() - 1,
+                 static_cast<size_t>(q * static_cast<double>(values.size())));
+    const double exact = static_cast<double>(values[rank]);
+    const double got = static_cast<double>(h.ValueAtQuantile(q));
+    // The bucket upper bound can sit one sub-bucket above the exact value;
+    // rank rounding adds at most one neighbouring sample of slack.
+    EXPECT_NEAR(got, exact, exact / 8 + 2) << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KvFormatter.
+// ---------------------------------------------------------------------------
+
+TEST(KvFormat, BuildsSpaceSeparatedTokens) {
+  KvFormatter f;
+  f.Kv("qps", "%.1f", 12.5).Kv("n", "%d", 3).Kv("tag", "%s", "hot");
+  EXPECT_EQ(f.str(), "qps=12.5 n=3 tag=hot");
+}
+
+TEST(KvFormat, RawTokenAndEmptyFormatter) {
+  KvFormatter empty;
+  EXPECT_EQ(empty.str(), "");
+  KvFormatter f;
+  f.Raw("[host0]").Kv("p99", "%.2fms", 1.25).Raw("(degraded)");
+  EXPECT_EQ(f.str(), "[host0] p99=1.25ms (degraded)");
+}
+
+TEST(KvFormat, CompositeValueSpecs) {
+  // Reports lean on multi-argument specs ("a/b", "a+b"); pin one of each.
+  KvFormatter f;
+  f.Kv("qps", "%.0f/%.0f", 98.0, 100.0).Kv("retry", "%d+%d", 2, 7);
+  EXPECT_EQ(f.str(), "qps=98/100 retry=2+7");
+}
+
+// ---------------------------------------------------------------------------
+// Pluggable log sink.
+// ---------------------------------------------------------------------------
+
+TEST(Logging, SinkCapturesRecordsAndEmptyRestoresStderr) {
+  std::vector<std::pair<LogLevel, std::string>> got;
+  std::string last_file;
+  SetLogSink([&](LogLevel level, const char* file, int line, const std::string& msg) {
+    ASSERT_NE(file, nullptr);
+    EXPECT_GT(line, 0);
+    last_file = file;
+    got.push_back({level, msg});
+  });
+  SDM_LOG_WARN << "queue depth " << 42 << " above limit";
+  SDM_LOG_INFO << "benign";
+  SetLogSink({});  // restore the stderr default
+  SDM_LOG_INFO << "not captured";
+
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, LogLevel::kWarn);
+  EXPECT_EQ(got[0].second, "queue depth 42 above limit");
+  EXPECT_EQ(got[1].first, LogLevel::kInfo);
+  EXPECT_NE(last_file.find("common_test.cpp"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -493,5 +493,83 @@ TEST(Disaggregated, DisabledFabricMatchesIsolatedCluster) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Report formatting pins (shared KvFormatter path).
+// ---------------------------------------------------------------------------
+
+TEST(ReportFormat, HostRunReportSummaryIsPinned) {
+  // Exact-output pin for the KvFormatter-built summary line: a formatting
+  // regression (reordered keys, drifted precision, lost separator) must
+  // fail loudly, not silently reshuffle every bench log.
+  HostRunReport r;
+  r.queries_completed = 100;
+  r.offered_qps = 100;
+  r.achieved_qps = 98.4;
+  r.p50 = Millis(1.5);
+  r.p95 = Millis(3.25);
+  r.p99 = Millis(7);
+  r.row_cache_hit_rate = 0.915;
+  r.pooled_hit_rate = 0.25;
+  r.sm_iops = 1234.6;
+  r.sm_read_amplification = 1.75;
+  r.avg_cpu_per_query = Micros(42);
+  r.singleflight_hits = 5;
+  r.cross_request_merges = 3;
+  r.batch_occupancy = 2.5;
+  r.prefetch_issued = 10;
+  r.prefetch_hit_rate = 0.5;
+  r.prefetch_wasted_bytes = 8 * kKiB;
+  r.io_errors = 1;
+  r.io_retries = 2;
+  r.reader_retries = 4;
+  r.deadline_expired = 1;
+  r.hedges_issued = 6;
+  r.hedges_won = 2;
+  r.queries_degraded = 1;
+  r.rows_failed = 3;
+  r.lookups_shed = 2;
+  r.blocks_corrupt = 1;
+  r.read_repairs = 1;
+  r.replica_reads = 2;
+  r.extents_replicated = 1;
+  EXPECT_EQ(r.Summary(),
+            "qps=98/100 p50=1.50ms p95=3.25ms p99=7.00ms hit=91.5% "
+            "pooled=25.0% iops=1235 amp=1.75 cpu/q=42us sf=5 xmerge=3 "
+            "occ=2.5 pf=10 pfhit=50.0% pfwaste=8KiB err=1 retry=2+4 ddl=1 "
+            "hedge=2/6 deg=1 rowsf=3 shed=2 rot=1 rrd=1 rep=2 xrep=1");
+}
+
+TEST(ReportFormat, DisaggregatedRunReportSummaryIsPinned) {
+  DisaggregatedRunReport r;
+  r.hosts.resize(2);
+  r.aggregate_qps = 512.3;
+  r.mean_hit_rate = 0.805;
+  r.sm_device_reads = 1000;
+  r.io.singleflight_hits = 40;
+  r.io.flushes = 10;
+  r.io.device_reads = 20;
+  r.io.prefetch_reads = 5;
+  r.cross_host_hits = 7;
+  r.sm_logical_bytes = 24 * kMiB;
+  r.sm_unique_bytes = 16 * kMiB;
+  r.fabric.response_bytes = 12 * kMiB / 10;  // 1.2 MiB
+  r.fabric.queue_time = Micros(150);
+  r.fabric.dropped = 2;
+  r.fabric.partition_deferred = 3;
+  r.io.deadline_expired = 1;
+  r.io.hedges_issued = 4;
+  r.io.hedges_won = 1;
+  r.queries_degraded = 2;
+  r.rows_failed = 5;
+  r.blocks_corrupt = 1;
+  r.read_repairs = 1;
+  r.replica_reads = 2;
+  r.extents_replicated = 1;
+  EXPECT_EQ(r.Summary(),
+            "hosts=2 qps=512 hit=80.5% reads=1000 sf=40 xhost=7 dedup=8.0MiB "
+            "fabric=1.2MiB(resp) fq=150us occ=2.5 drop=2 part=3 ddl=1 "
+            "hedge=1/4 deg=2 rowsf=5 rot=1 rrd=1 rep=2 xrep=1");
+}
+
 }  // namespace
 }  // namespace sdm

@@ -616,5 +616,26 @@ TEST(MultiTenantShared, IsolatedModeStillWorks) {
   EXPECT_EQ(r.sm_unique_bytes, r.sm_logical_bytes);
 }
 
+TEST(MultiTenant, TenantReportSummaryIsPinned) {
+  // Exact-output pin for the KvFormatter-built tenant line (see the host
+  // and cluster pins in serving_test).
+  TenantReport t;
+  t.model_name = "rm1";
+  t.cls = TenantClass::kBackground;
+  t.run.offered_qps = 200;
+  t.run.achieved_qps = 199.6;
+  t.run.p95 = Millis(2.5);
+  t.run.p99 = Millis(4);
+  t.run.row_cache_hit_rate = 0.5;
+  t.singleflight_hits = 12;
+  t.cross_tenant_hits = 7;
+  t.fg_lane_bytes = 0;
+  t.bg_lane_bytes = 96 * kKiB;
+  t.throttle_queue_time = Micros(250);
+  EXPECT_EQ(t.Summary(),
+            "rm1 [background] qps=200/200 p95=2.50ms p99=4.00ms hit=50.0% sf=12 "
+            "xsf=7 fg=0KiB bg=96KiB tq=250us");
+}
+
 }  // namespace
 }  // namespace sdm
