@@ -45,30 +45,41 @@ void HotSetPredictor::RecordAccess(RowIndex row) {
 
 void HotSetPredictor::DecayAndPrune() {
   accesses_since_decay_ = 0;
-  total_weight_ = 0;
   for (auto it = weights_.begin(); it != weights_.end();) {
     it->second *= kDecayFactor;
     if (it->second < kPruneBelow) {
       it = weights_.erase(it);
     } else {
-      total_weight_ += it->second;
       ++it;
     }
   }
   // Pathological flat streams can survive pruning; keep the map bounded by
   // decaying again (each pass halves every weight, so this terminates).
   while (weights_.size() > kMaxTracked) {
-    total_weight_ = 0;
     for (auto it = weights_.begin(); it != weights_.end();) {
       it->second *= kDecayFactor;
       if (it->second < kPruneBelow) {
         it = weights_.erase(it);
       } else {
-        total_weight_ += it->second;
         ++it;
       }
     }
   }
+  // Refold the total in row order, NOT map order: float addition is
+  // non-associative, so a hash-ordered sum would leak the container's
+  // iteration order (which differs across standard libraries) into every
+  // confidence — breaking cross-platform byte-identity of prefetch
+  // decisions and everything downstream of them.
+  std::vector<double> by_row(weights_.size());
+  {
+    std::vector<RowIndex> rows;
+    rows.reserve(weights_.size());
+    for (const auto& [row, w] : weights_) rows.push_back(row);
+    std::sort(rows.begin(), rows.end());
+    for (size_t i = 0; i < rows.size(); ++i) by_row[i] = weights_[rows[i]];
+  }
+  total_weight_ = 0;
+  for (double w : by_row) total_weight_ += w;
 }
 
 void HotSetPredictor::RebuildRanking(size_t max) {
@@ -155,11 +166,24 @@ std::vector<PrefetchCandidate> NextBlockPredictor::Predict(size_t max) {
   int64_t stride = 0;
   int best = 0;
   int total = 0;
+  // The winner must be picked by a total order: count desc, then nonzero
+  // before zero, then smaller magnitude, then forward over backward. A
+  // tie-break that leaves any pair unordered (e.g. +2 vs -2 at equal count)
+  // would resolve by unordered_map iteration order, which differs across
+  // standard libraries and would fork prefetch decisions cross-platform.
+  const auto beats = [](int64_t d, int n, int64_t cur, int cur_n) {
+    if (n != cur_n) return n > cur_n;
+    if ((d == 0) != (cur == 0)) return d != 0;
+    if (std::abs(d) != std::abs(cur)) return std::abs(d) < std::abs(cur);
+    return d > cur;
+  };
+  bool have = false;
   for (const auto& [d, n] : deltas) {
     total += n;
-    if (n > best || (n == best && d != 0 && (stride == 0 || std::abs(d) < std::abs(stride)))) {
+    if (!have || beats(d, n, stride, best)) {
       best = n;
       stride = d;
+      have = true;
     }
   }
   if (stride == 0 || total == 0) return out;

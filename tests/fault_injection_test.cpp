@@ -206,6 +206,23 @@ HostRunReport RunWithPlan(const FaultPlan* plan, uint64_t seed) {
   return sim.Run(200, 400);
 }
 
+TEST(HealthMonitor, TuningSickThresholdSetsTheCondemnationPoint) {
+  // tuning.health_sick_threshold flows HostSimConfig -> SharedDeviceService
+  // -> HealthMonitor: the same 50% error mix condemns an endpoint at the
+  // default threshold and leaves it healthy under a stricter one.
+  for (const double threshold : {0.5, 0.9}) {
+    HostSimConfig cfg = FaultHostConfig();
+    cfg.tuning.enable_health_monitor = true;
+    cfg.tuning.health_window = 32;
+    cfg.tuning.health_sick_threshold = threshold;
+    HostSimulation sim(cfg);
+    ASSERT_TRUE(sim.LoadModel(MakeTinyUniformModel(16, 2, 1, 2000)).ok());
+    HealthMonitor& hm = sim.store().device_service().health();
+    for (int i = 0; i < 32; ++i) hm.Record(0, /*ok=*/i % 2 == 0);
+    EXPECT_EQ(hm.Sick(0), threshold <= 0.5) << "threshold=" << threshold;
+  }
+}
+
 TEST(FaultReplay, SamePlanAndSeedReplaysExactly) {
   FaultPlan plan;
   plan.ErrorBurst(SimTime() + Millis(200), SimTime() + Millis(900), 0.5)

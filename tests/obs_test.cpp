@@ -518,5 +518,72 @@ TEST(ObsServing, SharedTenantsReportIsByteIdenticalWithObsOnAndOff) {
   EXPECT_TRUE(Contains(metrics, "svc/"));
 }
 
+// ---------------------------------------------------------------------------
+// Export stability: the lint-time ordered-exports invariant, pinned at
+// runtime. Every Obs*Json accessor must be a pure fold over ordered state —
+// exporting twice, or exporting from a byte-identical fresh run, yields the
+// exact same document. A hash-ordered container anywhere in the export
+// pipeline would break one of these equalities.
+// ---------------------------------------------------------------------------
+
+TEST(ObsExportStability, ClusterExportsRepeatAndReproduceByteIdentically) {
+  HostSimConfig cfg = ObsHostConfig();
+  cfg.tuning.obs = FullObs();
+  DisaggregatedConfig dc;
+  dc.enabled = true;
+  std::string first_metrics, first_trace, first_slo;
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE(testing::Message() << "round " << round);
+    ClusterSimulation cluster(2, cfg, RoutingPolicy::kUserSticky, dc);
+    ASSERT_TRUE(cluster.LoadModel(ObsModel()).ok());
+    (void)cluster.RunDisaggregated(400, 600);
+    const std::string m = cluster.ObsMetricsJson();
+    const std::string t = cluster.ObsTraceJson();
+    const std::string s = cluster.ObsSloJson();
+    EXPECT_FALSE(m == "{}");
+    // Re-exporting moves no bytes...
+    EXPECT_EQ(cluster.ObsMetricsJson(), m);
+    EXPECT_EQ(cluster.ObsTraceJson(), t);
+    EXPECT_EQ(cluster.ObsSloJson(), s);
+    if (round == 0) {
+      first_metrics = m;
+      first_trace = t;
+      first_slo = s;
+    } else {
+      // ...and neither does running the identical simulation again.
+      EXPECT_EQ(m, first_metrics);
+      EXPECT_EQ(t, first_trace);
+      EXPECT_EQ(s, first_slo);
+    }
+  }
+}
+
+TEST(ObsExportStability, MultiTenantExportsRepeatAndReproduceByteIdentically) {
+  HostSimConfig cfg = ObsHostConfig();
+  cfg.fm_capacity = 24 * kMiB;
+  cfg.tuning.obs = FullObs();
+  const ModelConfig model = MakeTinyUniformModel(64, 2, 1, 40'000);
+  std::string first_metrics, first_trace;
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE(testing::Message() << "round " << round);
+    MultiTenantHost host(cfg, 77, /*shared_device=*/true);
+    ASSERT_TRUE(host.AddTenant(model, 4 * kMiB, TenantClass::kForeground).ok());
+    ASSERT_TRUE(host.AddTenant(model, 4 * kMiB, TenantClass::kBackground).ok());
+    (void)host.Run(/*qps_per_tenant=*/200, /*queries=*/300);
+    const std::string m = host.ObsMetricsJson();
+    const std::string t = host.ObsTraceJson();
+    EXPECT_FALSE(m == "{}");
+    EXPECT_EQ(host.ObsMetricsJson(), m);
+    EXPECT_EQ(host.ObsTraceJson(), t);
+    if (round == 0) {
+      first_metrics = m;
+      first_trace = t;
+    } else {
+      EXPECT_EQ(m, first_metrics);
+      EXPECT_EQ(t, first_trace);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sdm

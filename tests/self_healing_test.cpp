@@ -223,6 +223,87 @@ TEST(SelfHealing, SickEndpointReplicatesRoutesAndRecovers) {
   EXPECT_EQ(r.queries_completed, r.queries_served);
 }
 
+/// One sick-endpoint episode (the harness of the test above) under `tuning`'s
+/// replication knobs; reports the copy counters and how many primary extents
+/// endpoint 0 actually held (the replication candidate pool).
+struct ReplicationEpisode {
+  uint64_t extents_replicated = 0;
+  uint64_t extents_abandoned = 0;
+  uint64_t bytes_copied = 0;
+  size_t extents_on_sick_device = 0;
+};
+
+ReplicationEpisode RunSickEndpointEpisode(const TuningConfig& knobs) {
+  HostSimConfig cfg = HealHostConfig();
+  cfg.tuning = knobs;
+  cfg.tuning.enable_checksums = true;
+  cfg.tuning.enable_health_monitor = true;
+  cfg.tuning.health_window = 32;
+  cfg.tuning.health_probe_interval = 16;
+  cfg.tuning.enable_replication = true;
+  HostSimulation sim(cfg);
+  EXPECT_TRUE(sim.LoadModel(HealModel()).ok());
+
+  SharedDeviceService& svc = sim.store().device_service();
+  ReplicationEpisode ep;
+  for (size_t i = 0; i < 3; ++i) {  // 2 user tables + 1 item table
+    const TableRuntime& rt = sim.store().table(MakeTableId(i));
+    if (rt.tier == MemoryTier::kSm && rt.sm_device == 0) ++ep.extents_on_sick_device;
+  }
+  for (int i = 0; i < 32; ++i) svc.health().Record(0, false);
+  EXPECT_TRUE(svc.health().Sick(0));
+
+  sim.Run(200, 2000);
+  ReplicationManager* repl = svc.replication();
+  EXPECT_NE(repl, nullptr);
+  ep.extents_replicated = repl->extents_replicated();
+  ep.extents_abandoned = repl->extents_abandoned();
+  ep.bytes_copied = repl->bytes_copied();
+  return ep;
+}
+
+TEST(SelfHealing, ReplicationHotExtentsKnobCapsExtentsPerTransition) {
+  TuningConfig one;
+  one.replication_hot_extents = 1;
+  TuningConfig many;
+  many.replication_hot_extents = 8;
+  const ReplicationEpisode capped = RunSickEndpointEpisode(one);
+  const ReplicationEpisode open = RunSickEndpointEpisode(many);
+  // The cap binds: exactly one extent copied per transition regardless of
+  // how many the sick endpoint held...
+  ASSERT_GE(capped.extents_on_sick_device, 1u);
+  EXPECT_EQ(capped.extents_replicated, 1u);
+  // ...and with the cap above the pool size, every primary extent moves.
+  EXPECT_EQ(open.extents_replicated,
+            static_cast<uint64_t>(open.extents_on_sick_device));
+}
+
+TEST(SelfHealing, ReplicationByteBudgetKnobSkipsOversizedExtents) {
+  // Each tiny-model extent is ~10s of KiB; a one-block budget admits none
+  // of them, so the sick transition replicates nothing at all.
+  TuningConfig starved;
+  starved.replication_chunk_bytes = 4 * kKiB;
+  starved.replication_byte_budget = 4 * kKiB;
+  const ReplicationEpisode ep = RunSickEndpointEpisode(starved);
+  ASSERT_GE(ep.extents_on_sick_device, 1u);
+  EXPECT_EQ(ep.extents_replicated, 0u);
+  EXPECT_EQ(ep.bytes_copied, 0u);
+}
+
+TEST(SelfHealing, ReplicationChunkBytesKnobIsInertOnCopiedBytes) {
+  // Chunking only slices the background staging reads; the bytes that land
+  // on the replica are the extents themselves either way.
+  TuningConfig small_chunks;
+  small_chunks.replication_chunk_bytes = 4 * kKiB;
+  TuningConfig big_chunks;
+  big_chunks.replication_chunk_bytes = 256 * kKiB;
+  const ReplicationEpisode a = RunSickEndpointEpisode(small_chunks);
+  const ReplicationEpisode b = RunSickEndpointEpisode(big_chunks);
+  EXPECT_GT(a.bytes_copied, 0u);
+  EXPECT_EQ(a.bytes_copied, b.bytes_copied);
+  EXPECT_EQ(a.extents_replicated, b.extents_replicated);
+}
+
 // ---------------------------------------------------------------------------
 // Degraded-row-aware placement: feedback into ComputePlacement and the
 // ModelUpdater's migration pass.

@@ -417,6 +417,29 @@ TEST(Disaggregated, CrossHostSingleFlightOverFabric) {
   EXPECT_FALSE(r.Summary().empty());
 }
 
+TEST(Disaggregated, FabricQueueingKnobGatesFifoSerialization) {
+  // tuning.fabric_queueing flows into the shared FabricLink: with a finite
+  // bandwidth, FIFO queueing makes concurrent transfers wait behind each
+  // other; with the knob off they overlap and no queue delay ever accrues.
+  for (const bool queueing : {true, false}) {
+    HostSimConfig cfg = DisaggHostConfig();
+    cfg.tuning.fabric_latency = Micros(5);
+    cfg.tuning.fabric_bandwidth_bytes_per_sec = 1e8;  // 4KiB -> ~40us on the wire
+    cfg.tuning.fabric_queueing = queueing;
+    DisaggregatedConfig dc;
+    dc.enabled = true;
+    ClusterSimulation cluster(2, cfg, RoutingPolicy::kUserSticky, dc);
+    ASSERT_TRUE(cluster.LoadModel(DisaggModel()).ok());
+    const DisaggregatedRunReport r = cluster.RunDisaggregated(400, 1600);
+    EXPECT_GT(r.fabric.responses, 0u);
+    if (queueing) {
+      EXPECT_GT(r.fabric.queue_time.nanos(), 0);
+    } else {
+      EXPECT_EQ(r.fabric.queue_time.nanos(), 0);
+    }
+  }
+}
+
 TEST(Disaggregated, InstantFabricByteIdenticalToMultiTenantRunShared) {
   // Acceptance anchor: a disaggregated cluster with a zero-latency fabric
   // and kLocal routing IS MultiTenantHost::RunShared with the same stores —

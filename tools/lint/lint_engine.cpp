@@ -1,0 +1,487 @@
+#include "lint/lint_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sdm_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Harvest every `allow(name)` after an `sdm-lint:` marker in comment text.
+void ParseAllows(const std::string& comment, int line,
+                 std::map<int, std::set<std::string>>* allows) {
+  size_t marker = comment.find("sdm-lint:");
+  if (marker == std::string::npos) return;
+  size_t pos = marker;
+  while ((pos = comment.find("allow(", pos)) != std::string::npos) {
+    pos += 6;
+    size_t end = comment.find(')', pos);
+    if (end == std::string::npos) return;
+    std::string name = comment.substr(pos, end - pos);
+    // Trim surrounding spaces so `allow( foo )` works too.
+    while (!name.empty() && name.front() == ' ') name.erase(name.begin());
+    while (!name.empty() && name.back() == ' ') name.pop_back();
+    if (!name.empty()) (*allows)[line].insert(name);
+    pos = end;
+  }
+}
+
+}  // namespace
+
+bool FileContext::Suppressed(const std::string& check, int line) const {
+  for (int l : {line, line - 1}) {
+    auto it = allows.find(l);
+    if (it == allows.end()) continue;
+    if (it->second.count(check) || it->second.count("*")) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+FileContext Tokenize(const std::string& path, const std::string& content) {
+  FileContext ctx;
+  ctx.path = path;
+  size_t slash = path.find_last_of('/');
+  ctx.filename = slash == std::string::npos ? path : path.substr(slash + 1);
+
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto push = [&](Token::Kind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    ctx.tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = content[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directives: skip the whole (possibly continued) line so
+    // `#include <unordered_map>` never reads as an identifier use.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (content[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment (suppression carrier).
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      size_t end = content.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ParseAllows(content.substr(i, end - i), line, &ctx.allows);
+      i = end;
+      continue;
+    }
+    // Block comment; allows attach to the line the comment starts on.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      int start_line = line;
+      size_t end = content.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      std::string body = content.substr(i, end - i);
+      ParseAllows(body, start_line, &ctx.allows);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      size_t paren = content.find('(', i + 2);
+      if (paren != std::string::npos) {
+        std::string delim = content.substr(i + 2, paren - (i + 2));
+        std::string closer = ")" + delim + "\"";
+        size_t end = content.find(closer, paren + 1);
+        if (end == std::string::npos) end = n;
+        std::string body = content.substr(paren + 1, end - paren - 1);
+        push(Token::Kind::kString, body);
+        line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+        i = end == n ? n : end + closer.size();
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string body;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) {
+          body.push_back(content[i]);
+          body.push_back(content[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (content[i] == '\n') ++line;  // unterminated; be tolerant
+        body.push_back(content[i]);
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      push(quote == '"' ? Token::Kind::kString : Token::Kind::kChar, body);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(content[i])) ++i;
+      push(Token::Kind::kIdent, content.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      // pp-number: digits, idents, quotes-as-separators, and exponent signs.
+      size_t start = i;
+      ++i;
+      while (i < n) {
+        char d = content[i];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') &&
+                   (content[i - 1] == 'e' || content[i - 1] == 'E' ||
+                    content[i - 1] == 'p' || content[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      push(Token::Kind::kNumber, content.substr(start, i - start));
+      continue;
+    }
+    // Punctuation. Only "::" and "->" matter as multi-char units here.
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      push(Token::Kind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      push(Token::Kind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    push(Token::Kind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Token utilities
+// ---------------------------------------------------------------------------
+
+size_t MatchForward(const std::vector<Token>& tokens, size_t open) {
+  if (open >= tokens.size() || tokens[open].kind != Token::Kind::kPunct) {
+    return tokens.size();
+  }
+  const std::string& o = tokens[open].text;
+  std::string close;
+  if (o == "(") close = ")";
+  else if (o == "[") close = "]";
+  else if (o == "{") close = "}";
+  else if (o == "<") close = ">";
+  else return tokens.size();
+
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != Token::Kind::kPunct) continue;
+    if (o == "<") {
+      // Conservative template matching: ; or { aborts (it was a comparison).
+      if (t.text == ";" || t.text == "{") return tokens.size();
+      if (t.text == "<") ++depth;
+      else if (t.text == ">" && --depth == 0) return i;
+    } else {
+      if (t.text == o) ++depth;
+      else if (t.text == close && --depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+namespace {
+
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch",   "catch",  "return",
+      "sizeof", "static", "assert", "decltype", "alignof", "alignas",
+      "new",    "delete", "throw",  "co_await", "co_return"};
+  return kw;
+}
+
+/// Reads a qualified name ENDING at token `i` (an identifier); returns the
+/// index of its first token and the joined text, e.g. `A::B` -> "A::B".
+size_t QualifiedNameStart(const std::vector<Token>& tokens, size_t i,
+                          std::string* text) {
+  size_t start = i;
+  *text = tokens[i].text;
+  while (start >= 2 && tokens[start - 1].IsPunct("::") &&
+         tokens[start - 2].kind == Token::Kind::kIdent) {
+    start -= 2;
+    *text = tokens[start].text + "::" + *text;
+  }
+  return start;
+}
+
+/// From the token after a parameter-list `)`, decide whether a function BODY
+/// `{` follows (skipping cv/ref qualifiers, noexcept(...), override/final,
+/// trailing return types, = default/delete, and ctor initializer lists).
+/// Returns the body-`{` index, or tokens.size() when this is not a definition.
+size_t FindBodyBrace(const std::vector<Token>& tokens, size_t i) {
+  const size_t n = tokens.size();
+  while (i < n) {
+    const Token& t = tokens[i];
+    if (t.kind == Token::Kind::kIdent) {
+      if (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+          t.text == "final" || t.text == "mutable" || t.text == "try") {
+        ++i;
+        continue;
+      }
+      return n;  // some other identifier: a declaration like `int f() bar;`
+    }
+    if (t.IsPunct("&")) { ++i; continue; }
+    if (t.IsPunct("(")) {  // noexcept(...)
+      size_t close = MatchForward(tokens, i);
+      if (close == n) return n;
+      i = close + 1;
+      continue;
+    }
+    if (t.IsPunct("->")) {
+      // Trailing return type: skip tokens until the body `{` or a `;`.
+      ++i;
+      while (i < n && !tokens[i].IsPunct("{") && !tokens[i].IsPunct(";")) {
+        if (tokens[i].IsPunct("(")) {
+          size_t close = MatchForward(tokens, i);
+          if (close == n) return n;
+          i = close;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (t.IsPunct(":")) {
+      // Constructor initializer list: entries are `name (args)` or
+      // `name {args}` separated by commas; the body `{` follows the last.
+      ++i;
+      while (i < n) {
+        // qualified/templated member or base name
+        while (i < n && (tokens[i].kind == Token::Kind::kIdent ||
+                         tokens[i].IsPunct("::"))) {
+          ++i;
+        }
+        if (i < n && tokens[i].IsPunct("<")) {
+          size_t close = MatchForward(tokens, i);
+          if (close != n) i = close + 1;
+          else return n;
+        }
+        if (i >= n) return n;
+        if (tokens[i].IsPunct("(") || tokens[i].IsPunct("{")) {
+          size_t close = MatchForward(tokens, i);
+          if (close == n) return n;
+          i = close + 1;
+        } else {
+          return n;  // malformed for our purposes
+        }
+        if (i < n && tokens[i].IsPunct(",")) {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      continue;
+    }
+    if (t.IsPunct("{")) return i;
+    return n;  // ';', '=', ',', ')' ... — declaration or expression
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::string> EnclosingFunctionNames(const std::vector<Token>& tokens) {
+  const size_t n = tokens.size();
+  // body-brace index -> function name
+  std::map<size_t, std::string> bodies;
+  for (size_t i = 0; i < n; ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent) continue;
+    if (i + 1 >= n || !tokens[i + 1].IsPunct("(")) continue;
+    if (ControlKeywords().count(tokens[i].text)) continue;
+    std::string name;
+    QualifiedNameStart(tokens, i, &name);
+    size_t close = MatchForward(tokens, i + 1);
+    if (close == n) continue;
+    size_t body = FindBodyBrace(tokens, close + 1);
+    if (body != n) bodies[body] = name;
+  }
+
+  std::vector<std::string> out(n);
+  // Stack of (brace token kind marker, function name or "").
+  std::vector<std::string> scope;  // innermost last; "" = non-function brace
+  std::string current;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = current;
+    const Token& t = tokens[i];
+    if (t.IsPunct("{")) {
+      auto it = bodies.find(i);
+      scope.push_back(current);
+      if (it != bodies.end()) current = it->second;
+      out[i] = current;  // the brace itself belongs to the function
+    } else if (t.IsPunct("}")) {
+      if (!scope.empty()) {
+        current = scope.back();
+        scope.pop_back();
+      } else {
+        current.clear();
+      }
+    }
+  }
+  return out;
+}
+
+std::set<std::string> UnorderedContainerNames(const std::vector<Token>& tokens) {
+  static const std::set<std::string> kContainers = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  std::set<std::string> names;
+  const size_t n = tokens.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent || !kContainers.count(tokens[i].text)) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (j < n && tokens[j].IsPunct("<")) {
+      size_t close = MatchForward(tokens, j);
+      if (close == n) continue;
+      j = close + 1;
+    }
+    // `::iterator`, `::value_type`... — a use, not a declaration.
+    if (j < n && tokens[j].IsPunct("::")) continue;
+    // Skip declarators and cv noise between the type and the declared name.
+    while (j < n && (tokens[j].IsPunct("&") || tokens[j].IsPunct("*") ||
+                     tokens[j].IsIdent("const"))) {
+      ++j;
+    }
+    if (j < n && tokens[j].kind == Token::Kind::kIdent) {
+      names.insert(tokens[j].text);
+    }
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Check base + engine
+// ---------------------------------------------------------------------------
+
+void Check::RunFile(const FileContext&, std::vector<Finding>*) const {}
+void Check::RunProject(const ProjectContext&, std::vector<Finding>*) const {}
+
+std::vector<Finding> RunLint(const LintInput& input) {
+  ProjectContext project;
+  project.files.reserve(input.files.size());
+  for (const auto& [path, content] : input.files) {
+    project.files.push_back(Tokenize(path, content));
+  }
+  for (const auto& [path, content] : input.test_texts) {
+    project.test_texts[path] = content;
+  }
+
+  std::vector<Finding> raw;
+  auto checks = BuildAllChecks();
+  for (const auto& check : checks) {
+    for (const FileContext& file : project.files) {
+      check->RunFile(file, &raw);
+    }
+    check->RunProject(project, &raw);
+  }
+
+  // Apply suppressions, then order deterministically.
+  std::map<std::string, const FileContext*> by_path;
+  for (const FileContext& file : project.files) by_path[file.path] = &file;
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    auto it = by_path.find(f.file);
+    if (it != by_path.end() && it->second->Suppressed(f.check, f.line)) continue;
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.check < b.check;
+  });
+  return out;
+}
+
+bool LoadTree(const std::string& root, LintInput* input, std::string* error) {
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path(root) / "src";
+  const fs::path tests = fs::path(root) / "tests";
+  if (!fs::is_directory(src)) {
+    *error = "not a source tree (missing " + src.string() + ")";
+    return false;
+  }
+  auto read = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& p : files) {
+    input->files.emplace_back(fs::relative(p, root).generic_string(), read(p));
+  }
+  if (fs::is_directory(tests)) {
+    std::vector<fs::path> test_files;
+    for (const auto& entry : fs::directory_iterator(tests)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cpp" || ext == ".cc") {
+        test_files.push_back(entry.path());
+      }
+    }
+    std::sort(test_files.begin(), test_files.end());
+    for (const fs::path& p : test_files) {
+      input->test_texts.emplace_back(fs::relative(p, root).generic_string(),
+                                     read(p));
+    }
+  }
+  return true;
+}
+
+}  // namespace sdm_lint

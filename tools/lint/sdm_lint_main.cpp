@@ -1,0 +1,76 @@
+// sdm_lint CLI. Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+//
+//   sdm_lint [--root DIR] [--fix-list] [--list-checks]
+//
+// --root DIR      repository root holding src/ and tests/ (default ".")
+// --fix-list      machine-readable output: file<TAB>line<TAB>check<TAB>message
+// --list-checks   print the registered checks and exit
+//
+// Suppress a finding in source with `// sdm-lint: allow(<check>)` on the
+// offending line or the comment line directly above it.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint/lint_engine.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool fix_list = false;
+  bool list_checks = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--fix-list") == 0) {
+      fix_list = true;
+    } else if (std::strcmp(arg, "--list-checks") == 0) {
+      list_checks = true;
+    } else if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strncmp(arg, "--root=", 7) == 0) {
+      root = arg + 7;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf(
+          "usage: sdm_lint [--root DIR] [--fix-list] [--list-checks]\n"
+          "lints DIR/src (*.h, *.cpp) with the determinism-invariant checks;\n"
+          "DIR/tests feeds the knob-inertness check. exit 1 on findings.\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "sdm_lint: unknown argument '%s'\n", arg);
+      return 2;
+    }
+  }
+
+  if (list_checks) {
+    for (const auto& check : sdm_lint::BuildAllChecks()) {
+      std::printf("%-18s %s\n", check->name(), check->description());
+    }
+    return 0;
+  }
+
+  sdm_lint::LintInput input;
+  std::string error;
+  if (!sdm_lint::LoadTree(root, &input, &error)) {
+    std::fprintf(stderr, "sdm_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  const std::vector<sdm_lint::Finding> findings = sdm_lint::RunLint(input);
+  for (const sdm_lint::Finding& f : findings) {
+    if (fix_list) {
+      std::printf("%s\t%d\t%s\t%s\n", f.file.c_str(), f.line, f.check.c_str(),
+                  f.message.c_str());
+    } else {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
+                  f.message.c_str());
+    }
+  }
+  if (!fix_list) {
+    if (findings.empty()) {
+      std::printf("sdm_lint: %zu files clean\n", input.files.size());
+    } else {
+      std::printf("sdm_lint: %zu finding(s) across %zu files\n", findings.size(),
+                  input.files.size());
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
